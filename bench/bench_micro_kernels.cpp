@@ -1,0 +1,94 @@
+// Substrate micro-benchmarks (google-benchmark): GEMM, im2col+conv forward,
+// weight-space fault injection, defect-map sampling, and crossbar MVM.
+// Engineering baseline, not a paper artifact.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/models/small_cnn.hpp"
+#include "src/reram/crossbar_engine.hpp"
+#include "src/reram/defect_map.hpp"
+#include "src/reram/fault_injector.hpp"
+#include "src/tensor/gemm.hpp"
+#include "src/tensor/tensor.hpp"
+
+namespace {
+
+using namespace ftpim;
+
+Tensor random_tensor(Shape shape, std::uint64_t seed) {
+  Tensor t(std::move(shape));
+  Rng rng(seed);
+  for (std::int64_t i = 0; i < t.numel(); ++i) t[i] = rng.normal();
+  return t;
+}
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = state.range(0);
+  const Tensor a = random_tensor(Shape{n, n}, 1);
+  const Tensor b = random_tensor(Shape{n, n}, 2);
+  Tensor c(Shape{n, n});
+  for (auto _ : state) {
+    gemm(n, n, n, 1.0f, a.data(), b.data(), 0.0f, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_SmallCnnForward(benchmark::State& state) {
+  auto net = make_small_cnn(SmallCnnConfig{.image_size = 16, .width = 8, .classes = 10});
+  const Tensor x = random_tensor(Shape{32, 3, 16, 16}, 3);
+  for (auto _ : state) {
+    Tensor y = net->forward(x, /*training=*/false);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_SmallCnnForward);
+
+void BM_FaultInjection(benchmark::State& state) {
+  Tensor w = random_tensor(Shape{state.range(0)}, 4);
+  const StuckAtFaultModel model(0.01);
+  const InjectorConfig config;
+  Rng rng(5);
+  Tensor scratch = w;
+  for (auto _ : state) {
+    scratch = w;
+    apply_stuck_at_faults(scratch, model, config, rng);
+    benchmark::DoNotOptimize(scratch.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FaultInjection)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_DefectMapSample(benchmark::State& state) {
+  const StuckAtFaultModel model(0.01);
+  Rng rng(6);
+  for (auto _ : state) {
+    DefectMap map = DefectMap::sample(state.range(0), model, rng);
+    benchmark::DoNotOptimize(map.fault_count());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DefectMapSample)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_CrossbarMvm(benchmark::State& state) {
+  const auto dim = state.range(0);
+  const Tensor w = random_tensor(Shape{dim, dim}, 7);
+  CrossbarEngine engine(w, CrossbarEngineConfig{});
+  std::vector<float> x(static_cast<std::size_t>(dim), 0.5f);
+  std::vector<float> y(static_cast<std::size_t>(dim));
+  for (auto _ : state) {
+    engine.mvm(x.data(), y.data());
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * dim * dim);
+}
+BENCHMARK(BM_CrossbarMvm)->Arg(128)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

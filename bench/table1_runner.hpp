@@ -1,0 +1,124 @@
+// Shared implementation for the two Table I benches (CIFAR-10/ResNet-20 and
+// CIFAR-100/ResNet-32 rows of the paper).
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <memory>
+
+#include "bench_common.hpp"
+
+namespace ftpim::bench {
+
+struct Table1Result {
+  std::vector<double> test_rates;
+  std::vector<double> baseline_accs;                      ///< fractions
+  std::map<double, std::vector<double>> one_shot;         ///< train rate -> accs
+  std::map<double, std::vector<double>> progressive;
+  double acc_pretrain = 0.0;
+};
+
+inline Table1Result run_table1(Experiment& exp, const std::string& title) {
+  print_preamble(title, exp);
+  const std::vector<double> test_rates = test_rates_for(exp.config().scale);
+  const std::vector<double> train_rates = train_rates_for(exp.config().scale);
+
+  Timer timer;
+  auto pretrained = exp.fresh_model();
+  Table1Result result;
+  result.test_rates = test_rates;
+  result.acc_pretrain = exp.pretrain(*pretrained);
+  std::printf("pretrained baseline: acc=%.2f%% (%.0fs)\n", result.acc_pretrain * 100.0,
+              timer.seconds());
+
+  TablePrinter table(title + " — Acc_defect (%) vs target testing stuck-at-fault rate",
+                     rate_headers("Method / training P_sa^T", test_rates));
+
+  result.baseline_accs = exp.sweep_rates(*pretrained, test_rates);
+  table.add_row("Baseline Pretrained", to_percent(result.baseline_accs));
+
+  for (const double train_rate : train_rates) {
+    for (const FtScheme scheme : {FtScheme::kOneShot, FtScheme::kProgressive}) {
+      timer.reset();
+      auto model = exp.ft_variant(*pretrained, scheme, train_rate);
+      const std::vector<double> accs = exp.sweep_rates(*model, test_rates);
+      const char* tag = scheme == FtScheme::kOneShot ? "One-Shot" : "Progressive";
+      char label[64];
+      std::snprintf(label, sizeof(label), "%s P_sa^T=%g", tag, train_rate);
+      table.add_row(label, to_percent(accs));
+      std::printf("  %s trained+swept in %.0fs (clean acc %.2f%%)\n", label, timer.seconds(),
+                  accs.front() * 100.0);
+      auto& bucket = scheme == FtScheme::kOneShot ? result.one_shot : result.progressive;
+      bucket[train_rate] = accs;
+    }
+  }
+
+  std::printf("\n%s\n", table.render(/*highlight_top=*/3).c_str());
+  return result;
+}
+
+/// Asserts the paper's Table I qualitative claims on the measured grid.
+inline void check_table1_shape(const Table1Result& r) {
+  ShapeCheck check;
+  const auto& rates = r.test_rates;
+
+  // Find a mid/high testing-rate column (>= 0.01) present in the sweep.
+  std::size_t hi_col = rates.size() - 1;
+  std::size_t mid_col = 0;
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    if (rates[i] >= 0.01) {
+      mid_col = i;
+      break;
+    }
+  }
+
+  // Claim 1: every FT model beats the baseline at the mid rate.
+  bool ft_beats_baseline = true;
+  for (const auto& bucket : {r.one_shot, r.progressive}) {
+    for (const auto& [rate, accs] : bucket) {
+      if (accs[mid_col] <= r.baseline_accs[mid_col]) ft_beats_baseline = false;
+    }
+  }
+  check.expect(ft_beats_baseline,
+               "all FT-trained models beat the pretrained baseline at testing rate >= 0.01");
+
+  // Claim 2: baseline collapses — monotone accuracy loss with testing rate
+  // (allowing noise-level 2pt inversions).
+  bool baseline_degrades = true;
+  for (std::size_t i = 1; i < r.baseline_accs.size(); ++i) {
+    if (r.baseline_accs[i] > r.baseline_accs[i - 1] + 0.02) baseline_degrades = false;
+  }
+  check.expect(baseline_degrades, "baseline accuracy degrades with testing failure rate");
+
+  // Claim 3: at the highest testing rate, larger training P_sa^T helps: the
+  // largest trained rate outperforms the smallest, per scheme.
+  for (const auto* bucket : {&r.one_shot, &r.progressive}) {
+    if (bucket->size() >= 2) {
+      const auto& lo = bucket->begin()->second;
+      const auto& hi = bucket->rbegin()->second;
+      check.expect(hi[hi_col] >= lo[hi_col],
+                   "larger training P_sa^T wins at the highest testing rate");
+    }
+  }
+
+  // Claim 4: FT training roughly preserves clean accuracy (within 5 points)
+  // for the smaller training rates.
+  if (!r.one_shot.empty()) {
+    const auto& accs = r.one_shot.begin()->second;
+    check.expect(accs[0] + 0.05 >= r.acc_pretrain,
+                 "smallest-rate FT model keeps clean accuracy within 5 points of pretrain");
+  }
+
+  // Claim 5: progressive >= one-shot at the highest testing rate for the
+  // largest training rate (paper: progressive generally better at high rates;
+  // tolerate 2pt noise).
+  if (!r.one_shot.empty() && !r.progressive.empty()) {
+    const auto& os = r.one_shot.rbegin()->second;
+    const auto& pg = r.progressive.rbegin()->second;
+    check.expect(pg[hi_col] + 0.02 >= os[hi_col],
+                 "progressive >= one-shot (2pt tolerance) at the highest testing rate");
+  }
+  check.summary();
+}
+
+}  // namespace ftpim::bench

@@ -1,0 +1,67 @@
+// Quickstart: train a small CNN, watch it break under stuck-at faults, then
+// fix it with one-shot stochastic fault-tolerant training.
+//
+//   $ ./quickstart
+//
+// Walks the full public API surface: dataset -> model -> Trainer ->
+// evaluate_under_defects -> FaultTolerantTrainer -> StabilityScore.
+#include <cstdio>
+
+#include "src/common/config.hpp"
+#include "src/core/evaluator.hpp"
+#include "src/core/ft_trainer.hpp"
+#include "src/core/stability.hpp"
+#include "src/core/trainer.hpp"
+#include "src/data/synthetic.hpp"
+#include "src/models/small_cnn.hpp"
+
+int main() {
+  using namespace ftpim;
+
+  // 1. Data: a 10-class procedural vision task (CIFAR stand-in).
+  SynthVisionConfig data_cfg;
+  data_cfg.num_classes = 10;
+  data_cfg.image_size = 16;
+  data_cfg.samples = env_int("FTPIM_TRAIN", 1024);
+  const auto train = make_synthvision(data_cfg, /*sample_stream=*/1);
+  data_cfg.samples = env_int("FTPIM_TEST", 512);
+  const auto test = make_synthvision(data_cfg, /*sample_stream=*/2);
+
+  // 2. Model + standard training.
+  auto model = make_small_cnn(SmallCnnConfig{.image_size = 16, .width = 8, .classes = 10});
+  TrainConfig tc;
+  tc.epochs = env_int("FTPIM_EPOCHS", 6);
+  tc.verbose = true;
+  Trainer(*model, *train, tc).run();
+  const double acc_pretrain = evaluate_accuracy(*model, *test);
+  std::printf("\nclean accuracy after standard training: %.2f%%\n", acc_pretrain * 100.0);
+
+  // 3. Deploy on faulty ReRAM: average accuracy over simulated devices.
+  DefectEvalConfig eval_cfg;
+  eval_cfg.num_runs = env_int("FTPIM_RUNS", 10);
+  const double p_sa = 0.01;  // 1% of cells stuck
+  const DefectEvalResult broken = evaluate_under_defects(*model, *test, p_sa, eval_cfg);
+  std::printf("accuracy on devices with P_sa=%.3f: %.2f%% (+/- %.2f)\n", p_sa,
+              broken.mean_acc * 100.0, broken.std_acc * 100.0);
+
+  // 4. One-shot stochastic fault-tolerant retraining at the target rate.
+  FtTrainConfig ft;
+  ft.base = tc;
+  ft.base.verbose = false;
+  ft.scheme = FtScheme::kOneShot;
+  ft.target_p_sa = p_sa;
+  FaultTolerantTrainer(*model, *train, ft).run();
+
+  const double acc_retrain = evaluate_accuracy(*model, *test);
+  const DefectEvalResult hardened = evaluate_under_defects(*model, *test, p_sa, eval_cfg);
+  std::printf("after FT training: clean %.2f%%, under defects %.2f%% (+/- %.2f)\n",
+              acc_retrain * 100.0, hardened.mean_acc * 100.0, hardened.std_acc * 100.0);
+
+  // 5. Stability Score quantifies the robustness/accuracy trade-off.
+  const double ss_before = stability_score({acc_pretrain, acc_pretrain, broken.mean_acc});
+  const double ss_after = stability_score({acc_pretrain, acc_retrain, hardened.mean_acc});
+  std::printf("Stability Score: %.2f -> %.2f\n", ss_before, ss_after);
+  // Fail only on a catastrophic regression; at easy settings both models can
+  // sit within noise of each other.
+  return hardened.mean_acc > broken.mean_acc - 0.05 ? 0 : 1;
+}

@@ -1,0 +1,63 @@
+#include "src/common/config.hpp"
+
+#include <cstdlib>
+
+namespace ftpim {
+
+int env_int(const char* name, int fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const long value = std::strtol(env, &end, 10);
+  if (end == env) return fallback;
+  return static_cast<int>(value);
+}
+
+double env_double(const char* name, double fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(env, &end);
+  if (end == env) return fallback;
+  return value;
+}
+
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  return std::string(env);
+}
+
+RunScale run_scale() {
+  RunScale scale;
+  const std::string preset = env_string("FTPIM_SCALE", "quick");
+  if (preset == "medium") {
+    scale = RunScale{.epochs = 10,
+                     .defect_runs = 20,
+                     .train_size = 4096,
+                     .test_size = 1024,
+                     .image_size = 24,
+                     .resnet_width = 12,
+                     .batch_size = 64,
+                     .name = "medium"};
+  } else if (preset == "full") {
+    scale = RunScale{.epochs = 160,
+                     .defect_runs = 100,
+                     .train_size = 50000,
+                     .test_size = 10000,
+                     .image_size = 32,
+                     .resnet_width = 16,
+                     .batch_size = 128,
+                     .name = "full"};
+  }
+  scale.epochs = env_int("FTPIM_EPOCHS", scale.epochs);
+  scale.defect_runs = env_int("FTPIM_RUNS", scale.defect_runs);
+  scale.train_size = env_int("FTPIM_TRAIN", scale.train_size);
+  scale.test_size = env_int("FTPIM_TEST", scale.test_size);
+  scale.image_size = env_int("FTPIM_IMG", scale.image_size);
+  scale.resnet_width = env_int("FTPIM_WIDTH", scale.resnet_width);
+  scale.batch_size = env_int("FTPIM_BATCH", scale.batch_size);
+  return scale;
+}
+
+}  // namespace ftpim

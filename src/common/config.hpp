@@ -1,0 +1,45 @@
+// Environment-driven experiment scaling.
+//
+// The paper's experiments ran 160-epoch GPU training on real CIFAR; on the
+// reproduction host (CPU-only) the benches default to reduced sizes. All
+// scale knobs live here so every bench/example interprets them identically:
+//
+//   FTPIM_SCALE  = quick | medium | full   (preset bundle; default quick)
+//   FTPIM_EPOCHS = <int>    override epochs per training stage
+//   FTPIM_RUNS   = <int>    override num_of_runs for defect averaging
+//   FTPIM_TRAIN  = <int>    override train-set size
+//   FTPIM_TEST   = <int>    override test-set size
+//   FTPIM_IMG    = <int>    override image side (HxW)
+//   FTPIM_WIDTH  = <int>    override ResNet base width
+//   FTPIM_THREADS= <int>    override worker thread count
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ftpim {
+
+struct RunScale {
+  int epochs = 3;          ///< epochs per training stage (paper: 160)
+  int defect_runs = 6;     ///< Monte-Carlo defect maps per point (paper: 100)
+  int train_size = 896;    ///< training samples (CIFAR: 50000)
+  int test_size = 384;     ///< test samples (CIFAR: 10000)
+  int image_size = 16;     ///< image side (CIFAR: 32)
+  int resnet_width = 8;    ///< ResNet stage-1 channels (paper: 16)
+  int batch_size = 64;
+  std::string name = "quick";
+};
+
+/// Resolves the active scale from the environment (see file comment).
+[[nodiscard]] RunScale run_scale();
+
+/// Reads an integer env var, returning fallback when unset/unparsable.
+[[nodiscard]] int env_int(const char* name, int fallback);
+
+/// Reads a float env var, returning fallback when unset/unparsable.
+[[nodiscard]] double env_double(const char* name, double fallback);
+
+/// Reads a string env var, returning fallback when unset.
+[[nodiscard]] std::string env_string(const char* name, const std::string& fallback);
+
+}  // namespace ftpim

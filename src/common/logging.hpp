@@ -1,0 +1,53 @@
+// Minimal leveled logger. Not thread-interleave-safe beyond line granularity;
+// suitable for experiment harness progress output.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+namespace ftpim {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are dropped. Default: kInfo,
+/// overridable with environment variable FTPIM_LOG={debug,info,warn,error,off}.
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+
+template <typename... Args>
+std::string format_msg(const char* fmt, Args&&... args) {
+  const int needed = std::snprintf(nullptr, 0, fmt, std::forward<Args>(args)...);
+  if (needed <= 0) return std::string(fmt);
+  std::string out(static_cast<std::size_t>(needed), '\0');
+  std::snprintf(out.data(), out.size() + 1, fmt, std::forward<Args>(args)...);
+  return out;
+}
+inline std::string format_msg(const char* fmt) { return std::string(fmt); }
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(const char* fmt, Args&&... args) {
+  if (log_level() <= LogLevel::kDebug)
+    detail::log_line(LogLevel::kDebug, detail::format_msg(fmt, std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_info(const char* fmt, Args&&... args) {
+  if (log_level() <= LogLevel::kInfo)
+    detail::log_line(LogLevel::kInfo, detail::format_msg(fmt, std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_warn(const char* fmt, Args&&... args) {
+  if (log_level() <= LogLevel::kWarn)
+    detail::log_line(LogLevel::kWarn, detail::format_msg(fmt, std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_error(const char* fmt, Args&&... args) {
+  if (log_level() <= LogLevel::kError)
+    detail::log_line(LogLevel::kError, detail::format_msg(fmt, std::forward<Args>(args)...));
+}
+
+}  // namespace ftpim

@@ -1,0 +1,69 @@
+#include "src/common/parallel.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "src/common/config.hpp"
+
+namespace ftpim {
+
+int num_threads() noexcept {
+  static const int cached = [] {
+    const int hw = static_cast<int>(std::thread::hardware_concurrency());
+    const int fallback = hw > 0 ? hw : 2;
+    const int requested = env_int("FTPIM_THREADS", fallback);
+    return std::max(1, requested);
+  }();
+  return cached;
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t min_parallel_trip) {
+  if (begin >= end) return;
+  const std::size_t trip = end - begin;
+  const int workers = num_threads();
+  if (workers <= 1 || trip < min_parallel_trip) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  const std::size_t nthreads = std::min<std::size_t>(static_cast<std::size_t>(workers), trip);
+  std::vector<std::thread> threads;
+  threads.reserve(nthreads);
+  const std::size_t chunk = (trip + nthreads - 1) / nthreads;
+  for (std::size_t t = 0; t < nthreads; ++t) {
+    const std::size_t lo = begin + t * chunk;
+    const std::size_t hi = std::min(end, lo + chunk);
+    if (lo >= hi) break;
+    threads.emplace_back([lo, hi, &fn] {
+      for (std::size_t i = lo; i < hi; ++i) fn(i);
+    });
+  }
+  for (auto& th : threads) th.join();
+}
+
+void parallel_for_chunks(std::size_t begin, std::size_t end,
+                         const std::function<void(std::size_t, std::size_t)>& fn,
+                         std::size_t min_parallel_trip) {
+  if (begin >= end) return;
+  const std::size_t trip = end - begin;
+  const int workers = num_threads();
+  if (workers <= 1 || trip < min_parallel_trip) {
+    fn(begin, end);
+    return;
+  }
+  const std::size_t nthreads = std::min<std::size_t>(static_cast<std::size_t>(workers), trip);
+  std::vector<std::thread> threads;
+  threads.reserve(nthreads);
+  const std::size_t chunk = (trip + nthreads - 1) / nthreads;
+  for (std::size_t t = 0; t < nthreads; ++t) {
+    const std::size_t lo = begin + t * chunk;
+    const std::size_t hi = std::min(end, lo + chunk);
+    if (lo >= hi) break;
+    threads.emplace_back([lo, hi, &fn] { fn(lo, hi); });
+  }
+  for (auto& th : threads) th.join();
+}
+
+}  // namespace ftpim

@@ -1,0 +1,29 @@
+// Thread-parallel loop helper.
+//
+// Uses OpenMP when compiled with it, otherwise falls back to a std::thread
+// splitter. Grain control keeps tiny loops serial (thread spawn costs more
+// than the work on 2-core hosts).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace ftpim {
+
+/// Number of worker threads parallel_for will use (env FTPIM_THREADS or
+/// hardware_concurrency).
+[[nodiscard]] int num_threads() noexcept;
+
+/// Runs fn(i) for i in [begin, end). Runs serially when the trip count is
+/// below min_parallel_trip or only one worker is configured.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t min_parallel_trip = 2);
+
+/// Runs fn(chunk_begin, chunk_end) over contiguous chunks — lower dispatch
+/// overhead than per-index parallel_for for fine-grained bodies.
+void parallel_for_chunks(std::size_t begin, std::size_t end,
+                         const std::function<void(std::size_t, std::size_t)>& fn,
+                         std::size_t min_parallel_trip = 1024);
+
+}  // namespace ftpim

@@ -1,0 +1,8 @@
+#include "src/common/rng.hpp"
+
+// Rng is fully inline; this TU exists so the module shows up in the library
+// and to host any future out-of-line additions.
+namespace ftpim {
+static_assert(Rng::min() == 0);
+static_assert(Rng::max() == ~0ULL);
+}  // namespace ftpim

@@ -1,0 +1,147 @@
+// Deterministic random number generation for ftpim.
+//
+// Everything stochastic in the library (weight init, data generation, fault
+// maps, training-time fault injection) draws from an explicitly seeded Rng so
+// that experiments are reproducible bit-for-bit. Device d's defect map is
+// seeded with derive_seed(master_seed, d), which decorrelates streams without
+// any shared state.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <cmath>
+
+namespace ftpim {
+
+/// splitmix64 step: the standard seed-expansion function. Used both to expand
+/// a user seed into xoshiro state and to derive independent sub-stream seeds.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Derives a statistically independent seed for sub-stream `stream_id` of a
+/// master seed. Suitable for per-device / per-layer / per-epoch streams.
+[[nodiscard]] constexpr std::uint64_t derive_seed(std::uint64_t master,
+                                                  std::uint64_t stream_id) noexcept {
+  std::uint64_t s = master ^ (0x9e3779b97f4a7c15ULL * (stream_id + 1));
+  // Two rounds of splitmix to break up low-entropy stream ids.
+  (void)splitmix64(s);
+  return splitmix64(s);
+}
+
+/// xoshiro256** — small, fast, high-quality PRNG (Blackman & Vigna).
+/// Satisfies the UniformRandomBitGenerator requirements.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform float in [0, 1).
+  [[nodiscard]] float uniform() noexcept {
+    return static_cast<float>((*this)() >> 40) * 0x1.0p-24f;
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform_double() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [lo, hi).
+  [[nodiscard]] float uniform(float lo, float hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  [[nodiscard]] std::uint64_t uniform_int(std::uint64_t n) noexcept {
+    // Lemire's multiply-shift rejection method (unbiased).
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0ULL - n) % n;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Bernoulli(p) — true with probability p.
+  [[nodiscard]] bool bernoulli(double p) noexcept { return uniform_double() < p; }
+
+  /// Standard normal via Box-Muller (cached second value).
+  [[nodiscard]] float normal() noexcept {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    float u1 = uniform();
+    // Avoid log(0).
+    while (u1 <= 1e-12f) u1 = uniform();
+    const float u2 = uniform();
+    const float r = std::sqrt(-2.0f * std::log(u1));
+    const float theta = 6.28318530717958647692f * u2;
+    cached_ = r * std::sin(theta);
+    has_cached_ = true;
+    return r * std::cos(theta);
+  }
+
+  [[nodiscard]] float normal(float mean, float stddev) noexcept {
+    return mean + stddev * normal();
+  }
+
+  /// Log-normal with the given parameters of the underlying normal.
+  [[nodiscard]] float lognormal(float mu, float sigma) noexcept {
+    return std::exp(normal(mu, sigma));
+  }
+
+  /// Fisher-Yates shuffle of indices [0, n) written into out (size n).
+  template <typename Index>
+  void shuffle(Index* out, std::size_t n) noexcept {
+    for (std::size_t i = 0; i < n; ++i) out[i] = static_cast<Index>(i);
+    for (std::size_t i = n; i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform_int(i));
+      const Index tmp = out[i - 1];
+      out[i - 1] = out[j];
+      out[j] = tmp;
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+  float cached_ = 0.0f;
+  bool has_cached_ = false;
+};
+
+}  // namespace ftpim

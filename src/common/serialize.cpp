@@ -1,0 +1,90 @@
+#include "src/common/serialize.hpp"
+
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+
+namespace ftpim {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4d505446;  // "FTPM" little-endian
+constexpr std::uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const noexcept {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+void write_bytes(std::FILE* f, const void* data, std::size_t size, const std::string& path) {
+  if (std::fwrite(data, 1, size, f) != size) {
+    throw std::runtime_error("serialize: short write to " + path);
+  }
+}
+
+void read_bytes(std::FILE* f, void* data, std::size_t size, const std::string& path) {
+  if (std::fread(data, 1, size, f) != size) {
+    throw std::runtime_error("serialize: short read from " + path);
+  }
+}
+
+template <typename T>
+void write_pod(std::FILE* f, T value, const std::string& path) {
+  write_bytes(f, &value, sizeof(T), path);
+}
+
+template <typename T>
+T read_pod(std::FILE* f, const std::string& path) {
+  T value{};
+  read_bytes(f, &value, sizeof(T), path);
+  return value;
+}
+
+}  // namespace
+
+void save_state_dict(const StateDict& state, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) throw std::runtime_error("serialize: cannot open " + path + " for writing");
+  write_pod<std::uint32_t>(f.get(), kMagic, path);
+  write_pod<std::uint32_t>(f.get(), kVersion, path);
+  write_pod<std::uint64_t>(f.get(), state.size(), path);
+  for (const auto& [name, tensor] : state) {
+    write_pod<std::uint32_t>(f.get(), static_cast<std::uint32_t>(name.size()), path);
+    write_bytes(f.get(), name.data(), name.size(), path);
+    write_pod<std::uint32_t>(f.get(), static_cast<std::uint32_t>(tensor.rank()), path);
+    for (const std::int64_t d : tensor.shape()) write_pod<std::int64_t>(f.get(), d, path);
+    write_bytes(f.get(), tensor.data(), static_cast<std::size_t>(tensor.numel()) * sizeof(float),
+                path);
+  }
+  if (std::fflush(f.get()) != 0) throw std::runtime_error("serialize: flush failed for " + path);
+}
+
+StateDict load_state_dict(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) throw std::runtime_error("serialize: cannot open " + path + " for reading");
+  if (read_pod<std::uint32_t>(f.get(), path) != kMagic) {
+    throw std::runtime_error("serialize: bad magic in " + path);
+  }
+  const auto version = read_pod<std::uint32_t>(f.get(), path);
+  if (version != kVersion) {
+    throw std::runtime_error("serialize: unsupported version in " + path);
+  }
+  const auto count = read_pod<std::uint64_t>(f.get(), path);
+  StateDict state;
+  for (std::uint64_t e = 0; e < count; ++e) {
+    const auto name_len = read_pod<std::uint32_t>(f.get(), path);
+    std::string name(name_len, '\0');
+    read_bytes(f.get(), name.data(), name_len, path);
+    const auto rank = read_pod<std::uint32_t>(f.get(), path);
+    Shape shape(rank);
+    for (auto& d : shape) d = read_pod<std::int64_t>(f.get(), path);
+    Tensor tensor(shape);
+    read_bytes(f.get(), tensor.data(), static_cast<std::size_t>(tensor.numel()) * sizeof(float),
+               path);
+    state.emplace(std::move(name), std::move(tensor));
+  }
+  return state;
+}
+
+}  // namespace ftpim

@@ -1,0 +1,27 @@
+// Binary serialization of tensors and named-tensor state dicts.
+//
+// Format (little-endian):
+//   magic "FTPM" u32 version | u64 entry_count |
+//   per entry: u32 name_len, bytes name, u32 rank, i64 dims..., f32 data...
+// Used for model checkpoints produced by the trainer and consumed by the
+// deployment examples.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/tensor/tensor.hpp"
+
+namespace ftpim {
+
+using StateDict = std::map<std::string, Tensor>;
+
+/// Writes a state dict to `path`; throws std::runtime_error on IO failure.
+void save_state_dict(const StateDict& state, const std::string& path);
+
+/// Reads a state dict from `path`; throws std::runtime_error on IO/format
+/// failure.
+StateDict load_state_dict(const std::string& path);
+
+}  // namespace ftpim

@@ -1,0 +1,37 @@
+#include "src/common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ftpim {
+
+Summary summarize(const std::vector<double>& values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  double sum = 0.0, sq = 0.0;
+  s.min = values.front();
+  s.max = values.front();
+  for (const double v : values) {
+    sum += v;
+    sq += v * v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  const double n = static_cast<double>(values.size());
+  s.mean = sum / n;
+  s.stddev = std::sqrt(std::max(0.0, sq / n - s.mean * s.mean));
+  return s;
+}
+
+double quantile(std::vector<double> values, double q) {
+  if (values.empty()) throw std::invalid_argument("quantile: empty sample");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q outside [0,1]");
+  std::sort(values.begin(), values.end());
+  const auto idx = static_cast<std::size_t>(
+      std::llround(q * static_cast<double>(values.size() - 1)));
+  return values[idx];
+}
+
+}  // namespace ftpim

@@ -1,0 +1,23 @@
+// Small descriptive-statistics helpers used by evaluators and benches.
+#pragma once
+
+#include <vector>
+
+namespace ftpim {
+
+struct Summary {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t count = 0;
+};
+
+/// Mean/std/min/max of a sample (population std). Empty input -> zeros.
+[[nodiscard]] Summary summarize(const std::vector<double>& values);
+
+/// q-quantile (0 <= q <= 1) by nearest-rank on a sorted copy.
+/// Throws std::invalid_argument on empty input or q outside [0,1].
+[[nodiscard]] double quantile(std::vector<double> values, double q);
+
+}  // namespace ftpim

@@ -1,0 +1,45 @@
+// Device-specific defect-aware retraining — the per-device baseline the
+// paper argues against (L. Xia et al., DAC'17 [5]; see §II-B).
+//
+// Given ONE physical device whose defect map is known from testing, retrain
+// the network with that fixed map applied every iteration: stuck positions
+// are pinned to their fault values and receive no gradient, so the free
+// weights learn to compensate. This recovers accuracy on THAT device but (a)
+// costs a retraining run per manufactured unit and (b) transfers poorly to
+// any other device — exactly the versatility gap stochastic FT training
+// closes. bench_baseline_device_specific quantifies both effects.
+#pragma once
+
+#include <cstdint>
+
+#include "src/core/trainer.hpp"
+#include "src/data/dataset.hpp"
+#include "src/nn/module.hpp"
+#include "src/reram/fault_injector.hpp"
+#include "src/reram/fault_model.hpp"
+
+namespace ftpim {
+
+struct DeviceSpecificConfig {
+  TrainConfig base{};
+  double p_sa = 0.01;
+  double sa0_fraction = kPaperSa0Fraction;
+  InjectorConfig injector{};
+  std::uint64_t defect_master_seed = 555;
+  std::uint64_t device_index = 0;  ///< which physical device to retrain for
+};
+
+/// Retrains `model` in place against device `config.device_index`'s fixed
+/// defect map. The model ends with clean weights (the map is re-applied at
+/// deployment/evaluation time).
+TrainStats device_specific_retrain(Module& model, const Dataset& train_data,
+                                   const DeviceSpecificConfig& config);
+
+/// Accuracy of `model` as deployed on one specific device: applies that
+/// device's defect map (deterministic in master seed + index), evaluates,
+/// restores.
+double evaluate_on_device(Module& model, const Dataset& data, double p_sa,
+                          double sa0_fraction, const InjectorConfig& injector,
+                          std::uint64_t defect_master_seed, std::uint64_t device_index);
+
+}  // namespace ftpim

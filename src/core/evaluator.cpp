@@ -1,0 +1,54 @@
+#include "src/core/evaluator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/data/dataloader.hpp"
+#include "src/tensor/tensor_ops.hpp"
+
+namespace ftpim {
+
+double evaluate_accuracy(Module& model, const Dataset& data, std::int64_t batch_size) {
+  if (data.size() == 0) return 0.0;
+  DataLoader loader(data, batch_size, /*shuffle=*/false, /*seed=*/0);
+  std::int64_t hits = 0;
+  const std::int64_t batches = loader.batches_per_epoch();
+  for (std::int64_t b = 0; b < batches; ++b) {
+    const Batch batch = loader.batch(b);
+    const Tensor logits = model.forward(batch.images, /*training=*/false);
+    for (std::int64_t r = 0; r < batch.size(); ++r) {
+      if (argmax_row(logits, r) == batch.labels[static_cast<std::size_t>(r)]) ++hits;
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(data.size());
+}
+
+DefectEvalResult evaluate_under_defects(Module& model, const Dataset& data, double p_sa,
+                                        const DefectEvalConfig& config) {
+  DefectEvalResult result;
+  if (config.num_runs <= 0) return result;
+  const StuckAtFaultModel fault_model(p_sa, config.sa0_fraction);
+  double sum = 0.0, sq = 0.0, rate_sum = 0.0;
+  result.run_accs.reserve(static_cast<std::size_t>(config.num_runs));
+  for (int run = 0; run < config.num_runs; ++run) {
+    Rng rng(derive_seed(config.seed, static_cast<std::uint64_t>(run)));
+    double acc;
+    {
+      const WeightFaultGuard guard(model, fault_model, config.injector, rng);
+      acc = evaluate_accuracy(model, data, config.batch_size);
+      rate_sum += guard.stats().cell_fault_rate();
+    }  // guard restores clean weights here
+    result.run_accs.push_back(acc);
+    sum += acc;
+    sq += acc * acc;
+    result.min_acc = std::min(result.min_acc, acc);
+    result.max_acc = std::max(result.max_acc, acc);
+  }
+  const double n = static_cast<double>(config.num_runs);
+  result.mean_acc = sum / n;
+  result.std_acc = std::sqrt(std::max(0.0, sq / n - result.mean_acc * result.mean_acc));
+  result.mean_cell_fault_rate = rate_sum / n;
+  return result;
+}
+
+}  // namespace ftpim

@@ -1,0 +1,44 @@
+// Clean and defect-model evaluation.
+//
+// evaluate_under_defects implements the paper's testing protocol (Algorithm 1
+// lines 31-38): for num_of_runs independent devices, apply stuck-at faults to
+// the trained weights at the target testing failure rate, measure accuracy,
+// restore, and average.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/data/dataset.hpp"
+#include "src/nn/module.hpp"
+#include "src/reram/fault_injector.hpp"
+#include "src/reram/fault_model.hpp"
+
+namespace ftpim {
+
+/// Top-1 accuracy (fraction in [0,1]) of `model` on `data` in eval mode.
+double evaluate_accuracy(Module& model, const Dataset& data, std::int64_t batch_size = 256);
+
+struct DefectEvalConfig {
+  int num_runs = 10;            ///< devices to average over (paper: 100)
+  double sa0_fraction = kPaperSa0Fraction;
+  InjectorConfig injector{};
+  std::uint64_t seed = 99;      ///< master seed; device d uses derive_seed(seed, d)
+  std::int64_t batch_size = 256;
+};
+
+struct DefectEvalResult {
+  double mean_acc = 0.0;
+  double std_acc = 0.0;
+  double min_acc = 1.0;
+  double max_acc = 0.0;
+  double mean_cell_fault_rate = 0.0;
+  std::vector<double> run_accs;
+};
+
+/// Mean accuracy over `config.num_runs` simulated defective devices at
+/// per-cell failure rate `p_sa`. Model weights are restored after each run.
+DefectEvalResult evaluate_under_defects(Module& model, const Dataset& data, double p_sa,
+                                        const DefectEvalConfig& config);
+
+}  // namespace ftpim

@@ -1,0 +1,76 @@
+// Experiment harness shared by the bench binaries and examples.
+//
+// Wires together: dataset selection (real CIFAR when the binary files are on
+// disk, SynthVision otherwise — see DESIGN.md §3), model construction at the
+// active RunScale, baseline pretraining, FT-variant training, and
+// failure-rate sweeps. Each bench binary composes these pieces into one
+// paper table/figure.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/config.hpp"
+#include "src/core/evaluator.hpp"
+#include "src/core/ft_trainer.hpp"
+#include "src/core/trainer.hpp"
+#include "src/data/dataset.hpp"
+#include "src/nn/sequential.hpp"
+
+namespace ftpim {
+
+struct ExperimentConfig {
+  std::int64_t classes = 10;   ///< 10 => CIFAR-10/ResNet-20 row; 100 => CIFAR-100/ResNet-32
+  int resnet_depth = 20;
+  RunScale scale{};            ///< from run_scale() typically
+  std::uint64_t seed = 2024;
+  bool verbose = false;
+};
+
+class Experiment {
+ public:
+  explicit Experiment(ExperimentConfig config);
+
+  [[nodiscard]] const Dataset& train_data() const noexcept { return *train_; }
+  [[nodiscard]] const Dataset& test_data() const noexcept { return *test_; }
+  [[nodiscard]] const ExperimentConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const std::string& dataset_name() const noexcept { return dataset_name_; }
+
+  /// Fresh randomly-initialized model of the configured architecture.
+  [[nodiscard]] std::unique_ptr<Sequential> fresh_model(std::uint64_t seed_offset = 0) const;
+
+  /// Deep copy via state-dict round trip.
+  [[nodiscard]] std::unique_ptr<Sequential> clone_model(Sequential& source) const;
+
+  /// Training recipe at the active scale (cosine LR from 0.1, augmentation).
+  [[nodiscard]] TrainConfig base_train_config() const;
+
+  /// Trains `model` from its current weights; returns clean test accuracy.
+  double pretrain(Sequential& model) const;
+
+  /// FT-trains a copy of `pretrained`; returns the fault-tolerant model.
+  [[nodiscard]] std::unique_ptr<Sequential> ft_variant(Sequential& pretrained, FtScheme scheme,
+                                                       double target_p_sa) const;
+
+  /// Clean accuracy followed by Acc_defect at each rate (fractions in [0,1]).
+  /// rates[i] == 0 short-circuits to the clean accuracy.
+  [[nodiscard]] std::vector<double> sweep_rates(Sequential& model,
+                                                const std::vector<double>& rates) const;
+
+  [[nodiscard]] DefectEvalConfig defect_eval_config() const;
+
+ private:
+  ExperimentConfig config_;
+  std::unique_ptr<Dataset> train_;
+  std::unique_ptr<Dataset> test_;
+  std::string dataset_name_;
+};
+
+/// The paper's target *testing* failure-rate grid (Table I columns).
+std::vector<double> paper_test_rates();
+
+/// The paper's target *training* failure rates (Table I rows).
+std::vector<double> paper_train_rates();
+
+}  // namespace ftpim

@@ -1,0 +1,103 @@
+#include "src/core/ft_trainer.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "src/common/logging.hpp"
+
+namespace ftpim {
+
+std::vector<double> default_progressive_ramp(double target_p_sa) {
+  return {target_p_sa / 8.0, target_p_sa / 4.0, target_p_sa / 2.0, target_p_sa};
+}
+
+FaultTolerantTrainer::FaultTolerantTrainer(Module& model, const Dataset& train_data,
+                                           FtTrainConfig config)
+    : model_(model), train_data_(train_data), config_(std::move(config)) {
+  if (config_.target_p_sa < 0.0 || config_.target_p_sa > 1.0) {
+    throw std::invalid_argument("FaultTolerantTrainer: target_p_sa must be in [0,1]");
+  }
+  if (config_.scheme == FtScheme::kOneShot) {
+    stage_rates_ = {config_.target_p_sa};
+  } else {
+    stage_rates_ = config_.progressive_levels.empty() ? default_progressive_ramp(config_.target_p_sa)
+                                                      : config_.progressive_levels;
+    for (std::size_t i = 1; i < stage_rates_.size(); ++i) {
+      if (stage_rates_[i] < stage_rates_[i - 1]) {
+        throw std::invalid_argument("FaultTolerantTrainer: progressive levels must ascend");
+      }
+    }
+    if (stage_rates_.empty() || stage_rates_.back() != config_.target_p_sa) {
+      throw std::invalid_argument(
+          "FaultTolerantTrainer: progressive levels must end at target_p_sa");
+    }
+  }
+}
+
+FtTrainStats FaultTolerantTrainer::run() {
+  FtTrainStats stats;
+  stats.stage_rates = stage_rates_;
+  const int total_epochs = config_.base.epochs * static_cast<int>(stage_rates_.size());
+
+  double rate_sum = 0.0;
+  std::int64_t rate_count = 0;
+
+  for (std::size_t stage = 0; stage < stage_rates_.size(); ++stage) {
+    const double p_sa = stage_rates_[stage];
+    const StuckAtFaultModel fault_model(p_sa, config_.sa0_fraction);
+    TrainConfig stage_config = config_.base;
+    // Decorrelate batch order across stages while staying deterministic.
+    stage_config.seed = derive_seed(config_.base.seed, stage);
+    Trainer trainer(model_, train_data_, stage_config);
+
+    // The guard lives across the hook pair; unique_ptr so the hooks can
+    // create/destroy it around each forward/backward.
+    auto guard = std::shared_ptr<WeightFaultGuard>();
+    const std::uint64_t stage_fault_seed = derive_seed(config_.fault_seed, stage);
+
+    TrainHooks hooks;
+    hooks.before_forward = [this, &guard, fault_model, stage_fault_seed](int epoch,
+                                                                         std::int64_t iter) {
+      // kPerEpoch: same RNG seed for every iteration of an epoch -> identical
+      // fault positions, matching Algorithm 1's per-epoch Apply_Fault.
+      const std::uint64_t draw =
+          config_.refresh == FaultRefresh::kPerEpoch
+              ? derive_seed(stage_fault_seed, static_cast<std::uint64_t>(epoch))
+              : derive_seed(stage_fault_seed,
+                            (static_cast<std::uint64_t>(epoch) << 32) ^
+                                static_cast<std::uint64_t>(iter));
+      Rng rng(draw);
+      guard = std::make_shared<WeightFaultGuard>(model_, fault_model, config_.injector, rng);
+    };
+    hooks.after_backward = [this, &guard, &rate_sum, &rate_count](int, std::int64_t) {
+      if (!guard) return;
+      if (config_.grad_mode == GradMode::kMasked) {
+        const auto& params = guard->faulted_params();
+        const auto& masks = guard->hit_masks();
+        for (std::size_t k = 0; k < params.size(); ++k) {
+          float* g = params[k]->grad.data();
+          const float* hit = masks[k].data();
+          for (std::int64_t i = 0; i < params[k]->grad.numel(); ++i) {
+            if (hit[i] != 0.0f) g[i] = 0.0f;
+          }
+        }
+      }
+      rate_sum += guard->stats().cell_fault_rate();
+      ++rate_count;
+      guard->restore();  // optimizer step must see clean weights
+      guard.reset();
+    };
+    trainer.set_hooks(hooks);
+
+    if (config_.base.verbose) {
+      log_info("FT stage %zu/%zu: P_sa=%.4f, %d epochs", stage + 1, stage_rates_.size(), p_sa,
+               config_.base.epochs);
+    }
+    stats.stage_stats.push_back(
+        trainer.run(static_cast<int>(stage) * config_.base.epochs, total_epochs));
+  }
+  stats.mean_cell_fault_rate = rate_count > 0 ? rate_sum / static_cast<double>(rate_count) : 0.0;
+  return stats;
+}
+
+}  // namespace ftpim

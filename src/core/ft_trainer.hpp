@@ -1,0 +1,83 @@
+// Stochastic fault-tolerant training — the paper's core contribution
+// (Algorithm 1).
+//
+// One-shot scheme: retrain for M_epoch epochs, injecting stuck-at faults at
+// the final target rate P_sa^T into every forward pass.
+//
+// Progressive scheme: sweep an ascending list [P_sa^0 ... P_sa^T], training
+// M_epoch epochs at each level, which adapts the network to gradually harder
+// fault regimes (better Acc_defect at high rates, per Table I).
+//
+// Injection mechanics per iteration:
+//   1. snapshot clean weights, apply Apply_Fault(w, P_sa) (WeightFaultGuard);
+//   2. forward + backward through the faulted weights;
+//   3. optionally zero grads at faulted positions (GradMode::kMasked) —
+//      default is straight-through, since fault positions re-randomize and
+//      every weight must learn to tolerate being stuck;
+//   4. restore clean weights, then apply the optimizer step to them.
+// Fault positions are refreshed per iteration by default; Algorithm 1's
+// per-epoch refresh is available via FaultRefresh::kPerEpoch (see the config
+// comment and the bench_ablation_refresh study).
+#pragma once
+
+#include <vector>
+
+#include "src/core/trainer.hpp"
+#include "src/reram/fault_injector.hpp"
+#include "src/reram/fault_model.hpp"
+
+namespace ftpim {
+
+enum class FtScheme { kOneShot, kProgressive };
+enum class GradMode { kStraightThrough, kMasked };
+enum class FaultRefresh { kPerEpoch, kPerIteration };
+
+struct FtTrainConfig {
+  TrainConfig base{};           ///< epochs = M_epoch (per stage for progressive)
+  FtScheme scheme = FtScheme::kOneShot;
+  double target_p_sa = 0.01;    ///< P_sa^T
+  /// Ascending candidate rates for the progressive scheme; when empty, the
+  /// default ramp {T/8, T/4, T/2, T} is used. Must end at target_p_sa.
+  std::vector<double> progressive_levels;
+  GradMode grad_mode = GradMode::kStraightThrough;
+  /// Default: redraw fault patterns per iteration. Algorithm 1's pseudocode
+  /// draws per epoch, which is equivalent at the paper's 160-epoch budget
+  /// (160 patterns) but starves compressed reproduction runs of pattern
+  /// diversity (3-epoch run = 3 patterns -> unstable, poor generalization).
+  /// bench_ablation_refresh compares both.
+  FaultRefresh refresh = FaultRefresh::kPerIteration;
+  double sa0_fraction = kPaperSa0Fraction;
+  InjectorConfig injector{};
+  std::uint64_t fault_seed = 4242;
+};
+
+struct FtTrainStats {
+  std::vector<double> stage_rates;          ///< P_sa used at each stage
+  std::vector<TrainStats> stage_stats;
+  double mean_cell_fault_rate = 0.0;        ///< observed across all injections
+};
+
+class FaultTolerantTrainer {
+ public:
+  /// `model` should be a pretrained network (the paper retrains from a
+  /// well-trained model); training from scratch also works.
+  FaultTolerantTrainer(Module& model, const Dataset& train_data, FtTrainConfig config);
+
+  /// Runs the configured scheme; the model ends with clean (fault-free)
+  /// fault-tolerant weights.
+  FtTrainStats run();
+
+  /// The stage rate list after defaulting (exposed for tests/logs).
+  [[nodiscard]] const std::vector<double>& stage_rates() const noexcept { return stage_rates_; }
+
+ private:
+  Module& model_;
+  const Dataset& train_data_;
+  FtTrainConfig config_;
+  std::vector<double> stage_rates_;
+};
+
+/// Builds the default progressive ramp for a target rate: {T/8, T/4, T/2, T}.
+std::vector<double> default_progressive_ramp(double target_p_sa);
+
+}  // namespace ftpim

@@ -1,0 +1,26 @@
+// Stability Score (SS) — the paper's robustness/accuracy trade-off metric:
+//
+//   SS(P_sa) = Acc_retrain / (Acc_pretrain - Acc_defect)
+//
+// Higher is better: a large SS means little degradation from the ideal
+// pretrained accuracy under defects while keeping a strong retrained
+// accuracy. The denominator is clamped below at `denominator_floor` (0.5
+// accuracy points by default) because a fault-tolerant model can match or
+// exceed the pretrained accuracy under small fault rates, driving the raw
+// denominator to zero or negative.
+#pragma once
+
+namespace ftpim {
+
+struct StabilityInputs {
+  double acc_pretrain = 0.0;  ///< ideal accuracy of the original model
+  double acc_retrain = 0.0;   ///< ideal accuracy after FT training (scenario 2)
+  double acc_defect = 0.0;    ///< mean accuracy under defects (scenario 3)
+};
+
+/// All accuracies must share one scale (fractions or percent); the score is
+/// scale-invariant. `denominator_floor` is in the same scale (0.005 for
+/// fractions == 0.5 accuracy points).
+double stability_score(const StabilityInputs& inputs, double denominator_floor = 0.005);
+
+}  // namespace ftpim

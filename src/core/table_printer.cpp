@@ -1,0 +1,89 @@
+#include "src/core/table_printer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace ftpim {
+
+TablePrinter::TablePrinter(std::string title, std::vector<std::string> headers)
+    : title_(std::move(title)), headers_(std::move(headers)) {
+  if (headers_.size() < 2) {
+    throw std::invalid_argument("TablePrinter: need a label header plus >= 1 column");
+  }
+}
+
+void TablePrinter::add_row(const std::string& label, const std::vector<double>& values) {
+  if (values.size() != headers_.size() - 1) {
+    throw std::invalid_argument("TablePrinter::add_row: column count mismatch");
+  }
+  labels_.push_back(label);
+  rows_.push_back(values);
+}
+
+std::string TablePrinter::render(int highlight_top, int decimals) const {
+  const std::size_t cols = headers_.size() - 1;
+
+  // Which cells get a star: top-k per column.
+  std::vector<std::vector<bool>> starred(rows_.size(), std::vector<bool>(cols, false));
+  if (highlight_top > 0 && !rows_.empty()) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      std::vector<std::pair<double, std::size_t>> vals;
+      for (std::size_t r = 0; r < rows_.size(); ++r) {
+        if (!std::isnan(rows_[r][c])) vals.emplace_back(rows_[r][c], r);
+      }
+      std::sort(vals.begin(), vals.end(),
+                [](const auto& a, const auto& b) { return a.first > b.first; });
+      const std::size_t k = std::min<std::size_t>(static_cast<std::size_t>(highlight_top),
+                                                  vals.size());
+      for (std::size_t i = 0; i < k; ++i) starred[vals[i].second][c] = true;
+    }
+  }
+
+  auto format_value = [decimals](double v, bool star) {
+    if (std::isnan(v)) return std::string("-");
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.*f%s", decimals, v, star ? "*" : "");
+    return std::string(buf);
+  };
+
+  // Column widths.
+  std::size_t label_w = headers_[0].size();
+  for (const auto& l : labels_) label_w = std::max(label_w, l.size());
+  std::vector<std::size_t> width(cols);
+  for (std::size_t c = 0; c < cols; ++c) {
+    width[c] = headers_[c + 1].size();
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      width[c] = std::max(width[c], format_value(rows_[r][c], starred[r][c]).size());
+    }
+  }
+
+  std::ostringstream out;
+  if (!title_.empty()) out << title_ << '\n';
+  auto pad = [&out](const std::string& s, std::size_t w) {
+    out << s;
+    for (std::size_t i = s.size(); i < w; ++i) out << ' ';
+  };
+  pad(headers_[0], label_w);
+  for (std::size_t c = 0; c < cols; ++c) {
+    out << "  ";
+    pad(headers_[c + 1], width[c]);
+  }
+  out << '\n';
+  std::size_t total = label_w;
+  for (std::size_t c = 0; c < cols; ++c) total += 2 + width[c];
+  out << std::string(total, '-') << '\n';
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    pad(labels_[r], label_w);
+    for (std::size_t c = 0; c < cols; ++c) {
+      out << "  ";
+      pad(format_value(rows_[r][c], starred[r][c]), width[c]);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace ftpim

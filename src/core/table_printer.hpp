@@ -1,0 +1,30 @@
+// Fixed-width text tables for the bench harness, mirroring the paper's
+// presentation (Table I highlights the top-3 Acc_defect per testing rate;
+// we mark them with '*').
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ftpim {
+
+class TablePrinter {
+ public:
+  TablePrinter(std::string title, std::vector<std::string> headers);
+
+  /// Adds a data row; values.size() must equal headers.size() - 1 (the first
+  /// header names the row-label column). NaN renders as "-".
+  void add_row(const std::string& label, const std::vector<double>& values);
+
+  /// Renders the table. highlight_top > 0 stars the k largest values in each
+  /// numeric column. `decimals` controls value formatting.
+  [[nodiscard]] std::string render(int highlight_top = 0, int decimals = 2) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::string> labels_;
+  std::vector<std::vector<double>> rows_;
+};
+
+}  // namespace ftpim

@@ -1,0 +1,56 @@
+#include "src/data/augment.hpp"
+
+#include <stdexcept>
+
+namespace ftpim {
+
+Tensor hflip_image(const Tensor& image) {
+  if (image.rank() != 3) throw std::invalid_argument("hflip_image: [C,H,W] required");
+  const std::int64_t c = image.dim(0), h = image.dim(1), w = image.dim(2);
+  Tensor out(image.shape());
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    const float* src = image.data() + ch * h * w;
+    float* dst = out.data() + ch * h * w;
+    for (std::int64_t y = 0; y < h; ++y) {
+      for (std::int64_t x = 0; x < w; ++x) dst[y * w + x] = src[y * w + (w - 1 - x)];
+    }
+  }
+  return out;
+}
+
+Tensor pad_crop_image(const Tensor& image, std::int64_t pad, std::int64_t dy, std::int64_t dx) {
+  if (image.rank() != 3) throw std::invalid_argument("pad_crop_image: [C,H,W] required");
+  if (pad < 0 || dy < 0 || dx < 0 || dy > 2 * pad || dx > 2 * pad) {
+    throw std::invalid_argument("pad_crop_image: offsets out of range");
+  }
+  const std::int64_t c = image.dim(0), h = image.dim(1), w = image.dim(2);
+  Tensor out(image.shape());
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    const float* src = image.data() + ch * h * w;
+    float* dst = out.data() + ch * h * w;
+    for (std::int64_t y = 0; y < h; ++y) {
+      const std::int64_t sy = y + dy - pad;  // source row in the unpadded image
+      for (std::int64_t x = 0; x < w; ++x) {
+        const std::int64_t sx = x + dx - pad;
+        dst[y * w + x] =
+            (sy >= 0 && sy < h && sx >= 0 && sx < w) ? src[sy * w + sx] : 0.0f;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor augment_image(const Tensor& image, const AugmentConfig& config, Rng& rng) {
+  if (!config.enabled) return image;
+  Tensor out = image;
+  if (config.crop_pad > 0) {
+    const auto range = static_cast<std::uint64_t>(2 * config.crop_pad + 1);
+    const auto dy = static_cast<std::int64_t>(rng.uniform_int(range));
+    const auto dx = static_cast<std::int64_t>(rng.uniform_int(range));
+    out = pad_crop_image(out, config.crop_pad, dy, dx);
+  }
+  if (config.hflip && rng.bernoulli(0.5)) out = hflip_image(out);
+  return out;
+}
+
+}  // namespace ftpim

@@ -1,0 +1,26 @@
+// Training-time augmentation: random crop with padding + horizontal flip
+// (the standard CIFAR recipe).
+#pragma once
+
+#include "src/common/rng.hpp"
+#include "src/tensor/tensor.hpp"
+
+namespace ftpim {
+
+struct AugmentConfig {
+  std::int64_t crop_pad = 2;  ///< zero-pad border before random crop (CIFAR: 4 at 32px)
+  bool hflip = true;
+  bool enabled = true;
+};
+
+/// Returns an augmented copy of image [C,H,W].
+Tensor augment_image(const Tensor& image, const AugmentConfig& config, Rng& rng);
+
+/// Horizontal flip (exposed for tests).
+Tensor hflip_image(const Tensor& image);
+
+/// Zero-pad by `pad` on all sides then crop back to the original size at
+/// offset (dy, dx) in [0, 2*pad].
+Tensor pad_crop_image(const Tensor& image, std::int64_t pad, std::int64_t dy, std::int64_t dx);
+
+}  // namespace ftpim

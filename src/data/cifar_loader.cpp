@@ -1,0 +1,77 @@
+#include "src/data/cifar_loader.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+namespace ftpim {
+namespace {
+
+constexpr std::int64_t kSide = 32;
+constexpr std::int64_t kPixels = 3 * kSide * kSide;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const noexcept {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+
+/// Reads CIFAR records from `path` into `out`. label_bytes is 1 for CIFAR-10,
+/// 2 for CIFAR-100 (coarse+fine; the fine label is used).
+void read_cifar_file(const std::string& path, int label_bytes, std::int64_t max_samples,
+                     InMemoryDataset& out) {
+  std::unique_ptr<std::FILE, FileCloser> f(std::fopen(path.c_str(), "rb"));
+  if (!f) throw std::runtime_error("cifar: cannot open " + path);
+  std::vector<unsigned char> record(static_cast<std::size_t>(label_bytes + kPixels));
+  while (max_samples == 0 || out.size() < max_samples) {
+    const std::size_t got = std::fread(record.data(), 1, record.size(), f.get());
+    if (got == 0) break;
+    if (got != record.size()) throw std::runtime_error("cifar: truncated record in " + path);
+    const std::int64_t label = record[static_cast<std::size_t>(label_bytes - 1)];
+    Tensor img(Shape{3, kSide, kSide});
+    float* dst = img.data();
+    const unsigned char* src = record.data() + label_bytes;
+    for (std::int64_t i = 0; i < kPixels; ++i) dst[i] = static_cast<float>(src[i]) / 255.0f;
+    out.add(std::move(img), label);
+  }
+}
+
+}  // namespace
+
+bool cifar10_available(const std::string& dir) {
+  return std::filesystem::exists(dir + "/data_batch_1.bin") &&
+         std::filesystem::exists(dir + "/test_batch.bin");
+}
+
+bool cifar100_available(const std::string& dir) {
+  return std::filesystem::exists(dir + "/train.bin") &&
+         std::filesystem::exists(dir + "/test.bin");
+}
+
+std::unique_ptr<InMemoryDataset> load_cifar10(const std::string& dir, bool train,
+                                              std::int64_t max_samples) {
+  auto data = std::make_unique<InMemoryDataset>(Shape{3, kSide, kSide}, 10);
+  if (train) {
+    for (int batch = 1; batch <= 5; ++batch) {
+      if (max_samples != 0 && data->size() >= max_samples) break;
+      read_cifar_file(dir + "/data_batch_" + std::to_string(batch) + ".bin", 1, max_samples,
+                      *data);
+    }
+  } else {
+    read_cifar_file(dir + "/test_batch.bin", 1, max_samples, *data);
+  }
+  data->normalize_channels();
+  return data;
+}
+
+std::unique_ptr<InMemoryDataset> load_cifar100(const std::string& dir, bool train,
+                                               std::int64_t max_samples) {
+  auto data = std::make_unique<InMemoryDataset>(Shape{3, kSide, kSide}, 100);
+  read_cifar_file(dir + (train ? "/train.bin" : "/test.bin"), 2, max_samples, *data);
+  data->normalize_channels();
+  return data;
+}
+
+}  // namespace ftpim

@@ -1,0 +1,32 @@
+// Loader for the CIFAR-10/100 binary distributions.
+//
+// When the standard binary files exist on disk (data/cifar-10-batches-bin or
+// data/cifar-100-binary), experiments use real CIFAR exactly as the paper
+// did; otherwise they fall back to SynthVision (see synthetic.hpp).
+//
+// CIFAR-10 record:  1 byte label, 3072 bytes pixels (RGB planes, 32x32).
+// CIFAR-100 record: 1 byte coarse label, 1 byte fine label, 3072 bytes pixels.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/data/dataset.hpp"
+
+namespace ftpim {
+
+/// True if the directory contains the expected CIFAR-10 train batches.
+bool cifar10_available(const std::string& dir);
+
+/// True if the directory contains the expected CIFAR-100 train file.
+bool cifar100_available(const std::string& dir);
+
+/// Loads up to `max_samples` (0 = all) from the train or test split.
+/// Pixels are scaled to [0,1] and per-channel normalized.
+/// Throws std::runtime_error on missing/corrupt files.
+std::unique_ptr<InMemoryDataset> load_cifar10(const std::string& dir, bool train,
+                                              std::int64_t max_samples);
+std::unique_ptr<InMemoryDataset> load_cifar100(const std::string& dir, bool train,
+                                               std::int64_t max_samples);
+
+}  // namespace ftpim

@@ -1,0 +1,69 @@
+#include "src/data/dataloader.hpp"
+
+#include <cstring>
+#include <numeric>
+#include <stdexcept>
+
+namespace ftpim {
+
+DataLoader::DataLoader(const Dataset& dataset, std::int64_t batch_size, bool shuffle,
+                       std::uint64_t seed, AugmentConfig augment)
+    : dataset_(dataset),
+      batch_size_(batch_size),
+      shuffle_(shuffle),
+      seed_(seed),
+      augment_(augment),
+      order_(static_cast<std::size_t>(dataset.size())),
+      augment_rng_(derive_seed(seed, 0xa09)) {
+  if (batch_size <= 0) throw std::invalid_argument("DataLoader: batch_size must be positive");
+  std::iota(order_.begin(), order_.end(), 0);
+}
+
+std::int64_t DataLoader::batches_per_epoch() const {
+  return (dataset_.size() + batch_size_ - 1) / batch_size_;
+}
+
+void DataLoader::start_epoch(int epoch) {
+  if (!shuffle_) return;
+  Rng rng(derive_seed(seed_, static_cast<std::uint64_t>(epoch) + 1));
+  rng.shuffle(order_.data(), order_.size());
+}
+
+Batch DataLoader::batch(std::int64_t index) const {
+  const std::int64_t lo = index * batch_size_;
+  if (lo < 0 || lo >= dataset_.size()) throw std::out_of_range("DataLoader::batch");
+  const std::int64_t hi = std::min<std::int64_t>(dataset_.size(), lo + batch_size_);
+  const Shape img_shape = dataset_.image_shape();
+  const std::int64_t n = hi - lo;
+  Batch out;
+  out.images = Tensor(Shape{n, img_shape[0], img_shape[1], img_shape[2]});
+  out.labels.resize(static_cast<std::size_t>(n));
+  const std::int64_t per_image = img_shape[0] * img_shape[1] * img_shape[2];
+  for (std::int64_t i = 0; i < n; ++i) {
+    Sample s = dataset_.get(order_[static_cast<std::size_t>(lo + i)]);
+    Tensor img = augment_.enabled ? augment_image(s.image, augment_, augment_rng_)
+                                  : std::move(s.image);
+    std::memcpy(out.images.data() + i * per_image, img.data(),
+                static_cast<std::size_t>(per_image) * sizeof(float));
+    out.labels[static_cast<std::size_t>(i)] = s.label;
+  }
+  return out;
+}
+
+Batch DataLoader::full_batch(const Dataset& dataset) {
+  const Shape img_shape = dataset.image_shape();
+  const std::int64_t n = dataset.size();
+  Batch out;
+  out.images = Tensor(Shape{n, img_shape[0], img_shape[1], img_shape[2]});
+  out.labels.resize(static_cast<std::size_t>(n));
+  const std::int64_t per_image = img_shape[0] * img_shape[1] * img_shape[2];
+  for (std::int64_t i = 0; i < n; ++i) {
+    const Sample s = dataset.get(i);
+    std::memcpy(out.images.data() + i * per_image, s.image.data(),
+                static_cast<std::size_t>(per_image) * sizeof(float));
+    out.labels[static_cast<std::size_t>(i)] = s.label;
+  }
+  return out;
+}
+
+}  // namespace ftpim

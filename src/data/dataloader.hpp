@@ -1,0 +1,47 @@
+// Mini-batch assembly with per-epoch shuffling and optional augmentation.
+#pragma once
+
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/data/augment.hpp"
+#include "src/data/dataset.hpp"
+
+namespace ftpim {
+
+struct Batch {
+  Tensor images;  ///< [N,C,H,W]
+  std::vector<std::int64_t> labels;
+  [[nodiscard]] std::int64_t size() const { return images.empty() ? 0 : images.dim(0); }
+};
+
+class DataLoader {
+ public:
+  /// Does not own `dataset`; it must outlive the loader.
+  DataLoader(const Dataset& dataset, std::int64_t batch_size, bool shuffle, std::uint64_t seed,
+             AugmentConfig augment = AugmentConfig{.enabled = false});
+
+  /// Number of batches per epoch (last partial batch included).
+  [[nodiscard]] std::int64_t batches_per_epoch() const;
+
+  /// Reshuffles sample order; call once per epoch when shuffle is enabled.
+  void start_epoch(int epoch);
+
+  /// Materializes batch `index` of the current epoch order.
+  [[nodiscard]] Batch batch(std::int64_t index) const;
+
+  /// Materializes the whole dataset as a single batch (no shuffle/augment) —
+  /// convenient for evaluation of small test sets.
+  [[nodiscard]] static Batch full_batch(const Dataset& dataset);
+
+ private:
+  const Dataset& dataset_;
+  std::int64_t batch_size_;
+  bool shuffle_;
+  std::uint64_t seed_;
+  AugmentConfig augment_;
+  std::vector<std::int64_t> order_;
+  mutable Rng augment_rng_;
+};
+
+}  // namespace ftpim

@@ -1,0 +1,63 @@
+#include "src/data/dataset.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ftpim {
+
+InMemoryDataset::InMemoryDataset(Shape image_shape, std::int64_t num_classes)
+    : image_shape_(std::move(image_shape)), num_classes_(num_classes) {
+  if (image_shape_.size() != 3) {
+    throw std::invalid_argument("InMemoryDataset: image shape must be [C,H,W]");
+  }
+  if (num_classes <= 1) throw std::invalid_argument("InMemoryDataset: need >= 2 classes");
+}
+
+void InMemoryDataset::add(Tensor image, std::int64_t label) {
+  if (image.shape() != image_shape_) {
+    throw std::invalid_argument("InMemoryDataset::add: image shape mismatch");
+  }
+  if (label < 0 || label >= num_classes_) {
+    throw std::invalid_argument("InMemoryDataset::add: label out of range");
+  }
+  images_.push_back(std::move(image));
+  labels_.push_back(label);
+}
+
+void InMemoryDataset::reserve(std::int64_t n) {
+  images_.reserve(static_cast<std::size_t>(n));
+  labels_.reserve(static_cast<std::size_t>(n));
+}
+
+Sample InMemoryDataset::get(std::int64_t index) const {
+  if (index < 0 || index >= size()) throw std::out_of_range("InMemoryDataset::get");
+  return Sample{images_[static_cast<std::size_t>(index)],
+                labels_[static_cast<std::size_t>(index)]};
+}
+
+void InMemoryDataset::normalize_channels() {
+  if (images_.empty()) return;
+  const std::int64_t channels = image_shape_[0];
+  const std::int64_t plane = image_shape_[1] * image_shape_[2];
+  for (std::int64_t c = 0; c < channels; ++c) {
+    double sum = 0.0, sq = 0.0;
+    const double count = static_cast<double>(plane) * static_cast<double>(images_.size());
+    for (const Tensor& img : images_) {
+      const float* src = img.data() + c * plane;
+      for (std::int64_t p = 0; p < plane; ++p) {
+        sum += src[p];
+        sq += static_cast<double>(src[p]) * src[p];
+      }
+    }
+    const double mean = sum / count;
+    const double var = sq / count - mean * mean;
+    const float inv_std = 1.0f / static_cast<float>(std::sqrt(std::max(var, 1e-8)));
+    const float fmean = static_cast<float>(mean);
+    for (Tensor& img : images_) {
+      float* dst = img.data() + c * plane;
+      for (std::int64_t p = 0; p < plane; ++p) dst[p] = (dst[p] - fmean) * inv_std;
+    }
+  }
+}
+
+}  // namespace ftpim

@@ -1,0 +1,55 @@
+// Dataset abstractions.
+//
+// A Dataset yields (image [C,H,W], label) pairs by index. Experiments use
+// either the real CIFAR binary loader (when the files exist on disk) or the
+// SynthVision procedural substitute (see synthetic.hpp and DESIGN.md §3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/tensor/tensor.hpp"
+
+namespace ftpim {
+
+struct Sample {
+  Tensor image;  ///< [C,H,W], float
+  std::int64_t label = 0;
+};
+
+class Dataset {
+ public:
+  virtual ~Dataset() = default;
+  [[nodiscard]] virtual std::int64_t size() const = 0;
+  [[nodiscard]] virtual std::int64_t num_classes() const = 0;
+  /// Image dims as {C,H,W}.
+  [[nodiscard]] virtual Shape image_shape() const = 0;
+  [[nodiscard]] virtual Sample get(std::int64_t index) const = 0;
+};
+
+/// Materialized dataset backed by flat storage; the workhorse implementation.
+class InMemoryDataset final : public Dataset {
+ public:
+  InMemoryDataset(Shape image_shape, std::int64_t num_classes);
+
+  void add(Tensor image, std::int64_t label);
+  void reserve(std::int64_t n);
+
+  [[nodiscard]] std::int64_t size() const override {
+    return static_cast<std::int64_t>(labels_.size());
+  }
+  [[nodiscard]] std::int64_t num_classes() const override { return num_classes_; }
+  [[nodiscard]] Shape image_shape() const override { return image_shape_; }
+  [[nodiscard]] Sample get(std::int64_t index) const override;
+
+  /// Per-channel mean/std normalization applied in place across all images.
+  void normalize_channels();
+
+ private:
+  Shape image_shape_;
+  std::int64_t num_classes_;
+  std::vector<Tensor> images_;
+  std::vector<std::int64_t> labels_;
+};
+
+}  // namespace ftpim

@@ -1,0 +1,21 @@
+#include "src/models/mlp.hpp"
+
+#include <stdexcept>
+
+#include "src/nn/activations.hpp"
+#include "src/nn/linear.hpp"
+
+namespace ftpim {
+
+std::unique_ptr<Sequential> make_mlp(const std::vector<std::int64_t>& sizes, std::uint64_t seed) {
+  if (sizes.size() < 2) throw std::invalid_argument("make_mlp: need at least in/out sizes");
+  Rng rng(seed);
+  auto net = std::make_unique<Sequential>();
+  for (std::size_t i = 0; i + 1 < sizes.size(); ++i) {
+    net->emplace<Linear>(sizes[i], sizes[i + 1], rng, /*with_bias=*/true);
+    if (i + 2 < sizes.size()) net->emplace<ReLU>();
+  }
+  return net;
+}
+
+}  // namespace ftpim

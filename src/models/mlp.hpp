@@ -1,0 +1,16 @@
+// Small multilayer perceptron — used by unit tests and as a cheap workload
+// for fault-injection microbenchmarks.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/nn/sequential.hpp"
+
+namespace ftpim {
+
+/// Builds Linear/ReLU stacks: sizes = {in, h1, ..., out}.
+std::unique_ptr<Sequential> make_mlp(const std::vector<std::int64_t>& sizes, std::uint64_t seed);
+
+}  // namespace ftpim

@@ -1,0 +1,37 @@
+// CIFAR-style ResNet family (He et al. 2016): ResNet-20/32/44/56.
+//
+// Layout: conv3x3(3->w) -> BN -> ReLU -> 3 stages of n residual blocks
+// (w, 2w, 4w channels; first block of stages 2/3 downsamples, option-A
+// shortcut) -> global average pool -> linear classifier.
+// depth = 6n + 2  =>  ResNet-20: n=3, ResNet-32: n=5.
+//
+// `base_width` scales channel counts for CPU-budget reproduction runs
+// (paper value: 16).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/common/rng.hpp"
+#include "src/nn/module.hpp"
+#include "src/nn/sequential.hpp"
+
+namespace ftpim {
+
+struct ResNetConfig {
+  int depth = 20;            ///< 6n+2: 20, 32, 44, 56, ...
+  std::int64_t classes = 10;
+  std::int64_t base_width = 16;
+  std::uint64_t seed = 1;
+};
+
+/// Builds a CIFAR ResNet; throws std::invalid_argument for unsupported depth.
+std::unique_ptr<Sequential> make_resnet(const ResNetConfig& config);
+
+/// Convenience builders matching the paper's two benchmark networks.
+std::unique_ptr<Sequential> make_resnet20(std::int64_t classes, std::int64_t base_width,
+                                          std::uint64_t seed);
+std::unique_ptr<Sequential> make_resnet32(std::int64_t classes, std::int64_t base_width,
+                                          std::uint64_t seed);
+
+}  // namespace ftpim

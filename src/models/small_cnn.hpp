@@ -1,0 +1,22 @@
+// Compact CNN (conv-BN-ReLU-pool x2 + classifier) — integration-test model
+// and quickstart example network; much cheaper than a ResNet.
+#pragma once
+
+#include <memory>
+
+#include "src/common/rng.hpp"
+#include "src/nn/sequential.hpp"
+
+namespace ftpim {
+
+struct SmallCnnConfig {
+  std::int64_t in_channels = 3;
+  std::int64_t image_size = 16;  ///< square input side; must be divisible by 4
+  std::int64_t width = 8;
+  std::int64_t classes = 10;
+  std::uint64_t seed = 1;
+};
+
+std::unique_ptr<Sequential> make_small_cnn(const SmallCnnConfig& config);
+
+}  // namespace ftpim

@@ -1,0 +1,42 @@
+// Elementwise activations.
+#pragma once
+
+#include "src/nn/module.hpp"
+
+namespace ftpim {
+
+class ReLU final : public Module {
+ public:
+  ReLU() = default;
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::string type_name() const override { return "ReLU"; }
+
+ private:
+  Tensor cached_mask_;  ///< 1 where input > 0 (training only)
+};
+
+class LeakyReLU final : public Module {
+ public:
+  explicit LeakyReLU(float negative_slope = 0.01f) : slope_(negative_slope) {}
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::string type_name() const override { return "LeakyReLU"; }
+
+ private:
+  float slope_;
+  Tensor cached_input_;
+};
+
+class Tanh final : public Module {
+ public:
+  Tanh() = default;
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::string type_name() const override { return "Tanh"; }
+
+ private:
+  Tensor cached_output_;
+};
+
+}  // namespace ftpim

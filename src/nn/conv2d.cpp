@@ -1,0 +1,166 @@
+#include "src/nn/conv2d.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "src/common/parallel.hpp"
+#include "src/nn/init.hpp"
+#include "src/tensor/gemm.hpp"
+
+namespace ftpim {
+
+Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels, std::int64_t kernel,
+               std::int64_t stride, std::int64_t pad, Rng& rng, bool with_bias)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      with_bias_(with_bias),
+      weight_("weight", Tensor(Shape{out_channels, in_channels * kernel * kernel}),
+              ParamKind::kCrossbarWeight),
+      bias_("bias", Tensor(Shape{out_channels}), ParamKind::kBias) {
+  if (in_channels <= 0 || out_channels <= 0 || kernel <= 0 || stride <= 0 || pad < 0) {
+    throw std::invalid_argument("Conv2d: invalid geometry");
+  }
+  kaiming_normal(weight_.value, in_channels * kernel * kernel, rng);
+}
+
+Tensor Conv2d::forward(const Tensor& input, bool training) {
+  if (input.rank() != 4 || input.dim(1) != in_channels_) {
+    throw std::invalid_argument("Conv2d::forward: expected [N," + std::to_string(in_channels_) +
+                                ",H,W], got " + shape_to_string(input.shape()));
+  }
+  const std::int64_t n = input.dim(0);
+  geom_ = ConvGeometry{.in_c = in_channels_,
+                       .in_h = input.dim(2),
+                       .in_w = input.dim(3),
+                       .kernel_h = kernel_,
+                       .kernel_w = kernel_,
+                       .stride_h = stride_,
+                       .stride_w = stride_,
+                       .pad_h = pad_,
+                       .pad_w = pad_};
+  const std::int64_t oh = geom_.out_h();
+  const std::int64_t ow = geom_.out_w();
+  if (oh <= 0 || ow <= 0) {
+    throw std::invalid_argument("Conv2d::forward: output would be empty");
+  }
+  const std::int64_t col_rows = geom_.col_rows();
+  const std::int64_t col_cols = geom_.col_cols();
+  const std::int64_t in_plane = in_channels_ * geom_.in_h * geom_.in_w;
+  const std::int64_t out_plane = out_channels_ * oh * ow;
+
+  Tensor out(Shape{n, out_channels_, oh, ow});
+  if (training) {
+    cached_input_ = input;
+    cached_cols_.assign(static_cast<std::size_t>(n * col_rows * col_cols), 0.0f);
+    cached_batch_ = n;
+  }
+
+  const float* w = weight_.value.data();
+  parallel_for(0, static_cast<std::size_t>(n), [&](std::size_t i) {
+    // Per-image scratch when not caching for backward.
+    std::vector<float> local_col;
+    float* col;
+    if (training) {
+      col = cached_cols_.data() + static_cast<std::int64_t>(i) * col_rows * col_cols;
+    } else {
+      local_col.assign(static_cast<std::size_t>(col_rows * col_cols), 0.0f);
+      col = local_col.data();
+    }
+    im2col(input.data() + static_cast<std::int64_t>(i) * in_plane, geom_, col);
+    float* dst = out.data() + static_cast<std::int64_t>(i) * out_plane;
+    gemm(out_channels_, col_cols, col_rows, 1.0f, w, col, 0.0f, dst);
+    if (with_bias_) {
+      const float* pb = bias_.value.data();
+      for (std::int64_t c = 0; c < out_channels_; ++c) {
+        float* row = dst + c * oh * ow;
+        for (std::int64_t p = 0; p < oh * ow; ++p) row[p] += pb[c];
+      }
+    }
+  });
+  return out;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_output) {
+  if (cached_input_.empty() || cached_batch_ == 0) {
+    throw std::logic_error("Conv2d::backward called without a training forward");
+  }
+  const std::int64_t n = cached_batch_;
+  const std::int64_t oh = geom_.out_h();
+  const std::int64_t ow = geom_.out_w();
+  const std::int64_t col_rows = geom_.col_rows();
+  const std::int64_t col_cols = geom_.col_cols();
+  const std::int64_t in_plane = in_channels_ * geom_.in_h * geom_.in_w;
+  const std::int64_t out_plane = out_channels_ * oh * ow;
+  if (grad_output.rank() != 4 || grad_output.dim(0) != n || grad_output.dim(1) != out_channels_ ||
+      grad_output.dim(2) != oh || grad_output.dim(3) != ow) {
+    throw std::invalid_argument("Conv2d::backward: grad shape mismatch");
+  }
+
+  Tensor grad_input(cached_input_.shape());
+  const float* w = weight_.value.data();
+
+  // Parallel over images with per-thread dW accumulators to avoid races.
+  const int workers = num_threads();
+  std::vector<Tensor> dw_partial(static_cast<std::size_t>(workers),
+                                 Tensor(weight_.value.shape()));
+  std::vector<Tensor> db_partial(static_cast<std::size_t>(workers), Tensor(bias_.value.shape()));
+
+  parallel_for_chunks(
+      0, static_cast<std::size_t>(n),
+      [&](std::size_t lo, std::size_t hi) {
+        // Thread slot derived from chunk start; chunks are disjoint.
+        const std::size_t slot =
+            (lo * static_cast<std::size_t>(workers)) / static_cast<std::size_t>(n);
+        Tensor& dw = dw_partial[std::min(slot, dw_partial.size() - 1)];
+        Tensor& db = db_partial[std::min(slot, db_partial.size() - 1)];
+        std::vector<float> dcol(static_cast<std::size_t>(col_rows * col_cols));
+        for (std::size_t i = lo; i < hi; ++i) {
+          const float* dy = grad_output.data() + static_cast<std::int64_t>(i) * out_plane;
+          const float* col = cached_cols_.data() + static_cast<std::int64_t>(i) * col_rows * col_cols;
+          // dW[out_c, col_rows] += dY[out_c, col_cols] * col^T
+          gemm_bt(out_channels_, col_rows, col_cols, 1.0f, dy, col, 1.0f, dw.data());
+          if (with_bias_) {
+            float* pdb = db.data();
+            for (std::int64_t c = 0; c < out_channels_; ++c) {
+              const float* row = dy + c * oh * ow;
+              double acc = 0.0;
+              for (std::int64_t p = 0; p < oh * ow; ++p) acc += row[p];
+              pdb[c] += static_cast<float>(acc);
+            }
+          }
+          // dcol[col_rows, col_cols] = W^T[col_rows, out_c] * dY
+          gemm_at(col_rows, col_cols, out_channels_, 1.0f, w, dy, 0.0f, dcol.data());
+          float* dx = grad_input.data() + static_cast<std::int64_t>(i) * in_plane;
+          col2im(dcol.data(), geom_, dx);
+        }
+      },
+      /*min_parallel_trip=*/2);
+
+  for (const Tensor& dw : dw_partial) {
+    float* acc = weight_.grad.data();
+    const float* src = dw.data();
+    for (std::int64_t i = 0; i < weight_.grad.numel(); ++i) acc[i] += src[i];
+  }
+  if (with_bias_) {
+    for (const Tensor& db : db_partial) {
+      float* acc = bias_.grad.data();
+      const float* src = db.data();
+      for (std::int64_t i = 0; i < bias_.grad.numel(); ++i) acc[i] += src[i];
+    }
+  }
+  return grad_input;
+}
+
+void Conv2d::collect_params(const std::string& prefix, std::vector<Param*>& out) {
+  weight_.name = prefix + "weight";
+  out.push_back(&weight_);
+  if (with_bias_) {
+    bias_.name = prefix + "bias";
+    out.push_back(&bias_);
+  }
+}
+
+}  // namespace ftpim

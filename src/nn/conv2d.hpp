@@ -1,0 +1,42 @@
+// 2-D convolution (NCHW) via im2col + GEMM.
+//
+// CIFAR-style ResNets use 3x3 stride-1/2 pad-1 convolutions without bias
+// (batch norm follows); bias is supported for standalone use.
+#pragma once
+
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/nn/module.hpp"
+#include "src/tensor/im2col.hpp"
+
+namespace ftpim {
+
+class Conv2d final : public Module {
+ public:
+  Conv2d(std::int64_t in_channels, std::int64_t out_channels, std::int64_t kernel,
+         std::int64_t stride, std::int64_t pad, Rng& rng, bool with_bias = false);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  void collect_params(const std::string& prefix, std::vector<Param*>& out) override;
+  [[nodiscard]] std::string type_name() const override { return "Conv2d"; }
+
+  [[nodiscard]] std::int64_t in_channels() const noexcept { return in_channels_; }
+  [[nodiscard]] std::int64_t out_channels() const noexcept { return out_channels_; }
+  [[nodiscard]] std::int64_t kernel() const noexcept { return kernel_; }
+  [[nodiscard]] std::int64_t stride() const noexcept { return stride_; }
+  [[nodiscard]] Param& weight() noexcept { return weight_; }
+
+ private:
+  std::int64_t in_channels_, out_channels_, kernel_, stride_, pad_;
+  bool with_bias_;
+  Param weight_;  ///< [out_c, in_c * k * k] — already in crossbar matrix layout
+  Param bias_;    ///< [out_c]
+  ConvGeometry geom_;
+  Tensor cached_input_;
+  std::vector<float> cached_cols_;  ///< per-batch im2col buffers (training only)
+  std::int64_t cached_batch_ = 0;
+};
+
+}  // namespace ftpim

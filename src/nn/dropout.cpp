@@ -1,0 +1,45 @@
+#include "src/nn/dropout.hpp"
+
+#include <stdexcept>
+
+namespace ftpim {
+
+Dropout::Dropout(float drop_prob, std::uint64_t seed) : drop_prob_(drop_prob), rng_(seed) {
+  if (drop_prob < 0.0f || drop_prob >= 1.0f) {
+    throw std::invalid_argument("Dropout: drop_prob must be in [0,1)");
+  }
+}
+
+Tensor Dropout::forward(const Tensor& input, bool training) {
+  if (!training || drop_prob_ == 0.0f) {
+    cached_mask_ = Tensor();
+    return input;
+  }
+  cached_mask_ = Tensor(input.shape());
+  const float keep_scale = 1.0f / (1.0f - drop_prob_);
+  Tensor out(input.shape());
+  const float* src = input.data();
+  float* mask = cached_mask_.data();
+  float* dst = out.data();
+  for (std::int64_t i = 0; i < input.numel(); ++i) {
+    const bool keep = !rng_.bernoulli(drop_prob_);
+    mask[i] = keep ? keep_scale : 0.0f;
+    dst[i] = src[i] * mask[i];
+  }
+  return out;
+}
+
+Tensor Dropout::backward(const Tensor& grad_output) {
+  if (cached_mask_.empty()) return grad_output;  // eval-mode or p=0 forward
+  if (grad_output.shape() != cached_mask_.shape()) {
+    throw std::invalid_argument("Dropout::backward: grad shape mismatch");
+  }
+  Tensor grad(grad_output.shape());
+  const float* dy = grad_output.data();
+  const float* mask = cached_mask_.data();
+  float* dx = grad.data();
+  for (std::int64_t i = 0; i < grad_output.numel(); ++i) dx[i] = dy[i] * mask[i];
+  return grad;
+}
+
+}  // namespace ftpim

@@ -1,0 +1,26 @@
+// Inverted dropout. Disabled (identity) in eval mode. Seeded explicitly so
+// training stays reproducible.
+#pragma once
+
+#include "src/common/rng.hpp"
+#include "src/nn/module.hpp"
+
+namespace ftpim {
+
+class Dropout final : public Module {
+ public:
+  explicit Dropout(float drop_prob, std::uint64_t seed = 0xd70);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::string type_name() const override { return "Dropout"; }
+
+  [[nodiscard]] float drop_prob() const noexcept { return drop_prob_; }
+
+ private:
+  float drop_prob_;
+  Rng rng_;
+  Tensor cached_mask_;  ///< scaled keep mask (0 or 1/(1-p))
+};
+
+}  // namespace ftpim

@@ -1,0 +1,18 @@
+// Weight initializers (He/Kaiming and uniform variants).
+#pragma once
+
+#include "src/common/rng.hpp"
+#include "src/tensor/tensor.hpp"
+
+namespace ftpim {
+
+/// Kaiming-normal init for ReLU networks: N(0, sqrt(2/fan_in)).
+void kaiming_normal(Tensor& w, std::int64_t fan_in, Rng& rng);
+
+/// Kaiming-uniform init: U(-b, b) with b = sqrt(6/fan_in).
+void kaiming_uniform(Tensor& w, std::int64_t fan_in, Rng& rng);
+
+/// Uniform init in [-bound, bound].
+void uniform_init(Tensor& w, float bound, Rng& rng);
+
+}  // namespace ftpim

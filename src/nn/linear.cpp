@@ -1,0 +1,74 @@
+#include "src/nn/linear.hpp"
+
+#include <stdexcept>
+
+#include "src/nn/init.hpp"
+#include "src/tensor/gemm.hpp"
+
+namespace ftpim {
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng, bool with_bias)
+    : in_features_(in_features),
+      out_features_(out_features),
+      with_bias_(with_bias),
+      weight_("weight", Tensor(Shape{out_features, in_features}), ParamKind::kCrossbarWeight),
+      bias_("bias", Tensor(Shape{out_features}), ParamKind::kBias) {
+  if (in_features <= 0 || out_features <= 0) {
+    throw std::invalid_argument("Linear: feature counts must be positive");
+  }
+  kaiming_uniform(weight_.value, in_features, rng);
+}
+
+Tensor Linear::forward(const Tensor& input, bool training) {
+  if (input.rank() != 2 || input.dim(1) != in_features_) {
+    throw std::invalid_argument("Linear::forward: expected [N," + std::to_string(in_features_) +
+                                "], got " + shape_to_string(input.shape()));
+  }
+  if (training) cached_input_ = input;
+  const std::int64_t n = input.dim(0);
+  Tensor out(Shape{n, out_features_});
+  // out[N,out] = input[N,in] * W^T[in,out]
+  gemm_bt(n, out_features_, in_features_, 1.0f, input.data(), weight_.value.data(), 0.0f,
+          out.data());
+  if (with_bias_) {
+    float* po = out.data();
+    const float* pb = bias_.value.data();
+    for (std::int64_t i = 0; i < n; ++i) {
+      for (std::int64_t j = 0; j < out_features_; ++j) po[i * out_features_ + j] += pb[j];
+    }
+  }
+  return out;
+}
+
+Tensor Linear::backward(const Tensor& grad_output) {
+  if (cached_input_.empty()) {
+    throw std::logic_error("Linear::backward called without a training forward");
+  }
+  const std::int64_t n = grad_output.dim(0);
+  // dW[out,in] += dY^T[out,N] * X[N,in]
+  gemm_at(out_features_, in_features_, n, 1.0f, grad_output.data(), cached_input_.data(), 1.0f,
+          weight_.grad.data());
+  if (with_bias_) {
+    float* pgb = bias_.grad.data();
+    const float* pgo = grad_output.data();
+    for (std::int64_t i = 0; i < n; ++i) {
+      for (std::int64_t j = 0; j < out_features_; ++j) pgb[j] += pgo[i * out_features_ + j];
+    }
+  }
+  // dX[N,in] = dY[N,out] * W[out,in]
+  Tensor grad_input(Shape{n, in_features_});
+  gemm(n, in_features_, out_features_, 1.0f, grad_output.data(), weight_.value.data(), 0.0f,
+       grad_input.data());
+  return grad_input;
+}
+
+void Linear::collect_params(const std::string& prefix, std::vector<Param*>& out) {
+  weight_.name = prefix + "weight";
+  out.push_back(&weight_);
+  if (with_bias_) {
+    bias_.name = prefix + "bias";
+    out.push_back(&bias_);
+  }
+}
+
+}  // namespace ftpim

@@ -1,0 +1,34 @@
+// Fully-connected layer: y = x W^T + b, x:[N,in], W:[out,in], b:[out].
+#pragma once
+
+#include "src/common/rng.hpp"
+#include "src/nn/module.hpp"
+
+namespace ftpim {
+
+class Linear final : public Module {
+ public:
+  /// Initializes with Kaiming-uniform weights and zero bias.
+  Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng, bool with_bias = true);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  void collect_params(const std::string& prefix, std::vector<Param*>& out) override;
+  [[nodiscard]] std::string type_name() const override { return "Linear"; }
+
+  [[nodiscard]] std::int64_t in_features() const noexcept { return in_features_; }
+  [[nodiscard]] std::int64_t out_features() const noexcept { return out_features_; }
+  [[nodiscard]] Param& weight() noexcept { return weight_; }
+  [[nodiscard]] Param& bias() noexcept { return bias_; }
+  [[nodiscard]] bool has_bias() const noexcept { return with_bias_; }
+
+ private:
+  std::int64_t in_features_;
+  std::int64_t out_features_;
+  bool with_bias_;
+  Param weight_;
+  Param bias_;
+  Tensor cached_input_;
+};
+
+}  // namespace ftpim

@@ -1,0 +1,36 @@
+// Softmax cross-entropy loss with fused gradient.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/tensor/tensor.hpp"
+
+namespace ftpim {
+
+struct LossResult {
+  float loss = 0.0f;     ///< mean cross-entropy over the batch
+  Tensor grad_logits;    ///< d loss / d logits, [N, classes]
+};
+
+class SoftmaxCrossEntropy {
+ public:
+  /// label_smoothing in [0,1): standard uniform label smoothing.
+  explicit SoftmaxCrossEntropy(float label_smoothing = 0.0f);
+
+  /// logits: [N, classes]; labels: N class indices.
+  [[nodiscard]] LossResult forward(const Tensor& logits,
+                                   const std::vector<std::int64_t>& labels) const;
+
+  /// Loss only (no gradient) — for evaluation.
+  [[nodiscard]] float loss_only(const Tensor& logits,
+                                const std::vector<std::int64_t>& labels) const;
+
+ private:
+  float label_smoothing_;
+};
+
+/// Numerically-stable row softmax: [N,C] -> [N,C].
+Tensor softmax_rows(const Tensor& logits);
+
+}  // namespace ftpim

@@ -1,0 +1,100 @@
+// Layer/module abstraction with explicit forward/backward.
+//
+// ftpim uses manual backprop over a static module graph (Sequential +
+// Residual) rather than a tape autograd: the model zoo is ResNet-style, the
+// graph never changes shape, and explicit backward keeps every kernel
+// inspectable — which matters when fault injection rewrites weights between
+// forward passes.
+//
+// Contract:
+//   * forward(x, training) caches whatever backward needs.
+//   * backward(grad_out) ACCUMULATES into param .grad and returns grad wrt
+//     the forward input. Call zero_grad() between steps.
+//   * Parameters are exposed via collect_params(prefix, out); weights that
+//     live on ReRAM crossbars (conv/linear kernels) are tagged
+//     ParamKind::kCrossbarWeight — fault injection and pruning apply to
+//     exactly this set.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/serialize.hpp"
+#include "src/tensor/tensor.hpp"
+
+namespace ftpim {
+
+enum class ParamKind {
+  kCrossbarWeight,  ///< mapped onto ReRAM cells: fault-injectable, prunable, weight-decayed
+  kBias,            ///< digital peripheral storage: not fault-injected
+  kNorm,            ///< batch-norm scale/shift: digital, not fault-injected
+};
+
+struct Param {
+  std::string name;  ///< hierarchical name, e.g. "stage1.block0.conv1.weight"
+  Tensor value;
+  Tensor grad;
+  ParamKind kind = ParamKind::kCrossbarWeight;
+
+  Param() = default;
+  Param(std::string n, Tensor v, ParamKind k)
+      : name(std::move(n)), value(std::move(v)), grad(value.shape()), kind(k) {}
+};
+
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// Computes the layer output; `training` selects batch statistics vs
+  /// running statistics etc. Must be called before backward().
+  virtual Tensor forward(const Tensor& input, bool training) = 0;
+
+  /// Propagates gradients; accumulates parameter grads; returns grad wrt the
+  /// most recent forward() input.
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Appends pointers to this module's (and children's) parameters, with
+  /// hierarchical names rooted at `prefix`.
+  virtual void collect_params(const std::string& prefix, std::vector<Param*>& out) {
+    (void)prefix;
+    (void)out;
+  }
+
+  /// Appends non-trainable state (e.g. BN running stats) as name/tensor
+  /// pointer pairs for checkpointing.
+  virtual void collect_buffers(const std::string& prefix,
+                               std::vector<std::pair<std::string, Tensor*>>& out) {
+    (void)prefix;
+    (void)out;
+  }
+
+  /// Short type tag for debugging ("Conv2d", "ReLU", ...).
+  [[nodiscard]] virtual std::string type_name() const = 0;
+
+ protected:
+  Module() = default;
+};
+
+// --- whole-network helpers ---------------------------------------------------
+
+/// All parameters of `root` with hierarchical names.
+std::vector<Param*> parameters_of(Module& root, const std::string& prefix = "");
+
+/// Zeroes every parameter gradient.
+void zero_grads(Module& root);
+
+/// Total trainable element count.
+std::int64_t parameter_count(Module& root);
+
+/// Serializes parameter values and buffers into a StateDict.
+StateDict state_dict_of(Module& root);
+
+/// Loads matching entries from `state` into `root`'s params/buffers.
+/// Throws std::runtime_error on missing entries or shape mismatches.
+void load_state_dict_into(Module& root, const StateDict& state);
+
+}  // namespace ftpim

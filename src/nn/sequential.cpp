@@ -1,0 +1,38 @@
+#include "src/nn/sequential.hpp"
+
+#include <stdexcept>
+
+namespace ftpim {
+
+Sequential& Sequential::add(std::unique_ptr<Module> child) {
+  if (!child) throw std::invalid_argument("Sequential::add: null child");
+  children_.push_back(std::move(child));
+  return *this;
+}
+
+Tensor Sequential::forward(const Tensor& input, bool training) {
+  Tensor x = input;
+  for (auto& child : children_) x = child->forward(x, training);
+  return x;
+}
+
+Tensor Sequential::backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (auto it = children_.rbegin(); it != children_.rend(); ++it) g = (*it)->backward(g);
+  return g;
+}
+
+void Sequential::collect_params(const std::string& prefix, std::vector<Param*>& out) {
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    children_[i]->collect_params(prefix + std::to_string(i) + ".", out);
+  }
+}
+
+void Sequential::collect_buffers(const std::string& prefix,
+                                 std::vector<std::pair<std::string, Tensor*>>& out) {
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    children_[i]->collect_buffers(prefix + std::to_string(i) + ".", out);
+  }
+}
+
+}  // namespace ftpim

@@ -1,0 +1,61 @@
+#include "src/optim/adam.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ftpim {
+
+Adam::Adam(std::vector<Param*> params, AdamConfig config)
+    : params_(std::move(params)), config_(config) {
+  if (config_.lr <= 0.0f) throw std::invalid_argument("Adam: lr must be positive");
+  if (config_.beta1 < 0.0f || config_.beta1 >= 1.0f || config_.beta2 < 0.0f ||
+      config_.beta2 >= 1.0f) {
+    throw std::invalid_argument("Adam: betas must be in [0,1)");
+  }
+  if (config_.eps <= 0.0f) throw std::invalid_argument("Adam: eps must be positive");
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Param* p : params_) {
+    m_.emplace_back(p->value.shape());
+    v_.emplace_back(p->value.shape());
+  }
+}
+
+void Adam::set_mask(const Param* param, Tensor mask) {
+  if (mask.shape() != param->value.shape()) {
+    throw std::invalid_argument("Adam::set_mask: mask shape mismatch for " + param->name);
+  }
+  masks_[param] = std::move(mask);
+}
+
+void Adam::step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(config_.beta1, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(config_.beta2, static_cast<float>(t_));
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    Param* p = params_[k];
+    const auto mask_it = masks_.find(p);
+    const float* mask = mask_it != masks_.end() ? mask_it->second.data() : nullptr;
+    const float decay = (p->kind == ParamKind::kCrossbarWeight) ? config_.weight_decay : 0.0f;
+
+    float* w = p->value.data();
+    const float* g = p->grad.data();
+    float* m = m_[k].data();
+    float* v = v_[k].data();
+    for (std::int64_t i = 0; i < p->value.numel(); ++i) {
+      if (mask != nullptr && mask[i] == 0.0f) {
+        m[i] = 0.0f;
+        v[i] = 0.0f;
+        w[i] = 0.0f;
+        continue;
+      }
+      m[i] = config_.beta1 * m[i] + (1.0f - config_.beta1) * g[i];
+      v[i] = config_.beta2 * v[i] + (1.0f - config_.beta2) * g[i] * g[i];
+      const float mhat = m[i] / bc1;
+      const float vhat = v[i] / bc2;
+      w[i] -= config_.lr * (mhat / (std::sqrt(vhat) + config_.eps) + decay * w[i]);
+    }
+  }
+}
+
+}  // namespace ftpim

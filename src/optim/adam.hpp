@@ -1,0 +1,43 @@
+// Adam optimizer (Kingma & Ba) with decoupled weight decay (AdamW-style,
+// applied only to crossbar weights). Alternative to SGD for fine-tuning
+// experiments; supports the same pruning masks as Sgd.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/nn/module.hpp"
+
+namespace ftpim {
+
+struct AdamConfig {
+  float lr = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+  float weight_decay = 0.0f;  ///< decoupled; crossbar weights only
+};
+
+class Adam {
+ public:
+  Adam(std::vector<Param*> params, AdamConfig config);
+
+  /// One update from accumulated grads; does NOT zero grads.
+  void step();
+
+  void set_lr(float lr) noexcept { config_.lr = lr; }
+  [[nodiscard]] float lr() const noexcept { return config_.lr; }
+
+  /// 0/1 keep-mask; masked positions receive no update and stay zero.
+  void set_mask(const Param* param, Tensor mask);
+
+ private:
+  std::vector<Param*> params_;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+  std::unordered_map<const Param*, Tensor> masks_;
+  AdamConfig config_;
+  std::int64_t t_ = 0;
+};
+
+}  // namespace ftpim

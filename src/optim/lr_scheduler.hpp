@@ -1,0 +1,48 @@
+// Learning-rate schedules. The paper uses cosine annealing from 0.1.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+namespace ftpim {
+
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  /// LR for 0-based epoch `epoch` of `total_epochs`.
+  [[nodiscard]] virtual float lr_at(int epoch, int total_epochs) const = 0;
+};
+
+/// lr(t) = eta_min + (base - eta_min) * (1 + cos(pi * t / T)) / 2
+class CosineSchedule final : public LrSchedule {
+ public:
+  explicit CosineSchedule(float base_lr, float eta_min = 0.0f);
+  [[nodiscard]] float lr_at(int epoch, int total_epochs) const override;
+
+ private:
+  float base_lr_, eta_min_;
+};
+
+/// Piecewise-constant decay at given epoch milestones.
+class StepSchedule final : public LrSchedule {
+ public:
+  StepSchedule(float base_lr, std::vector<int> milestones, float gamma = 0.1f);
+  [[nodiscard]] float lr_at(int epoch, int total_epochs) const override;
+
+ private:
+  float base_lr_;
+  std::vector<int> milestones_;
+  float gamma_;
+};
+
+/// Constant LR (fine-tuning).
+class ConstantSchedule final : public LrSchedule {
+ public:
+  explicit ConstantSchedule(float lr) : lr_(lr) {}
+  [[nodiscard]] float lr_at(int, int) const override { return lr_; }
+
+ private:
+  float lr_;
+};
+
+}  // namespace ftpim

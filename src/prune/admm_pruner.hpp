@@ -1,0 +1,57 @@
+// ADMM weight pruning (Zhang et al., ECCV 2018).
+//
+// Solves   min_W  loss(W)   s.t.  W in S (per-layer top-k sparsity sets)
+// by alternating:
+//   W-step: SGD on loss(W) + (rho/2)||W - Z + U||^2  (the proximal term is
+//           added to gradients via regularize_grads(), called by the trainer
+//           after each backward pass),
+//   Z-step: Z = Pi_S(W + U)  (Euclidean projection = per-layer top-k),
+//   U-step: U = U + W - Z    (scaled dual ascent),
+// then a hard projection to the final masks followed by masked fine-tuning.
+//
+// The class is a training hook: construct it over a model, call
+// regularize_grads() every iteration and dual_update() at the cadence of your
+// choice (per epoch in the paper recipe), then finalize() to obtain masks.
+#pragma once
+
+#include <vector>
+
+#include "src/nn/module.hpp"
+#include "src/prune/sparsity.hpp"
+
+namespace ftpim {
+
+struct AdmmConfig {
+  double sparsity = 0.7;  ///< per-layer sparsity target, in [0,1)
+  float rho = 1e-3f;      ///< augmented-Lagrangian penalty
+};
+
+class AdmmPruner {
+ public:
+  AdmmPruner(Module& root, const AdmmConfig& config);
+
+  /// Adds rho*(W - Z + U) to each prunable parameter's gradient.
+  void regularize_grads();
+
+  /// Z/U updates; call once per epoch (or per chosen ADMM step).
+  void dual_update();
+
+  /// Hard-projects weights onto the sparsity set and returns keep-masks for
+  /// masked fine-tuning. After this, regularize_grads() becomes a no-op.
+  std::vector<PruneMask> finalize();
+
+  /// ||W - Z||_2 over all layers — ADMM primal residual, for convergence logs.
+  [[nodiscard]] double primal_residual() const;
+
+  [[nodiscard]] const AdmmConfig& config() const noexcept { return config_; }
+
+ private:
+  std::vector<Param*> params_;
+  std::vector<Tensor> z_;
+  std::vector<Tensor> u_;
+  std::vector<std::int64_t> keep_counts_;
+  AdmmConfig config_;
+  bool finalized_ = false;
+};
+
+}  // namespace ftpim

@@ -1,0 +1,27 @@
+#include "src/reram/conductance.hpp"
+
+#include <algorithm>
+
+namespace ftpim {
+
+DifferentialMapper::DifferentialMapper(ConductanceRange range, float w_max)
+    : range_(range), w_max_(w_max) {
+  range_.validate();
+  if (!(w_max > 0.0f)) throw std::invalid_argument("DifferentialMapper: w_max must be > 0");
+  w_to_g_ = range_.span() / w_max_;
+  g_to_w_ = w_max_ / range_.span();
+}
+
+CellPair DifferentialMapper::to_cells(float weight) const noexcept {
+  const float clamped = std::clamp(weight, -w_max_, w_max_);
+  CellPair cells;
+  cells.g_pos = range_.g_min + (clamped > 0.0f ? clamped * w_to_g_ : 0.0f);
+  cells.g_neg = range_.g_min + (clamped < 0.0f ? -clamped * w_to_g_ : 0.0f);
+  return cells;
+}
+
+float DifferentialMapper::to_weight(const CellPair& cells) const noexcept {
+  return (cells.g_pos - cells.g_neg) * g_to_w_;
+}
+
+}  // namespace ftpim

@@ -1,0 +1,69 @@
+#include "src/reram/crossbar.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ftpim {
+
+CrossbarArray::CrossbarArray(std::int64_t rows, std::int64_t cols, ConductanceRange range,
+                             int quant_levels)
+    : rows_(rows),
+      cols_(cols),
+      range_(range),
+      quantizer_(range, quant_levels),
+      g_(static_cast<std::size_t>(rows * cols), range.g_min),
+      fault_(static_cast<std::size_t>(rows * cols), 0) {
+  if (rows <= 0 || cols <= 0) throw std::invalid_argument("CrossbarArray: invalid dimensions");
+  range_.validate();
+}
+
+void CrossbarArray::program(std::int64_t r, std::int64_t c, float g) {
+  if (r < 0 || r >= rows_ || c < 0 || c >= cols_) {
+    throw std::out_of_range("CrossbarArray::program");
+  }
+  const std::size_t i = idx(r, c);
+  if (fault_[i] != 0) return;  // stuck cell ignores write pulses
+  g_[i] = quantizer_.quantize(std::clamp(g, range_.g_min, range_.g_max));
+}
+
+float CrossbarArray::read(std::int64_t r, std::int64_t c) const {
+  if (r < 0 || r >= rows_ || c < 0 || c >= cols_) {
+    throw std::out_of_range("CrossbarArray::read");
+  }
+  return g_[idx(r, c)];
+}
+
+void CrossbarArray::apply_defects(const DefectMap& map) {
+  if (map.cell_count() != cell_count()) {
+    throw std::invalid_argument("CrossbarArray::apply_defects: cell count mismatch");
+  }
+  for (const CellFault& f : map.faults()) {
+    const auto i = static_cast<std::size_t>(f.cell_index);
+    fault_[i] = static_cast<std::uint8_t>(f.type);
+    g_[i] = (f.type == FaultType::kStuckOff) ? range_.g_min : range_.g_max;
+  }
+}
+
+void CrossbarArray::clear_defects() {
+  std::fill(fault_.begin(), fault_.end(), static_cast<std::uint8_t>(0));
+}
+
+void CrossbarArray::matvec(const float* in, float* out) const {
+  std::fill(out, out + cols_, 0.0f);
+  for (std::int64_t r = 0; r < rows_; ++r) {
+    const float v = in[r];
+    if (v == 0.0f) continue;
+    const float* grow = g_.data() + r * cols_;
+    for (std::int64_t c = 0; c < cols_; ++c) out[c] += grow[c] * v;
+  }
+}
+
+std::int64_t CrossbarArray::stuck_count() const noexcept {
+  std::int64_t n = 0;
+  for (const std::uint8_t f : fault_) {
+    if (f != 0) ++n;
+  }
+  return n;
+}
+
+}  // namespace ftpim

@@ -1,0 +1,65 @@
+// Cell-level crossbar array model.
+//
+// A crossbar of R rows x C columns computes, per column c, the analog dot
+// product I_c = sum_r G[r,c] * V_r in one step. Weight matrices map onto
+// differential column pairs (see crossbar_engine.hpp). This class owns the
+// conductance state, applies defect maps, and performs the MVM; ADC/DAC are
+// modeled as ideal (the paper's simulation does the same — SAF is the studied
+// non-ideality; conductance variation lives in variation.hpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/reram/conductance.hpp"
+#include "src/reram/defect_map.hpp"
+#include "src/reram/quantizer.hpp"
+#include "src/tensor/tensor.hpp"
+
+namespace ftpim {
+
+class CrossbarArray {
+ public:
+  CrossbarArray(std::int64_t rows, std::int64_t cols, ConductanceRange range,
+                int quant_levels = 0);
+
+  [[nodiscard]] std::int64_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::int64_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::int64_t cell_count() const noexcept { return rows_ * cols_; }
+  [[nodiscard]] const ConductanceRange& range() const noexcept { return range_; }
+
+  /// Programs cell (r,c); the value is clamped to the conductance range and
+  /// snapped to a level when quantization is enabled. Programming a stuck
+  /// cell has no effect (the device ignores write pulses).
+  void program(std::int64_t r, std::int64_t c, float g);
+
+  /// Reads the present conductance of cell (r,c) (stuck value if faulty).
+  [[nodiscard]] float read(std::int64_t r, std::int64_t c) const;
+
+  /// Applies a defect map (cell_count must match). Stuck cells snap to
+  /// Gmin/Gmax immediately and become immune to program().
+  void apply_defects(const DefectMap& map);
+
+  /// Removes all defects (fresh die) while keeping programmed values.
+  void clear_defects();
+
+  /// Analog MVM: out[c] = sum_r G[r,c] * in[r]. in must have rows() elements,
+  /// out cols() elements.
+  void matvec(const float* in, float* out) const;
+
+  /// Number of currently stuck cells.
+  [[nodiscard]] std::int64_t stuck_count() const noexcept;
+
+ private:
+  [[nodiscard]] std::size_t idx(std::int64_t r, std::int64_t c) const noexcept {
+    return static_cast<std::size_t>(r * cols_ + c);
+  }
+
+  std::int64_t rows_, cols_;
+  ConductanceRange range_;
+  ConductanceQuantizer quantizer_;
+  std::vector<float> g_;
+  std::vector<std::uint8_t> fault_;  ///< FaultType per cell
+};
+
+}  // namespace ftpim

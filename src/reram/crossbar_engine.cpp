@@ -1,0 +1,110 @@
+#include "src/reram/crossbar_engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace ftpim {
+
+CrossbarEngine::CrossbarEngine(const Tensor& weights, const CrossbarEngineConfig& config,
+                               float w_max)
+    : config_(config) {
+  if (weights.rank() != 2) throw std::invalid_argument("CrossbarEngine: [out,in] matrix required");
+  if (config.tile_rows <= 0 || config.tile_cols <= 1 || config.tile_cols % 2 != 0) {
+    throw std::invalid_argument("CrossbarEngine: tile_cols must be even and positive");
+  }
+  out_ = weights.dim(0);
+  in_ = weights.dim(1);
+  w_max_ = w_max > 0.0f ? w_max : (weights.abs_max() > 0.0f ? weights.abs_max() : 1.0f);
+  outs_per_tile_ = config.tile_cols / 2;
+  row_tiles_ = (in_ + config.tile_rows - 1) / config.tile_rows;
+  col_tiles_ = (out_ + outs_per_tile_ - 1) / outs_per_tile_;
+
+  tiles_.reserve(static_cast<std::size_t>(row_tiles_ * col_tiles_));
+  for (std::int64_t rt = 0; rt < row_tiles_; ++rt) {
+    for (std::int64_t ct = 0; ct < col_tiles_; ++ct) {
+      tiles_.emplace_back(config.tile_rows, config.tile_cols, config.range, config.quant_levels);
+    }
+  }
+
+  const DifferentialMapper mapper(config.range, w_max_);
+  for (std::int64_t o = 0; o < out_; ++o) {
+    const std::int64_t ct = o / outs_per_tile_;
+    const std::int64_t local_o = o % outs_per_tile_;
+    for (std::int64_t i = 0; i < in_; ++i) {
+      const std::int64_t rt = i / config.tile_rows;
+      const std::int64_t local_r = i % config.tile_rows;
+      const CellPair cells = mapper.to_cells(weights.at(o, i));
+      CrossbarArray& t = tile(rt, ct);
+      t.program(local_r, 2 * local_o, cells.g_pos);
+      t.program(local_r, 2 * local_o + 1, cells.g_neg);
+    }
+  }
+}
+
+std::int64_t CrossbarEngine::total_cells() const noexcept {
+  std::int64_t n = 0;
+  for (const CrossbarArray& t : tiles_) n += t.cell_count();
+  return n;
+}
+
+std::int64_t CrossbarEngine::stuck_cells() const noexcept {
+  std::int64_t n = 0;
+  for (const CrossbarArray& t : tiles_) n += t.stuck_count();
+  return n;
+}
+
+void CrossbarEngine::apply_device_defects(const StuckAtFaultModel& model,
+                                          std::uint64_t master_seed,
+                                          std::uint64_t device_index) {
+  Rng rng(derive_seed(master_seed, device_index + 0xcba));
+  for (CrossbarArray& t : tiles_) {
+    t.apply_defects(DefectMap::sample(t.cell_count(), model, rng));
+  }
+}
+
+void CrossbarEngine::clear_defects() {
+  for (CrossbarArray& t : tiles_) t.clear_defects();
+}
+
+void CrossbarEngine::mvm(const float* x, float* y) const {
+  std::fill(y, y + out_, 0.0f);
+  std::vector<float> x_slice(static_cast<std::size_t>(config_.tile_rows), 0.0f);
+  std::vector<float> currents(static_cast<std::size_t>(config_.tile_cols));
+  const float g_to_w = w_max_ / config_.range.span();
+
+  for (std::int64_t rt = 0; rt < row_tiles_; ++rt) {
+    const std::int64_t base = rt * config_.tile_rows;
+    const std::int64_t valid = std::min(config_.tile_rows, in_ - base);
+    std::fill(x_slice.begin(), x_slice.end(), 0.0f);
+    std::copy(x + base, x + base + valid, x_slice.begin());
+    for (std::int64_t ct = 0; ct < col_tiles_; ++ct) {
+      tile(rt, ct).matvec(x_slice.data(), currents.data());
+      const std::int64_t out_base = ct * outs_per_tile_;
+      const std::int64_t out_count = std::min(outs_per_tile_, out_ - out_base);
+      for (std::int64_t o = 0; o < out_count; ++o) {
+        y[out_base + o] +=
+            (currents[static_cast<std::size_t>(2 * o)] -
+             currents[static_cast<std::size_t>(2 * o + 1)]) * g_to_w;
+      }
+    }
+  }
+}
+
+Tensor CrossbarEngine::read_back() const {
+  Tensor w(Shape{out_, in_});
+  const float g_to_w = w_max_ / config_.range.span();
+  for (std::int64_t o = 0; o < out_; ++o) {
+    const std::int64_t ct = o / outs_per_tile_;
+    const std::int64_t local_o = o % outs_per_tile_;
+    for (std::int64_t i = 0; i < in_; ++i) {
+      const std::int64_t rt = i / config_.tile_rows;
+      const std::int64_t local_r = i % config_.tile_rows;
+      const CrossbarArray& t = tile(rt, ct);
+      w.at(o, i) = (t.read(local_r, 2 * local_o) - t.read(local_r, 2 * local_o + 1)) * g_to_w;
+    }
+  }
+  return w;
+}
+
+}  // namespace ftpim

@@ -1,0 +1,44 @@
+#include "src/reram/defect_map.hpp"
+
+#include <cmath>
+
+namespace ftpim {
+
+DefectMap DefectMap::sample(std::int64_t cell_count, const StuckAtFaultModel& model, Rng& rng) {
+  DefectMap map;
+  map.cell_count_ = cell_count;
+  if (model.p_sa() <= 0.0 || cell_count <= 0) return map;
+
+  // Geometric skipping: draw the gap to the next faulty cell directly instead
+  // of a Bernoulli per cell — O(faults) instead of O(cells).
+  const double p = model.p_sa();
+  const double log1mp = std::log1p(-p);
+  std::int64_t index = -1;
+  while (true) {
+    const double u = rng.uniform_double();
+    const double gap = std::floor(std::log1p(-u) / log1mp);  // Geometric(p) >= 0
+    if (gap > static_cast<double>(cell_count)) break;        // definitely past the end
+    index += 1 + static_cast<std::int64_t>(gap);
+    if (index >= cell_count) break;
+    const FaultType type =
+        rng.uniform_double() < model.sa0_fraction() ? FaultType::kStuckOff : FaultType::kStuckOn;
+    map.faults_.push_back(CellFault{index, type});
+  }
+  return map;
+}
+
+DefectMap DefectMap::sample_for_device(std::int64_t cell_count, const StuckAtFaultModel& model,
+                                       std::uint64_t master_seed, std::uint64_t device_index) {
+  Rng rng(derive_seed(master_seed, device_index + 0xdef));
+  return sample(cell_count, model, rng);
+}
+
+std::int64_t DefectMap::count(FaultType type) const noexcept {
+  std::int64_t n = 0;
+  for (const CellFault& f : faults_) {
+    if (f.type == type) ++n;
+  }
+  return n;
+}
+
+}  // namespace ftpim

@@ -1,0 +1,51 @@
+// Per-device defect maps.
+//
+// A DefectMap records which cells of a cell array are stuck and how. It is
+// the persistent identity of one physical device instance: evaluation over
+// num_of_runs devices draws num_of_runs maps from per-device seeds.
+// Storage is sparse (fault rates of interest are <= 0.2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/reram/fault_model.hpp"
+
+namespace ftpim {
+
+struct CellFault {
+  std::int64_t cell_index;  ///< flat index into the cell array
+  FaultType type;
+};
+
+class DefectMap {
+ public:
+  DefectMap() = default;
+
+  /// Samples a defect map for `cell_count` cells under `model`, using `rng`.
+  static DefectMap sample(std::int64_t cell_count, const StuckAtFaultModel& model, Rng& rng);
+
+  /// Convenience: per-device stream — device_index selects the sub-seed.
+  static DefectMap sample_for_device(std::int64_t cell_count, const StuckAtFaultModel& model,
+                                     std::uint64_t master_seed, std::uint64_t device_index);
+
+  [[nodiscard]] const std::vector<CellFault>& faults() const noexcept { return faults_; }
+  [[nodiscard]] std::int64_t cell_count() const noexcept { return cell_count_; }
+  [[nodiscard]] std::int64_t fault_count() const noexcept {
+    return static_cast<std::int64_t>(faults_.size());
+  }
+  [[nodiscard]] double observed_rate() const noexcept {
+    return cell_count_ > 0 ? static_cast<double>(faults_.size()) / static_cast<double>(cell_count_)
+                           : 0.0;
+  }
+
+  /// Counts by type (index 1 = stuck-off, 2 = stuck-on).
+  [[nodiscard]] std::int64_t count(FaultType type) const noexcept;
+
+ private:
+  std::int64_t cell_count_ = 0;
+  std::vector<CellFault> faults_;  ///< sorted by cell_index
+};
+
+}  // namespace ftpim

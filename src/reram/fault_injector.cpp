@@ -1,0 +1,103 @@
+#include "src/reram/fault_injector.hpp"
+
+namespace ftpim {
+namespace {
+
+float tensor_wmax(const Tensor& weights, const InjectorConfig& config) {
+  if (!config.per_tensor_wmax) return config.fixed_wmax;
+  const float m = weights.abs_max();
+  return m > 0.0f ? m : 1.0f;  // all-zero tensor: any scale works
+}
+
+}  // namespace
+
+InjectionStats apply_stuck_at_faults(Tensor& weights, const StuckAtFaultModel& model,
+                                     const InjectorConfig& config, Rng& rng, Tensor* hit_mask) {
+  InjectionStats stats;
+  stats.cells = 2 * weights.numel();
+  if (hit_mask != nullptr) *hit_mask = Tensor(weights.shape());
+
+  const DifferentialMapper mapper(config.range, tensor_wmax(weights, config));
+  const ConductanceQuantizer quant(config.range, config.quant_levels);
+  const float g_min = config.range.g_min;
+  const float g_max = config.range.g_max;
+
+  float* w = weights.data();
+  float* mask = hit_mask != nullptr ? hit_mask->data() : nullptr;
+  for (std::int64_t i = 0; i < weights.numel(); ++i) {
+    const FaultType f_pos = model.sample(rng);
+    const FaultType f_neg = model.sample(rng);
+    if (f_pos == FaultType::kNone && f_neg == FaultType::kNone) {
+      if (config.quant_levels >= 2) {
+        // Still pass through programming quantization so the fault-free path
+        // matches device resolution.
+        CellPair cells = mapper.to_cells(w[i]);
+        cells.g_pos = quant.quantize(cells.g_pos);
+        cells.g_neg = quant.quantize(cells.g_neg);
+        w[i] = mapper.to_weight(cells);
+      }
+      continue;
+    }
+    CellPair cells = mapper.to_cells(w[i]);
+    if (config.quant_levels >= 2) {
+      cells.g_pos = quant.quantize(cells.g_pos);
+      cells.g_neg = quant.quantize(cells.g_neg);
+    }
+    if (f_pos != FaultType::kNone) {
+      cells.g_pos = (f_pos == FaultType::kStuckOff) ? g_min : g_max;
+      ++stats.faulted_cells;
+    }
+    if (f_neg != FaultType::kNone) {
+      cells.g_neg = (f_neg == FaultType::kStuckOff) ? g_min : g_max;
+      ++stats.faulted_cells;
+    }
+    const float new_w = mapper.to_weight(cells);
+    if (new_w != w[i]) {
+      ++stats.affected_weights;
+      if (mask != nullptr) mask[i] = 1.0f;
+    }
+    w[i] = new_w;
+  }
+  return stats;
+}
+
+InjectionStats inject_into_model(Module& model_root, const StuckAtFaultModel& model,
+                                 const InjectorConfig& config, Rng& rng) {
+  InjectionStats total;
+  for (Param* p : parameters_of(model_root)) {
+    if (p->kind != ParamKind::kCrossbarWeight) continue;
+    const InjectionStats s = apply_stuck_at_faults(p->value, model, config, rng);
+    total.cells += s.cells;
+    total.faulted_cells += s.faulted_cells;
+    total.affected_weights += s.affected_weights;
+  }
+  return total;
+}
+
+WeightFaultGuard::WeightFaultGuard(Module& model_root, const StuckAtFaultModel& model,
+                                   const InjectorConfig& config, Rng& rng) {
+  for (Param* p : parameters_of(model_root)) {
+    if (p->kind == ParamKind::kCrossbarWeight) params_.push_back(p);
+  }
+  clean_.reserve(params_.size());
+  hit_masks_.resize(params_.size());
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    Param* p = params_[k];
+    clean_.push_back(p->value);
+    const InjectionStats s =
+        apply_stuck_at_faults(p->value, model, config, rng, &hit_masks_[k]);
+    stats_.cells += s.cells;
+    stats_.faulted_cells += s.faulted_cells;
+    stats_.affected_weights += s.affected_weights;
+  }
+}
+
+void WeightFaultGuard::restore() {
+  if (restored_) return;
+  for (std::size_t k = 0; k < params_.size(); ++k) params_[k]->value = clean_[k];
+  restored_ = true;
+}
+
+WeightFaultGuard::~WeightFaultGuard() { restore(); }
+
+}  // namespace ftpim

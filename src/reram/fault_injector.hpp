@@ -1,0 +1,83 @@
+// Weight-space stuck-at-fault injection — the paper's Apply_Fault(w, P_sa).
+//
+// For every weight, its differential cell pair is materialized, each cell is
+// independently subjected to the SAF model, and the (possibly faulted) pair
+// is read back into weight space. This is exactly what the cell-level
+// CrossbarEngine computes, collapsed to a fast per-weight path (the
+// equivalence is covered by tests/reram_equivalence_test).
+//
+// InjectIntoModel applies the injection to every ParamKind::kCrossbarWeight
+// parameter of a network; WeightFaultGuard additionally snapshots the clean
+// weights and restores them on destruction, which is how the trainer injects
+// per-iteration faults without losing the master copy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/nn/module.hpp"
+#include "src/reram/conductance.hpp"
+#include "src/reram/fault_model.hpp"
+#include "src/reram/quantizer.hpp"
+#include "src/tensor/tensor.hpp"
+
+namespace ftpim {
+
+struct InjectorConfig {
+  ConductanceRange range{};
+  int quant_levels = 0;       ///< 0 = analog cells (paper setting)
+  bool per_tensor_wmax = true;  ///< w_max = abs-max of the tensor (else fixed_wmax)
+  float fixed_wmax = 1.0f;
+};
+
+struct InjectionStats {
+  std::int64_t cells = 0;             ///< 2 * weights
+  std::int64_t faulted_cells = 0;
+  std::int64_t affected_weights = 0;  ///< weights whose value changed
+  [[nodiscard]] double cell_fault_rate() const noexcept {
+    return cells > 0 ? static_cast<double>(faulted_cells) / static_cast<double>(cells) : 0.0;
+  }
+};
+
+/// Applies stuck-at faults to `weights` in place. If `hit_mask` is non-null it
+/// is resized to the weight shape and set to 1 at weights whose cells faulted
+/// (used for masked-gradient FT training).
+InjectionStats apply_stuck_at_faults(Tensor& weights, const StuckAtFaultModel& model,
+                                     const InjectorConfig& config, Rng& rng,
+                                     Tensor* hit_mask = nullptr);
+
+/// Injects into every crossbar-weight parameter of `model_root`.
+InjectionStats inject_into_model(Module& model_root, const StuckAtFaultModel& model,
+                                 const InjectorConfig& config, Rng& rng);
+
+/// RAII: snapshots all crossbar weights of a network, injects faults, and
+/// restores the clean weights on destruction (or on restore()).
+class WeightFaultGuard {
+ public:
+  WeightFaultGuard(Module& model_root, const StuckAtFaultModel& model,
+                   const InjectorConfig& config, Rng& rng);
+  ~WeightFaultGuard();
+
+  WeightFaultGuard(const WeightFaultGuard&) = delete;
+  WeightFaultGuard& operator=(const WeightFaultGuard&) = delete;
+
+  /// Restores clean weights early (idempotent).
+  void restore();
+
+  [[nodiscard]] const InjectionStats& stats() const noexcept { return stats_; }
+
+  /// Per-parameter hit masks, parallel to parameters_of(model) filtered to
+  /// crossbar weights; 1 where a cell fault changed the weight.
+  [[nodiscard]] const std::vector<Tensor>& hit_masks() const noexcept { return hit_masks_; }
+  [[nodiscard]] const std::vector<Param*>& faulted_params() const noexcept { return params_; }
+
+ private:
+  std::vector<Param*> params_;
+  std::vector<Tensor> clean_;
+  std::vector<Tensor> hit_masks_;
+  InjectionStats stats_;
+  bool restored_ = false;
+};
+
+}  // namespace ftpim

@@ -1,0 +1,26 @@
+#include "src/reram/fault_model.hpp"
+
+#include <stdexcept>
+
+namespace ftpim {
+
+StuckAtFaultModel::StuckAtFaultModel(double p_sa, double sa0_fraction)
+    : p_sa_(p_sa), sa0_fraction_(sa0_fraction) {
+  if (p_sa < 0.0 || p_sa > 1.0) {
+    throw std::invalid_argument("StuckAtFaultModel: p_sa must be in [0,1]");
+  }
+  if (sa0_fraction < 0.0 || sa0_fraction > 1.0) {
+    throw std::invalid_argument("StuckAtFaultModel: sa0_fraction must be in [0,1]");
+  }
+}
+
+FaultType StuckAtFaultModel::sample(Rng& rng) const noexcept {
+  if (p_sa_ <= 0.0) return FaultType::kNone;
+  const double u = rng.uniform_double();
+  if (u >= p_sa_) return FaultType::kNone;
+  // Within a fault, split by the SA0 fraction; reuse the same draw for
+  // determinism (u / p_sa_ is uniform on [0,1) conditioned on fault).
+  return (u < p_sa_ * sa0_fraction_) ? FaultType::kStuckOff : FaultType::kStuckOn;
+}
+
+}  // namespace ftpim

@@ -1,0 +1,42 @@
+// Stuck-at-fault (SAF) statistical model.
+//
+// Following the March-test defect study the paper adopts (C.-Y. Chen et al.,
+// IEEE Trans. Computers), each ReRAM cell independently fails with total
+// probability P_sa = P_sa0 + P_sa1, split between stuck-off (SA0, pinned at
+// Gmin) and stuck-on (SA1, pinned at Gmax) in the fixed ratio
+// P_sa0 : P_sa1 = 1.75 : 9.04.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/rng.hpp"
+
+namespace ftpim {
+
+enum class FaultType : std::uint8_t { kNone = 0, kStuckOff = 1, kStuckOn = 2 };
+
+/// The paper's SA0:SA1 split.
+inline constexpr double kPaperSa0Weight = 1.75;
+inline constexpr double kPaperSa1Weight = 9.04;
+inline constexpr double kPaperSa0Fraction = kPaperSa0Weight / (kPaperSa0Weight + kPaperSa1Weight);
+
+class StuckAtFaultModel {
+ public:
+  /// p_sa: total per-cell failure probability in [0,1].
+  /// sa0_fraction: P_sa0 / P_sa, in [0,1]. Defaults to the paper's split.
+  explicit StuckAtFaultModel(double p_sa, double sa0_fraction = kPaperSa0Fraction);
+
+  /// Draws the fault state of one cell.
+  [[nodiscard]] FaultType sample(Rng& rng) const noexcept;
+
+  [[nodiscard]] double p_sa() const noexcept { return p_sa_; }
+  [[nodiscard]] double p_sa0() const noexcept { return p_sa_ * sa0_fraction_; }
+  [[nodiscard]] double p_sa1() const noexcept { return p_sa_ * (1.0 - sa0_fraction_); }
+  [[nodiscard]] double sa0_fraction() const noexcept { return sa0_fraction_; }
+
+ private:
+  double p_sa_;
+  double sa0_fraction_;
+};
+
+}  // namespace ftpim

@@ -1,0 +1,35 @@
+#include "src/reram/quantizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ftpim {
+
+ConductanceQuantizer::ConductanceQuantizer(ConductanceRange range, int levels)
+    : range_(range), levels_(levels) {
+  range_.validate();
+  if (levels < 0 || levels == 1) {
+    throw std::invalid_argument("ConductanceQuantizer: levels must be 0 or >= 2");
+  }
+  if (levels_ >= 2) step_ = range_.span() / static_cast<float>(levels_ - 1);
+}
+
+float ConductanceQuantizer::quantize(float g) const noexcept {
+  if (levels_ == 0) return std::clamp(g, range_.g_min, range_.g_max);
+  return level_value(level_index(g));
+}
+
+int ConductanceQuantizer::level_index(float g) const noexcept {
+  if (levels_ < 2) return 0;
+  const float clamped = std::clamp(g, range_.g_min, range_.g_max);
+  const int idx = static_cast<int>(std::lround((clamped - range_.g_min) / step_));
+  return std::clamp(idx, 0, levels_ - 1);
+}
+
+float ConductanceQuantizer::level_value(int i) const noexcept {
+  if (levels_ < 2) return range_.g_min;
+  return range_.g_min + step_ * static_cast<float>(std::clamp(i, 0, levels_ - 1));
+}
+
+}  // namespace ftpim

@@ -1,0 +1,32 @@
+// Uniform conductance-level quantizer.
+//
+// Multi-level ReRAM cells store one of L programmable conductance levels
+// between Gmin and Gmax. levels == 0 disables quantization (analog limit,
+// matching the paper's float-weight simulation); levels >= 2 snaps to the
+// nearest level, which benches use to study SAF x quantization interactions.
+#pragma once
+
+#include "src/reram/conductance.hpp"
+
+namespace ftpim {
+
+class ConductanceQuantizer {
+ public:
+  /// levels == 0 -> identity; levels >= 2 -> uniform grid over [g_min, g_max].
+  ConductanceQuantizer(ConductanceRange range, int levels);
+
+  [[nodiscard]] float quantize(float g) const noexcept;
+  [[nodiscard]] int levels() const noexcept { return levels_; }
+
+  /// Index of the nearest level (levels >= 2 only).
+  [[nodiscard]] int level_index(float g) const noexcept;
+  /// Conductance of level i.
+  [[nodiscard]] float level_value(int i) const noexcept;
+
+ private:
+  ConductanceRange range_;
+  int levels_;
+  float step_ = 0.0f;
+};
+
+}  // namespace ftpim

@@ -1,0 +1,30 @@
+#include "src/reram/variation.hpp"
+
+#include <algorithm>
+
+namespace ftpim {
+
+void apply_conductance_variation(Tensor& weights, const VariationConfig& config, Rng& rng) {
+  float w_max = config.per_tensor_wmax ? weights.abs_max() : config.fixed_wmax;
+  if (w_max <= 0.0f) w_max = 1.0f;
+  const DifferentialMapper mapper(config.range, w_max);
+  const float g_min = config.range.g_min;
+  const float g_max = config.range.g_max;
+
+  float* w = weights.data();
+  for (std::int64_t i = 0; i < weights.numel(); ++i) {
+    CellPair cells = mapper.to_cells(w[i]);
+    cells.g_pos = std::clamp(cells.g_pos * rng.lognormal(0.0f, config.sigma), g_min, g_max);
+    cells.g_neg = std::clamp(cells.g_neg * rng.lognormal(0.0f, config.sigma), g_min, g_max);
+    w[i] = mapper.to_weight(cells);
+  }
+}
+
+void apply_variation_to_model(Module& model_root, const VariationConfig& config, Rng& rng) {
+  for (Param* p : parameters_of(model_root)) {
+    if (p->kind != ParamKind::kCrossbarWeight) continue;
+    apply_conductance_variation(p->value, config, rng);
+  }
+}
+
+}  // namespace ftpim

@@ -1,0 +1,26 @@
+// Blocked single-precision GEMM kernels.
+//
+// C[M,N] (+)= A[M,K] * B[K,N], with optional transposes. The inner kernel is
+// register-blocked and cache-tiled; rows of C are split across worker threads.
+// This is the compute backbone for both the Linear/Conv2d layers (via im2col)
+// and the ideal-arithmetic reference path of the crossbar engine.
+#pragma once
+
+#include <cstdint>
+
+namespace ftpim {
+
+/// C = alpha * A(MxK) * B(KxN) + beta * C. Row-major, no transposes.
+void gemm(std::int64_t m, std::int64_t n, std::int64_t k, float alpha, const float* a,
+          const float* b, float beta, float* c);
+
+/// C = alpha * A^T(KxM stored as MxK? no: A is KxM stored row-major, used as MxK) * B + beta*C.
+/// Concretely: C[i,j] += sum_k A[k,i] * B[k,j], A has leading dim M.
+void gemm_at(std::int64_t m, std::int64_t n, std::int64_t k, float alpha, const float* a,
+             const float* b, float beta, float* c);
+
+/// C[i,j] += sum_k A[i,k] * B[j,k] — B used transposed, B has leading dim K.
+void gemm_bt(std::int64_t m, std::int64_t n, std::int64_t k, float alpha, const float* a,
+             const float* b, float beta, float* c);
+
+}  // namespace ftpim

@@ -1,0 +1,58 @@
+#include "src/tensor/im2col.hpp"
+
+#include <cstring>
+
+namespace ftpim {
+
+void im2col(const float* image, const ConvGeometry& g, float* col) {
+  const std::int64_t oh = g.out_h();
+  const std::int64_t ow = g.out_w();
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < g.in_c; ++c) {
+    const float* plane = image + c * g.in_h * g.in_w;
+    for (std::int64_t kh = 0; kh < g.kernel_h; ++kh) {
+      for (std::int64_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
+        float* dst = col + row * oh * ow;
+        for (std::int64_t y = 0; y < oh; ++y) {
+          const std::int64_t iy = y * g.stride_h - g.pad_h + kh;
+          if (iy < 0 || iy >= g.in_h) {
+            std::memset(dst + y * ow, 0, static_cast<std::size_t>(ow) * sizeof(float));
+            continue;
+          }
+          const float* src_row = plane + iy * g.in_w;
+          float* dst_row = dst + y * ow;
+          for (std::int64_t x = 0; x < ow; ++x) {
+            const std::int64_t ix = x * g.stride_w - g.pad_w + kw;
+            dst_row[x] = (ix >= 0 && ix < g.in_w) ? src_row[ix] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* col, const ConvGeometry& g, float* image) {
+  const std::int64_t oh = g.out_h();
+  const std::int64_t ow = g.out_w();
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < g.in_c; ++c) {
+    float* plane = image + c * g.in_h * g.in_w;
+    for (std::int64_t kh = 0; kh < g.kernel_h; ++kh) {
+      for (std::int64_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
+        const float* src = col + row * oh * ow;
+        for (std::int64_t y = 0; y < oh; ++y) {
+          const std::int64_t iy = y * g.stride_h - g.pad_h + kh;
+          if (iy < 0 || iy >= g.in_h) continue;
+          float* dst_row = plane + iy * g.in_w;
+          const float* src_row = src + y * ow;
+          for (std::int64_t x = 0; x < ow; ++x) {
+            const std::int64_t ix = x * g.stride_w - g.pad_w + kw;
+            if (ix >= 0 && ix < g.in_w) dst_row[ix] += src_row[x];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace ftpim

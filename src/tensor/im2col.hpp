@@ -1,0 +1,36 @@
+// im2col / col2im lowering for convolution.
+//
+// Conv2d forward lowers each input image to a [C*kh*kw, out_h*out_w] matrix so
+// the convolution becomes a GEMM against the [out_c, C*kh*kw] filter matrix;
+// backward uses col2im to scatter column gradients back to image layout.
+#pragma once
+
+#include <cstdint>
+
+namespace ftpim {
+
+struct ConvGeometry {
+  std::int64_t in_c = 0, in_h = 0, in_w = 0;
+  std::int64_t kernel_h = 0, kernel_w = 0;
+  std::int64_t stride_h = 1, stride_w = 1;
+  std::int64_t pad_h = 0, pad_w = 0;
+
+  [[nodiscard]] std::int64_t out_h() const {
+    return (in_h + 2 * pad_h - kernel_h) / stride_h + 1;
+  }
+  [[nodiscard]] std::int64_t out_w() const {
+    return (in_w + 2 * pad_w - kernel_w) / stride_w + 1;
+  }
+  [[nodiscard]] std::int64_t col_rows() const { return in_c * kernel_h * kernel_w; }
+  [[nodiscard]] std::int64_t col_cols() const { return out_h() * out_w(); }
+};
+
+/// image [C,H,W] -> col [C*kh*kw, out_h*out_w] (zero padding).
+void im2col(const float* image, const ConvGeometry& g, float* col);
+
+/// col [C*kh*kw, out_h*out_w] -> image [C,H,W], accumulating overlaps.
+/// The destination must be zeroed by the caller if accumulation from a clean
+/// slate is desired.
+void col2im(const float* col, const ConvGeometry& g, float* image);
+
+}  // namespace ftpim

@@ -1,0 +1,106 @@
+#include "src/tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace ftpim {
+
+std::int64_t shape_numel(const Shape& shape) {
+  std::int64_t n = 1;
+  for (const std::int64_t d : shape) {
+    if (d < 0) throw std::invalid_argument("negative dimension in shape " + shape_to_string(shape));
+    n *= d;
+  }
+  return n;
+}
+
+std::string shape_to_string(const Shape& shape) {
+  std::ostringstream oss;
+  oss << '[';
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i != 0) oss << ", ";
+    oss << shape[i];
+  }
+  oss << ']';
+  return oss.str();
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)), data_(static_cast<std::size_t>(shape_numel(shape_)), 0.0f) {}
+
+Tensor::Tensor(Shape shape, float fill)
+    : shape_(std::move(shape)), data_(static_cast<std::size_t>(shape_numel(shape_)), fill) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  if (shape_numel(shape_) != static_cast<std::int64_t>(data_.size())) {
+    throw std::invalid_argument("Tensor: data size " + std::to_string(data_.size()) +
+                                " does not match shape " + shape_to_string(shape_));
+  }
+}
+
+Tensor Tensor::from_vector(std::vector<float> values) {
+  const auto n = static_cast<std::int64_t>(values.size());
+  return Tensor(Shape{n}, std::move(values));
+}
+
+void Tensor::fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  if (shape_numel(new_shape) != numel()) {
+    throw std::invalid_argument("reshape: numel mismatch " + shape_to_string(shape_) + " -> " +
+                                shape_to_string(new_shape));
+  }
+  return Tensor(std::move(new_shape), data_);
+}
+
+void Tensor::reshape_inplace(Shape new_shape) {
+  if (shape_numel(new_shape) != numel()) {
+    throw std::invalid_argument("reshape_inplace: numel mismatch " + shape_to_string(shape_) +
+                                " -> " + shape_to_string(new_shape));
+  }
+  shape_ = std::move(new_shape);
+}
+
+bool Tensor::allclose(const Tensor& other, float atol, float rtol) const {
+  if (shape_ != other.shape_) return false;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    const float a = data_[i];
+    const float b = other.data_[i];
+    if (std::isnan(a) || std::isnan(b)) return false;
+    if (std::fabs(a - b) > atol + rtol * std::fabs(b)) return false;
+  }
+  return true;
+}
+
+float Tensor::sum() const {
+  // Pairwise-ish accumulation in double for stability of large reductions.
+  double acc = 0.0;
+  for (const float v : data_) acc += static_cast<double>(v);
+  return static_cast<float>(acc);
+}
+
+float Tensor::mean() const {
+  if (data_.empty()) return 0.0f;
+  return sum() / static_cast<float>(data_.size());
+}
+
+float Tensor::min() const {
+  if (data_.empty()) throw std::logic_error("min of empty tensor");
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Tensor::max() const {
+  if (data_.empty()) throw std::logic_error("max of empty tensor");
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+float Tensor::abs_max() const {
+  float m = 0.0f;
+  for (const float v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+}  // namespace ftpim

@@ -1,0 +1,115 @@
+// Dense row-major float tensor.
+//
+// ftpim uses a single value type (float32) and contiguous row-major storage;
+// this matches what a ReRAM crossbar compiler would consume and keeps the
+// kernel surface small. Shapes are small vectors of int64.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace ftpim {
+
+using Shape = std::vector<std::int64_t>;
+
+/// Number of elements of a shape (product of dims; 1 for rank-0).
+[[nodiscard]] std::int64_t shape_numel(const Shape& shape);
+
+/// "[2, 3, 4]" — for error messages and logs.
+[[nodiscard]] std::string shape_to_string(const Shape& shape);
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Allocates a zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// Allocates and fills with `fill`.
+  Tensor(Shape shape, float fill);
+
+  /// Wraps existing data (copied) with the given shape.
+  Tensor(Shape shape, std::vector<float> data);
+
+  /// Convenience literal constructor for 1-D tensors in tests.
+  static Tensor from_vector(std::vector<float> values);
+
+  [[nodiscard]] const Shape& shape() const noexcept { return shape_; }
+  [[nodiscard]] std::int64_t dim(std::size_t axis) const {
+    assert(axis < shape_.size());
+    return shape_[axis];
+  }
+  [[nodiscard]] std::size_t rank() const noexcept { return shape_.size(); }
+  [[nodiscard]] std::int64_t numel() const noexcept {
+    return static_cast<std::int64_t>(data_.size());
+  }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  [[nodiscard]] float* data() noexcept { return data_.data(); }
+  [[nodiscard]] const float* data() const noexcept { return data_.data(); }
+  [[nodiscard]] std::vector<float>& vec() noexcept { return data_; }
+  [[nodiscard]] const std::vector<float>& vec() const noexcept { return data_; }
+
+  [[nodiscard]] float& operator[](std::int64_t i) {
+    assert(i >= 0 && i < numel());
+    return data_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] float operator[](std::int64_t i) const {
+    assert(i >= 0 && i < numel());
+    return data_[static_cast<std::size_t>(i)];
+  }
+
+  /// 2-D indexed access (rank must be 2).
+  [[nodiscard]] float& at(std::int64_t r, std::int64_t c) {
+    assert(rank() == 2);
+    return data_[static_cast<std::size_t>(r * shape_[1] + c)];
+  }
+  [[nodiscard]] float at(std::int64_t r, std::int64_t c) const {
+    assert(rank() == 2);
+    return data_[static_cast<std::size_t>(r * shape_[1] + c)];
+  }
+
+  /// 4-D indexed access (rank must be 4; NCHW convention).
+  [[nodiscard]] float& at(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) {
+    assert(rank() == 4);
+    return data_[static_cast<std::size_t>(((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w)];
+  }
+  [[nodiscard]] float at(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) const {
+    assert(rank() == 4);
+    return data_[static_cast<std::size_t>(((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w)];
+  }
+
+  /// Sets every element to `value`.
+  void fill(float value);
+
+  /// Sets every element to zero (grad reset).
+  void zero() { fill(0.0f); }
+
+  /// Returns a reshaped copy-free view is not supported; this returns a new
+  /// tensor sharing nothing — reshape of a contiguous tensor is a metadata
+  /// change so we just copy the shape and move/copy the data.
+  [[nodiscard]] Tensor reshaped(Shape new_shape) const;
+
+  /// In-place metadata reshape (numel must match).
+  void reshape_inplace(Shape new_shape);
+
+  /// Deep equality within tolerance (shape + data).
+  [[nodiscard]] bool allclose(const Tensor& other, float atol = 1e-5f,
+                              float rtol = 1e-5f) const;
+
+  // --- simple reductions (full implementations in tensor_ops for the rest) --
+  [[nodiscard]] float sum() const;
+  [[nodiscard]] float mean() const;
+  [[nodiscard]] float min() const;
+  [[nodiscard]] float max() const;
+  [[nodiscard]] float abs_max() const;
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace ftpim

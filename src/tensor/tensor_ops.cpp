@@ -1,0 +1,139 @@
+#include "src/tensor/tensor_ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/tensor/gemm.hpp"
+
+namespace ftpim {
+namespace {
+void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+  if (a.shape() != b.shape()) {
+    throw std::invalid_argument(std::string(op) + ": shape mismatch " +
+                                shape_to_string(a.shape()) + " vs " + shape_to_string(b.shape()));
+  }
+}
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  Tensor out = a;
+  add_inplace(out, b);
+  return out;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  Tensor out = a;
+  sub_inplace(out, b);
+  return out;
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  Tensor out = a;
+  mul_inplace(out, b);
+  return out;
+}
+
+Tensor scale(const Tensor& a, float s) {
+  Tensor out = a;
+  scale_inplace(out, s);
+  return out;
+}
+
+void add_inplace(Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "add");
+  float* pa = a.data();
+  const float* pb = b.data();
+  for (std::int64_t i = 0; i < a.numel(); ++i) pa[i] += pb[i];
+}
+
+void sub_inplace(Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "sub");
+  float* pa = a.data();
+  const float* pb = b.data();
+  for (std::int64_t i = 0; i < a.numel(); ++i) pa[i] -= pb[i];
+}
+
+void mul_inplace(Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "mul");
+  float* pa = a.data();
+  const float* pb = b.data();
+  for (std::int64_t i = 0; i < a.numel(); ++i) pa[i] *= pb[i];
+}
+
+void scale_inplace(Tensor& a, float s) {
+  float* pa = a.data();
+  for (std::int64_t i = 0; i < a.numel(); ++i) pa[i] *= s;
+}
+
+void axpy_inplace(Tensor& a, float s, const Tensor& b) {
+  check_same_shape(a, b, "axpy");
+  float* pa = a.data();
+  const float* pb = b.data();
+  for (std::int64_t i = 0; i < a.numel(); ++i) pa[i] += s * pb[i];
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  if (a.rank() != 2 || b.rank() != 2 || a.dim(1) != b.dim(0)) {
+    throw std::invalid_argument("matmul: incompatible shapes " + shape_to_string(a.shape()) +
+                                " x " + shape_to_string(b.shape()));
+  }
+  Tensor c(Shape{a.dim(0), b.dim(1)});
+  gemm(a.dim(0), b.dim(1), a.dim(1), 1.0f, a.data(), b.data(), 0.0f, c.data());
+  return c;
+}
+
+std::int64_t argmax_row(const Tensor& logits, std::int64_t row) {
+  if (logits.rank() != 2) throw std::invalid_argument("argmax_row: rank-2 tensor required");
+  const std::int64_t cols = logits.dim(1);
+  const float* p = logits.data() + row * cols;
+  std::int64_t best = 0;
+  for (std::int64_t j = 1; j < cols; ++j) {
+    if (p[j] > p[best]) best = j;
+  }
+  return best;
+}
+
+double accuracy(const Tensor& logits, const std::vector<std::int64_t>& labels) {
+  if (logits.rank() != 2) throw std::invalid_argument("accuracy: rank-2 logits required");
+  const std::int64_t rows = logits.dim(0);
+  if (rows != static_cast<std::int64_t>(labels.size())) {
+    throw std::invalid_argument("accuracy: label count mismatch");
+  }
+  if (rows == 0) return 0.0;
+  std::int64_t hits = 0;
+  for (std::int64_t r = 0; r < rows; ++r) {
+    if (argmax_row(logits, r) == labels[static_cast<std::size_t>(r)]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(rows);
+}
+
+double l2_norm(const Tensor& a) {
+  double acc = 0.0;
+  const float* p = a.data();
+  for (std::int64_t i = 0; i < a.numel(); ++i) acc += static_cast<double>(p[i]) * p[i];
+  return std::sqrt(acc);
+}
+
+std::int64_t count_zeros(const Tensor& a) {
+  std::int64_t zeros = 0;
+  const float* p = a.data();
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    if (p[i] == 0.0f) ++zeros;
+  }
+  return zeros;
+}
+
+float kth_largest_abs(const Tensor& a, std::int64_t k) {
+  if (k < 1 || k > a.numel()) {
+    throw std::invalid_argument("kth_largest_abs: k out of range");
+  }
+  std::vector<float> mags(static_cast<std::size_t>(a.numel()));
+  const float* p = a.data();
+  for (std::int64_t i = 0; i < a.numel(); ++i) mags[static_cast<std::size_t>(i)] = std::fabs(p[i]);
+  auto nth = mags.begin() + static_cast<std::ptrdiff_t>(k - 1);
+  std::nth_element(mags.begin(), nth, mags.end(), std::greater<float>());
+  return *nth;
+}
+
+}  // namespace ftpim

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/stats.hpp"
+#include "src/nn/dropout.hpp"
+#include "src/optim/adam.hpp"
+#include "test_util.hpp"
+
+namespace ftpim {
+namespace {
+
+Param make_param(const char* name, std::vector<float> values, ParamKind kind) {
+  const auto n = static_cast<std::int64_t>(values.size());
+  return Param(name, Tensor(Shape{n}, std::move(values)), kind);
+}
+
+TEST(Adam, Validation) {
+  Param p = make_param("w", {1.0f}, ParamKind::kCrossbarWeight);
+  EXPECT_THROW(Adam({&p}, AdamConfig{.lr = 0.0f}), std::invalid_argument);
+  EXPECT_THROW(Adam({&p}, AdamConfig{.lr = 0.1f, .beta1 = 1.0f}), std::invalid_argument);
+  EXPECT_THROW(Adam({&p}, AdamConfig{.lr = 0.1f, .eps = 0.0f}), std::invalid_argument);
+}
+
+TEST(Adam, FirstStepMovesByApproxLr) {
+  // With bias correction, the first Adam step is ~lr * sign(grad).
+  Param p = make_param("w", {0.0f, 0.0f}, ParamKind::kBias);
+  p.grad = Tensor::from_vector({0.5f, -2.0f});
+  Adam opt({&p}, AdamConfig{.lr = 0.01f});
+  opt.step();
+  EXPECT_NEAR(p.value[0], -0.01f, 1e-4f);
+  EXPECT_NEAR(p.value[1], 0.01f, 1e-4f);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  Param p = make_param("w", {0.0f}, ParamKind::kBias);
+  Adam opt({&p}, AdamConfig{.lr = 0.05f});
+  for (int i = 0; i < 500; ++i) {
+    p.grad = Tensor::from_vector({2.0f * (p.value[0] - 3.0f)});
+    opt.step();
+  }
+  EXPECT_NEAR(p.value[0], 3.0f, 0.05f);
+}
+
+TEST(Adam, MaskFreezesPositions) {
+  Param p = make_param("w", {0.0f, 1.0f}, ParamKind::kCrossbarWeight);
+  Adam opt({&p}, AdamConfig{.lr = 0.1f});
+  opt.set_mask(&p, Tensor::from_vector({0.0f, 1.0f}));
+  p.grad = Tensor::from_vector({1.0f, 1.0f});
+  opt.step();
+  EXPECT_FLOAT_EQ(p.value[0], 0.0f);
+  EXPECT_LT(p.value[1], 1.0f);
+  EXPECT_THROW(opt.set_mask(&p, Tensor(Shape{3})), std::invalid_argument);
+}
+
+TEST(Adam, DecoupledDecayOnlyOnCrossbarWeights) {
+  Param w = make_param("w", {1.0f}, ParamKind::kCrossbarWeight);
+  Param b = make_param("b", {1.0f}, ParamKind::kBias);
+  Adam opt({&w, &b}, AdamConfig{.lr = 0.1f, .weight_decay = 0.5f});
+  opt.step();  // zero grads: only decay acts on w
+  EXPECT_LT(w.value[0], 1.0f);
+  EXPECT_FLOAT_EQ(b.value[0], 1.0f);
+}
+
+TEST(Dropout, Validation) {
+  EXPECT_THROW(Dropout(-0.1f), std::invalid_argument);
+  EXPECT_THROW(Dropout(1.0f), std::invalid_argument);
+}
+
+TEST(Dropout, EvalModeIsIdentity) {
+  Dropout drop(0.5f);
+  const Tensor x = testing::random_tensor(Shape{64}, 1);
+  EXPECT_TRUE(drop.forward(x, false).allclose(x, 0.0f, 0.0f));
+}
+
+TEST(Dropout, TrainingZeroesApproxPFraction) {
+  Dropout drop(0.3f, 7);
+  const Tensor x(Shape{20000}, 1.0f);
+  const Tensor y = drop.forward(x, true);
+  std::int64_t zeros = 0;
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    if (y[i] == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_NEAR(y[i], 1.0f / 0.7f, 1e-5f);  // inverted scaling
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / y.numel(), 0.3, 0.02);
+}
+
+TEST(Dropout, PreservesExpectation) {
+  Dropout drop(0.4f, 8);
+  const Tensor x(Shape{50000}, 2.0f);
+  const Tensor y = drop.forward(x, true);
+  EXPECT_NEAR(y.mean(), 2.0f, 0.05f);
+}
+
+TEST(Dropout, BackwardUsesSameMask) {
+  Dropout drop(0.5f, 9);
+  const Tensor x(Shape{100}, 1.0f);
+  const Tensor y = drop.forward(x, true);
+  const Tensor g = drop.backward(Tensor(Shape{100}, 1.0f));
+  for (std::int64_t i = 0; i < 100; ++i) {
+    EXPECT_FLOAT_EQ(g[i], y[i]);  // same scaled mask applied to ones
+  }
+}
+
+TEST(Stats, SummarizeBasics) {
+  const Summary s = summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(1.25), 1e-12);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_EQ(summarize({}).count, 0u);
+}
+
+TEST(Stats, QuantileNearestRank) {
+  EXPECT_DOUBLE_EQ(quantile({5.0, 1.0, 3.0}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile({5.0, 1.0, 3.0}, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile({5.0, 1.0, 3.0}, 1.0), 5.0);
+  EXPECT_THROW((void)quantile({}, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)quantile({1.0}, 1.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ftpim

@@ -1,0 +1,65 @@
+// Tests for the bench harness helpers (bench_common.hpp) — grid trimming,
+// header formatting, percent conversion, shape-check accounting.
+#include <gtest/gtest.h>
+
+#include "../bench/bench_common.hpp"
+
+namespace ftpim::bench {
+namespace {
+
+RunScale named(const char* name) {
+  RunScale s;
+  s.name = name;
+  return s;
+}
+
+TEST(BenchGrids, FullScaleUsesPaperGrids) {
+  EXPECT_EQ(test_rates_for(named("full")), paper_test_rates());
+  EXPECT_EQ(train_rates_for(named("full")), paper_train_rates());
+}
+
+TEST(BenchGrids, QuickGridsAreSubsetsOfPaperGrids) {
+  const auto all_test = paper_test_rates();
+  for (const double r : test_rates_for(named("quick"))) {
+    EXPECT_NE(std::find(all_test.begin(), all_test.end(), r), all_test.end()) << r;
+  }
+  const auto all_train = paper_train_rates();
+  for (const double r : train_rates_for(named("quick"))) {
+    EXPECT_NE(std::find(all_train.begin(), all_train.end(), r), all_train.end()) << r;
+  }
+}
+
+TEST(BenchGrids, GridsAscend) {
+  for (const char* scale : {"quick", "medium", "full"}) {
+    const auto rates = test_rates_for(named(scale));
+    for (std::size_t i = 1; i < rates.size(); ++i) EXPECT_GT(rates[i], rates[i - 1]) << scale;
+  }
+}
+
+TEST(BenchHelpers, RateHeadersFormat) {
+  const auto headers = rate_headers("Method", {0.0, 0.001, 0.1});
+  ASSERT_EQ(headers.size(), 4u);
+  EXPECT_EQ(headers[0], "Method");
+  EXPECT_EQ(headers[1], "0");
+  EXPECT_EQ(headers[2], "0.001");
+  EXPECT_EQ(headers[3], "0.1");
+}
+
+TEST(BenchHelpers, ToPercentScales) {
+  const auto pct = to_percent({0.0, 0.5, 1.0});
+  EXPECT_DOUBLE_EQ(pct[0], 0.0);
+  EXPECT_DOUBLE_EQ(pct[1], 50.0);
+  EXPECT_DOUBLE_EQ(pct[2], 100.0);
+}
+
+TEST(BenchHelpers, ShapeCheckCountsBothOutcomes) {
+  ShapeCheck check;
+  check.expect(true, "holds");
+  check.expect(false, "fails");
+  check.expect(true, "holds too");
+  EXPECT_EQ(check.passed, 2);
+  EXPECT_EQ(check.failed, 1);
+}
+
+}  // namespace
+}  // namespace ftpim::bench

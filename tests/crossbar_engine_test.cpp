@@ -1,0 +1,155 @@
+// Cell-level engine tests, including the equivalence between the tiled
+// crossbar path and the ideal GEMM / fast weight-space injector.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/reram/crossbar_engine.hpp"
+#include "src/reram/fault_injector.hpp"
+#include "src/tensor/gemm.hpp"
+#include "test_util.hpp"
+
+namespace ftpim {
+namespace {
+
+using testing::random_tensor;
+
+CrossbarEngineConfig small_tiles() {
+  CrossbarEngineConfig cfg;
+  cfg.tile_rows = 16;
+  cfg.tile_cols = 8;
+  return cfg;
+}
+
+TEST(CrossbarEngine, Validation) {
+  const Tensor w = random_tensor(Shape{4, 4}, 1);
+  CrossbarEngineConfig odd;
+  odd.tile_cols = 7;
+  EXPECT_THROW(CrossbarEngine(w, odd), std::invalid_argument);
+  EXPECT_THROW(CrossbarEngine(Tensor(Shape{4}), CrossbarEngineConfig{}), std::invalid_argument);
+}
+
+TEST(CrossbarEngine, TileCountCoversMatrix) {
+  const Tensor w = random_tensor(Shape{10, 40}, 2);
+  const CrossbarEngine engine(w, small_tiles());
+  // rows: ceil(40/16)=3 row tiles; cols: 8/2=4 outs/tile -> ceil(10/4)=3.
+  EXPECT_EQ(engine.tile_count(), 9);
+  EXPECT_EQ(engine.total_cells(), 9 * 16 * 8);
+}
+
+TEST(CrossbarEngine, ReadBackMatchesProgrammedWeights) {
+  const Tensor w = random_tensor(Shape{6, 20}, 3, 0.5f);
+  const CrossbarEngine engine(w, small_tiles());
+  EXPECT_TRUE(engine.read_back().allclose(w, 1e-5f, 1e-4f));
+}
+
+TEST(CrossbarEngine, MvmMatchesIdealGemmWithoutDefects) {
+  const std::int64_t out = 12, in = 37;
+  const Tensor w = random_tensor(Shape{out, in}, 4, 0.3f);
+  const CrossbarEngine engine(w, small_tiles());
+  std::vector<float> x(static_cast<std::size_t>(in));
+  Rng rng(5);
+  for (auto& v : x) v = rng.uniform(-1.0f, 1.0f);
+  std::vector<float> y_ideal(static_cast<std::size_t>(out), 0.0f);
+  gemm(out, 1, in, 1.0f, w.data(), x.data(), 0.0f, y_ideal.data());
+  std::vector<float> y_xbar(static_cast<std::size_t>(out));
+  engine.mvm(x.data(), y_xbar.data());
+  for (std::int64_t i = 0; i < out; ++i) EXPECT_NEAR(y_xbar[i], y_ideal[i], 2e-4f) << i;
+}
+
+TEST(CrossbarEngine, MvmMatchesReadBackUnderDefects) {
+  // With faults applied, the analog MVM must equal GEMM with the read-back
+  // effective weights (self-consistency of the cell model).
+  const std::int64_t out = 9, in = 25;
+  const Tensor w = random_tensor(Shape{out, in}, 6, 0.4f);
+  CrossbarEngine engine(w, small_tiles());
+  engine.apply_device_defects(StuckAtFaultModel(0.1), /*master_seed=*/11, /*device=*/0);
+  EXPECT_GT(engine.stuck_cells(), 0);
+
+  const Tensor w_eff = engine.read_back();
+  std::vector<float> x(static_cast<std::size_t>(in));
+  Rng rng(7);
+  for (auto& v : x) v = rng.normal();
+  std::vector<float> y_eff(static_cast<std::size_t>(out), 0.0f);
+  gemm(out, 1, in, 1.0f, w_eff.data(), x.data(), 0.0f, y_eff.data());
+  std::vector<float> y_xbar(static_cast<std::size_t>(out));
+  engine.mvm(x.data(), y_xbar.data());
+  for (std::int64_t i = 0; i < out; ++i) EXPECT_NEAR(y_xbar[i], y_eff[i], 2e-4f) << i;
+}
+
+TEST(CrossbarEngine, DefectsAreDeterministicPerDevice) {
+  const Tensor w = random_tensor(Shape{8, 16}, 8);
+  CrossbarEngine a(w, small_tiles());
+  CrossbarEngine b(w, small_tiles());
+  a.apply_device_defects(StuckAtFaultModel(0.05), 99, 7);
+  b.apply_device_defects(StuckAtFaultModel(0.05), 99, 7);
+  EXPECT_TRUE(a.read_back().allclose(b.read_back(), 0.0f, 0.0f));
+  CrossbarEngine c(w, small_tiles());
+  c.apply_device_defects(StuckAtFaultModel(0.05), 99, 8);
+  EXPECT_FALSE(a.read_back().allclose(c.read_back(), 0.0f, 0.0f));
+}
+
+TEST(CrossbarEngine, ClearDefectsRestoresIdealWeights) {
+  const Tensor w = random_tensor(Shape{8, 16}, 9, 0.5f);
+  CrossbarEngine engine(w, small_tiles());
+  engine.apply_device_defects(StuckAtFaultModel(0.2), 1, 1);
+  engine.clear_defects();
+  EXPECT_EQ(engine.stuck_cells(), 0);
+  // Stuck values persist in conductance until reprogrammed — clear_defects
+  // only removes the stuck flags. Re-programming happens by constructing a
+  // fresh engine; here we just verify the flag behaviour.
+}
+
+TEST(CrossbarEngine, EquivalenceWithWeightSpaceInjectorInDistribution) {
+  // The fast path (apply_stuck_at_faults) and the cell-level engine implement
+  // the same fault model; at equal rates their weight distortions must agree
+  // statistically: compare mean absolute weight change over many draws.
+  const std::int64_t out = 16, in = 64;
+  const Tensor w = random_tensor(Shape{out, in}, 10, 0.3f);
+  const double p_sa = 0.05;
+  const int reps = 12;
+
+  double engine_mad = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    CrossbarEngine engine(w, small_tiles(), w.abs_max());
+    engine.apply_device_defects(StuckAtFaultModel(p_sa), 1234, static_cast<std::uint64_t>(r));
+    const Tensor w_eff = engine.read_back();
+    for (std::int64_t i = 0; i < w.numel(); ++i) {
+      engine_mad += std::fabs(w_eff[i] - w[i]);
+    }
+  }
+  engine_mad /= static_cast<double>(reps * w.numel());
+
+  double fast_mad = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    Tensor w_fast = w;
+    Rng rng(derive_seed(5678, static_cast<std::uint64_t>(r)));
+    apply_stuck_at_faults(w_fast, StuckAtFaultModel(p_sa), {}, rng);
+    for (std::int64_t i = 0; i < w.numel(); ++i) {
+      fast_mad += std::fabs(w_fast[i] - w[i]);
+    }
+  }
+  fast_mad /= static_cast<double>(reps * w.numel());
+
+  // Same model, same rate -> same expected distortion (within Monte-Carlo
+  // noise; 25% relative tolerance at these sample sizes).
+  EXPECT_NEAR(engine_mad, fast_mad, 0.25 * std::max(engine_mad, fast_mad));
+}
+
+TEST(CrossbarEngine, QuantizedEngineSnapsReadback) {
+  CrossbarEngineConfig cfg = small_tiles();
+  cfg.quant_levels = 3;  // {gmin, mid, gmax}
+  const Tensor w = random_tensor(Shape{4, 8}, 11, 0.5f);
+  const CrossbarEngine engine(w, cfg, w.abs_max());
+  const Tensor w_eff = engine.read_back();
+  // Each differential weight comes from quantized pair -> small discrete set.
+  std::set<int> values;
+  for (std::int64_t i = 0; i < w_eff.numel(); ++i) {
+    values.insert(static_cast<int>(std::lround(w_eff[i] / w.abs_max() * 2.0f)));
+  }
+  EXPECT_LE(values.size(), 5u);
+}
+
+}  // namespace
+}  // namespace ftpim

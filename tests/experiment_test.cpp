@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "src/core/experiment.hpp"
+#include "test_util.hpp"
+
+namespace ftpim {
+namespace {
+
+ExperimentConfig tiny_experiment() {
+  ExperimentConfig cfg;
+  cfg.classes = 4;
+  cfg.resnet_depth = 8;
+  cfg.scale = RunScale{.epochs = 1,
+                       .defect_runs = 2,
+                       .train_size = 64,
+                       .test_size = 32,
+                       .image_size = 8,
+                       .resnet_width = 2,
+                       .batch_size = 32,
+                       .name = "test"};
+  cfg.seed = 77;
+  return cfg;
+}
+
+TEST(PaperGrids, MatchTableI) {
+  const auto test_rates = paper_test_rates();
+  EXPECT_EQ(test_rates.size(), 14u);
+  EXPECT_DOUBLE_EQ(test_rates.front(), 0.0);
+  EXPECT_DOUBLE_EQ(test_rates.back(), 0.2);
+  const auto train_rates = paper_train_rates();
+  EXPECT_EQ(train_rates.size(), 7u);
+  EXPECT_DOUBLE_EQ(train_rates.front(), 0.005);
+  EXPECT_DOUBLE_EQ(train_rates.back(), 0.2);
+}
+
+TEST(Experiment, BuildsDatasetsAtScale) {
+  const Experiment exp(tiny_experiment());
+  EXPECT_EQ(exp.train_data().size(), 64);
+  EXPECT_EQ(exp.test_data().size(), 32);
+  EXPECT_EQ(exp.train_data().num_classes(), 4);
+  EXPECT_EQ(exp.train_data().image_shape(), (Shape{3, 8, 8}));
+  EXPECT_NE(exp.dataset_name().find("SynthVision"), std::string::npos);
+}
+
+TEST(Experiment, FreshModelsAreDeterministic) {
+  const Experiment exp(tiny_experiment());
+  auto a = exp.fresh_model();
+  auto b = exp.fresh_model();
+  const Tensor x = testing::random_tensor(Shape{1, 3, 8, 8}, 1);
+  EXPECT_TRUE(a->forward(x, false).allclose(b->forward(x, false)));
+}
+
+TEST(Experiment, CloneReproducesOutputs) {
+  const Experiment exp(tiny_experiment());
+  auto model = exp.fresh_model(5);
+  auto copy = exp.clone_model(*model);
+  const Tensor x = testing::random_tensor(Shape{2, 3, 8, 8}, 2);
+  EXPECT_TRUE(copy->forward(x, false).allclose(model->forward(x, false)));
+}
+
+TEST(Experiment, SweepRateZeroEqualsCleanAccuracy) {
+  const Experiment exp(tiny_experiment());
+  auto model = exp.fresh_model();
+  const std::vector<double> accs = exp.sweep_rates(*model, {0.0, 0.05});
+  ASSERT_EQ(accs.size(), 2u);
+  EXPECT_DOUBLE_EQ(accs[0], evaluate_accuracy(*model, exp.test_data()));
+  EXPECT_GE(accs[1], 0.0);
+  EXPECT_LE(accs[1], 1.0);
+}
+
+TEST(Experiment, PretrainImprovesOverInit) {
+  ExperimentConfig cfg = tiny_experiment();
+  cfg.scale.epochs = 4;
+  cfg.scale.train_size = 192;
+  Experiment exp(cfg);
+  auto model = exp.fresh_model();
+  const double init_acc = evaluate_accuracy(*model, exp.test_data());
+  const double trained_acc = exp.pretrain(*model);
+  EXPECT_GT(trained_acc, init_acc);
+  EXPECT_GT(trained_acc, 1.2 / 4.0);  // clearly above chance
+}
+
+TEST(Experiment, FtVariantKeepsArchitecture) {
+  ExperimentConfig cfg = tiny_experiment();
+  Experiment exp(cfg);
+  auto model = exp.fresh_model();
+  auto ft = exp.ft_variant(*model, FtScheme::kOneShot, 0.05);
+  EXPECT_EQ(parameter_count(*ft), parameter_count(*model));
+  // FT training actually changed the weights.
+  const StateDict a = state_dict_of(*model);
+  const StateDict b = state_dict_of(*ft);
+  bool changed = false;
+  for (const auto& [name, t] : a) {
+    if (!t.allclose(b.at(name))) changed = true;
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(Experiment, DefectEvalConfigReflectsScale) {
+  const Experiment exp(tiny_experiment());
+  EXPECT_EQ(exp.defect_eval_config().num_runs, 2);
+}
+
+}  // namespace
+}  // namespace ftpim

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/tensor/gemm.hpp"
+#include "src/tensor/tensor.hpp"
+#include "test_util.hpp"
+
+namespace ftpim {
+namespace {
+
+using testing::random_tensor;
+
+void naive_gemm(std::int64_t m, std::int64_t n, std::int64_t k, float alpha, const float* a,
+                const float* b, float beta, float* c) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::int64_t p = 0; p < k; ++p) acc += static_cast<double>(a[i * k + p]) * b[p * n + j];
+      c[i * n + j] = alpha * static_cast<float>(acc) + beta * c[i * n + j];
+    }
+  }
+}
+
+struct GemmDims {
+  std::int64_t m, n, k;
+};
+
+class GemmParamTest : public ::testing::TestWithParam<GemmDims> {};
+
+TEST_P(GemmParamTest, MatchesNaiveReference) {
+  const auto [m, n, k] = GetParam();
+  const Tensor a = random_tensor(Shape{m, k}, 1);
+  const Tensor b = random_tensor(Shape{k, n}, 2);
+  Tensor c = random_tensor(Shape{m, n}, 3);
+  Tensor ref = c;
+  gemm(m, n, k, 1.5f, a.data(), b.data(), 0.5f, c.data());
+  naive_gemm(m, n, k, 1.5f, a.data(), b.data(), 0.5f, ref.data());
+  EXPECT_TRUE(c.allclose(ref, 1e-3f, 1e-3f))
+      << "m=" << m << " n=" << n << " k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GemmParamTest,
+                         ::testing::Values(GemmDims{1, 1, 1}, GemmDims{3, 5, 7},
+                                           GemmDims{16, 16, 16}, GemmDims{33, 65, 129},
+                                           GemmDims{100, 1, 50}, GemmDims{1, 100, 50},
+                                           GemmDims{64, 300, 17}));
+
+TEST(Gemm, BetaZeroClearsGarbage) {
+  // C initialized with NaN-free garbage must be fully overwritten when beta=0.
+  const std::int64_t m = 4, n = 4, k = 4;
+  const Tensor a = random_tensor(Shape{m, k}, 4);
+  const Tensor b = random_tensor(Shape{k, n}, 5);
+  Tensor c(Shape{m, n}, 1e30f);
+  Tensor ref(Shape{m, n}, 0.0f);
+  gemm(m, n, k, 1.0f, a.data(), b.data(), 0.0f, c.data());
+  naive_gemm(m, n, k, 1.0f, a.data(), b.data(), 0.0f, ref.data());
+  EXPECT_TRUE(c.allclose(ref, 1e-3f, 1e-3f));
+}
+
+TEST(Gemm, AlphaZeroOnlyScales) {
+  const std::int64_t m = 3, n = 3, k = 3;
+  const Tensor a = random_tensor(Shape{m, k}, 6);
+  const Tensor b = random_tensor(Shape{k, n}, 7);
+  Tensor c(Shape{m, n}, 2.0f);
+  gemm(m, n, k, 0.0f, a.data(), b.data(), 0.5f, c.data());
+  for (std::int64_t i = 0; i < c.numel(); ++i) EXPECT_FLOAT_EQ(c[i], 1.0f);
+}
+
+TEST(GemmAt, MatchesTransposedReference) {
+  // C[i,j] += sum_p A[p,i] * B[p,j]
+  const std::int64_t m = 9, n = 13, k = 21;
+  const Tensor a = random_tensor(Shape{k, m}, 8);
+  const Tensor b = random_tensor(Shape{k, n}, 9);
+  Tensor c(Shape{m, n});
+  gemm_at(m, n, k, 1.0f, a.data(), b.data(), 0.0f, c.data());
+  Tensor ref(Shape{m, n});
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::int64_t p = 0; p < k; ++p) {
+        acc += static_cast<double>(a.at(p, i)) * b.at(p, j);
+      }
+      ref.at(i, j) = static_cast<float>(acc);
+    }
+  }
+  EXPECT_TRUE(c.allclose(ref, 1e-3f, 1e-3f));
+}
+
+TEST(GemmBt, MatchesTransposedReference) {
+  // C[i,j] += sum_p A[i,p] * B[j,p]
+  const std::int64_t m = 11, n = 6, k = 17;
+  const Tensor a = random_tensor(Shape{m, k}, 10);
+  const Tensor b = random_tensor(Shape{n, k}, 11);
+  Tensor c(Shape{m, n});
+  gemm_bt(m, n, k, 1.0f, a.data(), b.data(), 0.0f, c.data());
+  Tensor ref(Shape{m, n});
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::int64_t p = 0; p < k; ++p) {
+        acc += static_cast<double>(a.at(i, p)) * b.at(j, p);
+      }
+      ref.at(i, j) = static_cast<float>(acc);
+    }
+  }
+  EXPECT_TRUE(c.allclose(ref, 1e-3f, 1e-3f));
+}
+
+TEST(Gemm, AccumulatesWithBetaOne) {
+  const std::int64_t m = 5, n = 5, k = 5;
+  const Tensor a = random_tensor(Shape{m, k}, 12);
+  const Tensor b = random_tensor(Shape{k, n}, 13);
+  Tensor c(Shape{m, n}, 1.0f);
+  Tensor once(Shape{m, n});
+  gemm(m, n, k, 1.0f, a.data(), b.data(), 0.0f, once.data());
+  gemm(m, n, k, 1.0f, a.data(), b.data(), 1.0f, c.data());
+  for (std::int64_t i = 0; i < c.numel(); ++i) EXPECT_NEAR(c[i], once[i] + 1.0f, 1e-4f);
+}
+
+TEST(Gemm, SkipsZeroWeightsCorrectly) {
+  // Sparse A (pruned model case): zeros must contribute exactly nothing.
+  const std::int64_t m = 8, n = 8, k = 8;
+  Tensor a = random_tensor(Shape{m, k}, 14);
+  for (std::int64_t i = 0; i < a.numel(); i += 2) a[i] = 0.0f;
+  const Tensor b = random_tensor(Shape{k, n}, 15);
+  Tensor c(Shape{m, n});
+  Tensor ref(Shape{m, n});
+  gemm(m, n, k, 1.0f, a.data(), b.data(), 0.0f, c.data());
+  naive_gemm(m, n, k, 1.0f, a.data(), b.data(), 0.0f, ref.data());
+  EXPECT_TRUE(c.allclose(ref, 1e-4f, 1e-4f));
+}
+
+}  // namespace
+}  // namespace ftpim

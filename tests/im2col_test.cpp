@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/tensor/im2col.hpp"
+#include "src/tensor/tensor.hpp"
+#include "test_util.hpp"
+
+namespace ftpim {
+namespace {
+
+TEST(ConvGeometry, OutputDims) {
+  const ConvGeometry g{.in_c = 3, .in_h = 32, .in_w = 32, .kernel_h = 3, .kernel_w = 3,
+                       .stride_h = 1, .stride_w = 1, .pad_h = 1, .pad_w = 1};
+  EXPECT_EQ(g.out_h(), 32);
+  EXPECT_EQ(g.out_w(), 32);
+  EXPECT_EQ(g.col_rows(), 27);
+  EXPECT_EQ(g.col_cols(), 1024);
+}
+
+TEST(ConvGeometry, StridedOutputDims) {
+  const ConvGeometry g{.in_c = 16, .in_h = 16, .in_w = 16, .kernel_h = 3, .kernel_w = 3,
+                       .stride_h = 2, .stride_w = 2, .pad_h = 1, .pad_w = 1};
+  EXPECT_EQ(g.out_h(), 8);
+  EXPECT_EQ(g.out_w(), 8);
+}
+
+TEST(Im2col, IdentityKernelCopiesImage) {
+  // 1x1 kernel, no pad, stride 1: col should equal the image flattened.
+  const ConvGeometry g{.in_c = 2, .in_h = 3, .in_w = 3, .kernel_h = 1, .kernel_w = 1,
+                       .stride_h = 1, .stride_w = 1, .pad_h = 0, .pad_w = 0};
+  const Tensor img = testing::random_tensor(Shape{2, 3, 3}, 1);
+  std::vector<float> col(static_cast<std::size_t>(g.col_rows() * g.col_cols()));
+  im2col(img.data(), g, col.data());
+  for (std::int64_t i = 0; i < img.numel(); ++i) EXPECT_FLOAT_EQ(col[i], img[i]);
+}
+
+TEST(Im2col, KnownSmallCase) {
+  // 1 channel 2x2 image, 2x2 kernel, pad 0 -> single output position holding
+  // the whole image.
+  const ConvGeometry g{.in_c = 1, .in_h = 2, .in_w = 2, .kernel_h = 2, .kernel_w = 2,
+                       .stride_h = 1, .stride_w = 1, .pad_h = 0, .pad_w = 0};
+  const Tensor img(Shape{1, 2, 2}, std::vector<float>{1, 2, 3, 4});
+  std::vector<float> col(4);
+  im2col(img.data(), g, col.data());
+  EXPECT_EQ(col, (std::vector<float>{1, 2, 3, 4}));
+}
+
+TEST(Im2col, PaddingProducesZeros) {
+  // 1x1 image, 3x3 kernel, pad 1: center tap sees the pixel, others zero.
+  const ConvGeometry g{.in_c = 1, .in_h = 1, .in_w = 1, .kernel_h = 3, .kernel_w = 3,
+                       .stride_h = 1, .stride_w = 1, .pad_h = 1, .pad_w = 1};
+  const Tensor img(Shape{1, 1, 1}, std::vector<float>{5.0f});
+  std::vector<float> col(9);
+  im2col(img.data(), g, col.data());
+  for (int tap = 0; tap < 9; ++tap) EXPECT_FLOAT_EQ(col[tap], tap == 4 ? 5.0f : 0.0f);
+}
+
+TEST(Col2im, InverseOfIm2colForNonOverlapping) {
+  // Stride == kernel: each input pixel appears exactly once in col, so
+  // col2im(im2col(x)) == x.
+  const ConvGeometry g{.in_c = 2, .in_h = 4, .in_w = 4, .kernel_h = 2, .kernel_w = 2,
+                       .stride_h = 2, .stride_w = 2, .pad_h = 0, .pad_w = 0};
+  const Tensor img = testing::random_tensor(Shape{2, 4, 4}, 2);
+  std::vector<float> col(static_cast<std::size_t>(g.col_rows() * g.col_cols()));
+  im2col(img.data(), g, col.data());
+  Tensor back(Shape{2, 4, 4});
+  col2im(col.data(), g, back.data());
+  EXPECT_TRUE(back.allclose(img));
+}
+
+TEST(Col2im, OverlapAccumulates) {
+  // 3x3 kernel stride 1 pad 1 over all-ones col: each pixel accumulates one
+  // contribution per kernel tap that covers it (9 in the interior).
+  const ConvGeometry g{.in_c = 1, .in_h = 5, .in_w = 5, .kernel_h = 3, .kernel_w = 3,
+                       .stride_h = 1, .stride_w = 1, .pad_h = 1, .pad_w = 1};
+  std::vector<float> col(static_cast<std::size_t>(g.col_rows() * g.col_cols()), 1.0f);
+  Tensor img(Shape{1, 5, 5});
+  col2im(col.data(), g, img.data());
+  EXPECT_FLOAT_EQ(img.data()[2 * 5 + 2], 9.0f);  // interior
+  EXPECT_FLOAT_EQ(img.data()[0], 4.0f);          // corner
+  EXPECT_FLOAT_EQ(img.data()[2], 6.0f);          // edge
+}
+
+TEST(Im2colCol2im, AdjointProperty) {
+  // <im2col(x), y> == <x, col2im(y)> — im2col and col2im must be adjoint
+  // linear maps for convolution backward to be correct.
+  const ConvGeometry g{.in_c = 2, .in_h = 6, .in_w = 5, .kernel_h = 3, .kernel_w = 3,
+                       .stride_h = 2, .stride_w = 1, .pad_h = 1, .pad_w = 1};
+  const Tensor x = testing::random_tensor(Shape{2, 6, 5}, 3);
+  const std::int64_t col_n = g.col_rows() * g.col_cols();
+  const Tensor y = testing::random_tensor(Shape{col_n}, 4);
+
+  std::vector<float> col(static_cast<std::size_t>(col_n));
+  im2col(x.data(), g, col.data());
+  double lhs = 0.0;
+  for (std::int64_t i = 0; i < col_n; ++i) lhs += static_cast<double>(col[i]) * y[i];
+
+  Tensor xt(Shape{2, 6, 5});
+  col2im(y.data(), g, xt.data());
+  double rhs = 0.0;
+  for (std::int64_t i = 0; i < x.numel(); ++i) rhs += static_cast<double>(x[i]) * xt[i];
+
+  EXPECT_NEAR(lhs, rhs, 1e-3 * std::max(1.0, std::fabs(lhs)));
+}
+
+}  // namespace
+}  // namespace ftpim

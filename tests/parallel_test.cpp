@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "src/common/config.hpp"
+#include "src/common/parallel.hpp"
+
+namespace ftpim {
+namespace {
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(0, hits.size(), [&](std::size_t i) { hits[i]++; }, /*min_parallel_trip=*/1);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoOp) {
+  int calls = 0;
+  parallel_for(5, 5, [&](std::size_t) { ++calls; });
+  parallel_for(7, 3, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelFor, SmallTripRunsSerially) {
+  // Below min_parallel_trip the caller thread runs everything (observable
+  // via exact sequential ordering).
+  std::vector<std::size_t> order;
+  parallel_for(0, 4, [&](std::size_t i) { order.push_back(i); }, /*min_parallel_trip=*/100);
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(ParallelForChunks, ChunksPartitionRange) {
+  std::vector<std::atomic<int>> hits(5000);
+  parallel_for_chunks(
+      0, hits.size(),
+      [&](std::size_t lo, std::size_t hi) {
+        EXPECT_LE(lo, hi);
+        for (std::size_t i = lo; i < hi; ++i) hits[i]++;
+      },
+      /*min_parallel_trip=*/1);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForChunks, OffsetRangesWork) {
+  std::atomic<long long> sum{0};
+  parallel_for_chunks(100, 200, [&](std::size_t lo, std::size_t hi) {
+    long long local = 0;
+    for (std::size_t i = lo; i < hi; ++i) local += static_cast<long long>(i);
+    sum += local;
+  });
+  EXPECT_EQ(sum.load(), (100 + 199) * 100 / 2);
+}
+
+TEST(NumThreads, PositiveAndStable) {
+  EXPECT_GE(num_threads(), 1);
+  EXPECT_EQ(num_threads(), num_threads());
+}
+
+TEST(EnvHelpers, ParseAndFallback) {
+  EXPECT_EQ(env_int("FTPIM_SURELY_UNSET_VAR", 17), 17);
+  EXPECT_DOUBLE_EQ(env_double("FTPIM_SURELY_UNSET_VAR", 2.5), 2.5);
+  EXPECT_EQ(env_string("FTPIM_SURELY_UNSET_VAR", "x"), "x");
+  setenv("FTPIM_TEST_ENV_INT", "42", 1);
+  EXPECT_EQ(env_int("FTPIM_TEST_ENV_INT", 0), 42);
+  setenv("FTPIM_TEST_ENV_INT", "garbage", 1);
+  EXPECT_EQ(env_int("FTPIM_TEST_ENV_INT", 9), 9);
+  unsetenv("FTPIM_TEST_ENV_INT");
+}
+
+TEST(RunScale, QuickDefaultsAndOverrides) {
+  unsetenv("FTPIM_SCALE");
+  unsetenv("FTPIM_EPOCHS");
+  const RunScale quick = run_scale();
+  EXPECT_EQ(quick.name, "quick");
+  EXPECT_GT(quick.epochs, 0);
+  setenv("FTPIM_SCALE", "full", 1);
+  const RunScale full = run_scale();
+  EXPECT_EQ(full.name, "full");
+  EXPECT_EQ(full.epochs, 160);
+  EXPECT_EQ(full.defect_runs, 100);
+  setenv("FTPIM_EPOCHS", "5", 1);
+  EXPECT_EQ(run_scale().epochs, 5);
+  unsetenv("FTPIM_SCALE");
+  unsetenv("FTPIM_EPOCHS");
+}
+
+}  // namespace
+}  // namespace ftpim

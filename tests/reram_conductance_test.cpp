@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "src/reram/conductance.hpp"
+#include <cmath>
+
+#include "src/reram/quantizer.hpp"
+
+namespace ftpim {
+namespace {
+
+TEST(ConductanceRange, Validation) {
+  EXPECT_NO_THROW(ConductanceRange{}.validate());
+  EXPECT_THROW((ConductanceRange{.g_min = 1.0f, .g_max = 0.5f}).validate(),
+               std::invalid_argument);
+  EXPECT_THROW((ConductanceRange{.g_min = -0.1f, .g_max = 1.0f}).validate(),
+               std::invalid_argument);
+}
+
+TEST(DifferentialMapper, RoundTripsWeights) {
+  const DifferentialMapper mapper(ConductanceRange{}, 2.0f);
+  for (const float w : {-2.0f, -1.3f, -0.01f, 0.0f, 0.7f, 2.0f}) {
+    EXPECT_NEAR(mapper.to_weight(mapper.to_cells(w)), w, 1e-6f) << w;
+  }
+}
+
+TEST(DifferentialMapper, SaturatesBeyondWmax) {
+  const DifferentialMapper mapper(ConductanceRange{}, 1.0f);
+  EXPECT_NEAR(mapper.to_weight(mapper.to_cells(5.0f)), 1.0f, 1e-6f);
+  EXPECT_NEAR(mapper.to_weight(mapper.to_cells(-5.0f)), -1.0f, 1e-6f);
+}
+
+TEST(DifferentialMapper, OnlyOneCellCarriesSignal) {
+  const DifferentialMapper mapper(ConductanceRange{}, 1.0f);
+  const CellPair pos = mapper.to_cells(0.5f);
+  EXPECT_GT(pos.g_pos, mapper.range().g_min);
+  EXPECT_FLOAT_EQ(pos.g_neg, mapper.range().g_min);
+  const CellPair neg = mapper.to_cells(-0.5f);
+  EXPECT_FLOAT_EQ(neg.g_pos, mapper.range().g_min);
+  EXPECT_GT(neg.g_neg, mapper.range().g_min);
+}
+
+TEST(DifferentialMapper, StuckOnYieldsFullScaleWeight) {
+  // A stuck-on positive cell with a zero weight reads back +w_max: the
+  // worst-case distortion that makes SA1 defects so destructive.
+  const ConductanceRange range{};
+  const DifferentialMapper mapper(range, 1.0f);
+  CellPair cells = mapper.to_cells(0.0f);
+  cells.g_pos = range.g_max;
+  EXPECT_NEAR(mapper.to_weight(cells), 1.0f, 1e-6f);
+}
+
+TEST(DifferentialMapper, StuckOffZeroesTheWeightPart) {
+  const ConductanceRange range{};
+  const DifferentialMapper mapper(range, 1.0f);
+  CellPair cells = mapper.to_cells(0.8f);
+  cells.g_pos = range.g_min;  // positive part stuck off
+  EXPECT_NEAR(mapper.to_weight(cells), 0.0f, 1e-6f);
+}
+
+TEST(DifferentialMapper, Validation) {
+  EXPECT_THROW(DifferentialMapper(ConductanceRange{}, 0.0f), std::invalid_argument);
+  EXPECT_THROW(DifferentialMapper(ConductanceRange{}, -1.0f), std::invalid_argument);
+}
+
+TEST(Quantizer, IdentityWhenDisabled) {
+  const ConductanceQuantizer q(ConductanceRange{}, 0);
+  EXPECT_FLOAT_EQ(q.quantize(0.456f), 0.456f);
+  // Still clamps to the physical range.
+  EXPECT_FLOAT_EQ(q.quantize(2.0f), 1.0f);
+}
+
+TEST(Quantizer, Validation) {
+  EXPECT_THROW(ConductanceQuantizer(ConductanceRange{}, 1), std::invalid_argument);
+  EXPECT_THROW(ConductanceQuantizer(ConductanceRange{}, -2), std::invalid_argument);
+}
+
+class QuantizerLevelsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantizerLevelsTest, SnapsToGrid) {
+  const int levels = GetParam();
+  const ConductanceRange range{.g_min = 0.0f, .g_max = 1.0f};
+  const ConductanceQuantizer q(range, levels);
+  // Quantized values must be exactly representable levels and idempotent.
+  for (float g = 0.0f; g <= 1.0f; g += 0.037f) {
+    const float snapped = q.quantize(g);
+    EXPECT_FLOAT_EQ(q.quantize(snapped), snapped);
+    const float step = 1.0f / static_cast<float>(levels - 1);
+    EXPECT_NEAR(snapped / step, std::round(snapped / step), 1e-4f);
+    EXPECT_LE(std::fabs(snapped - g), step / 2.0f + 1e-5f);
+  }
+}
+
+TEST_P(QuantizerLevelsTest, EndpointsAreLevels) {
+  const int levels = GetParam();
+  const ConductanceQuantizer q(ConductanceRange{.g_min = 0.25f, .g_max = 0.75f}, levels);
+  EXPECT_FLOAT_EQ(q.quantize(0.25f), 0.25f);
+  EXPECT_FLOAT_EQ(q.quantize(0.75f), 0.75f);
+  EXPECT_EQ(q.level_index(0.25f), 0);
+  EXPECT_EQ(q.level_index(0.75f), levels - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, QuantizerLevelsTest, ::testing::Values(2, 4, 8, 16, 32));
+
+}  // namespace
+}  // namespace ftpim

@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include "src/core/stability.hpp"
+
+namespace ftpim {
+namespace {
+
+TEST(StabilityScore, MatchesPaperTable2BaselineRow) {
+  // Pretrained ResNet-32: 75.10 / (75.10 - 2.97) = 1.04.
+  const double ss = stability_score(
+      {.acc_pretrain = 75.10, .acc_retrain = 75.10, .acc_defect = 2.97}, 0.5);
+  EXPECT_NEAR(ss, 1.04, 0.005);
+}
+
+TEST(StabilityScore, MatchesPaperTable2FtRow) {
+  // One-shot P_sa^T=0.05: 75.38 / (75.10 - 73.03) = 36.42.
+  const double ss = stability_score(
+      {.acc_pretrain = 75.10, .acc_retrain = 75.38, .acc_defect = 73.03}, 0.5);
+  EXPECT_NEAR(ss, 36.42, 0.05);
+}
+
+TEST(StabilityScore, MatchesPaperTable2PrunedRow) {
+  // ADMM 70%, progressive P_sa^T=0.1: 74.7 / (74.89 - 65.37) = 7.85.
+  const double ss = stability_score(
+      {.acc_pretrain = 74.89, .acc_retrain = 74.70, .acc_defect = 65.37}, 0.5);
+  EXPECT_NEAR(ss, 7.85, 0.01);
+}
+
+TEST(StabilityScore, ScaleInvariantBetweenPercentAndFraction) {
+  const StabilityInputs pct{.acc_pretrain = 80.0, .acc_retrain = 78.0, .acc_defect = 70.0};
+  const StabilityInputs frac{.acc_pretrain = 0.80, .acc_retrain = 0.78, .acc_defect = 0.70};
+  EXPECT_NEAR(stability_score(pct, 0.5), stability_score(frac, 0.005), 1e-9);
+}
+
+TEST(StabilityScore, ClampsWhenDefectAccuracyExceedsPretrain) {
+  // FT models can beat the pretrained accuracy under mild faults; the floor
+  // keeps SS finite and monotone.
+  const double ss = stability_score(
+      {.acc_pretrain = 0.75, .acc_retrain = 0.76, .acc_defect = 0.755}, 0.005);
+  EXPECT_NEAR(ss, 0.76 / 0.005, 1e-9);
+}
+
+TEST(StabilityScore, HigherDefectAccuracyGivesHigherScore) {
+  const double weak = stability_score({.acc_pretrain = 0.8, .acc_retrain = 0.8, .acc_defect = 0.4});
+  const double strong =
+      stability_score({.acc_pretrain = 0.8, .acc_retrain = 0.8, .acc_defect = 0.7});
+  EXPECT_GT(strong, weak);
+}
+
+TEST(StabilityScore, Validation) {
+  EXPECT_THROW(stability_score({.acc_pretrain = -0.1, .acc_retrain = 0.5, .acc_defect = 0.5}),
+               std::invalid_argument);
+  EXPECT_THROW(stability_score({.acc_pretrain = 0.5, .acc_retrain = 0.5, .acc_defect = 0.5}, 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ftpim

@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/table_printer.hpp"
+
+namespace ftpim {
+namespace {
+
+TEST(TablePrinter, RendersHeadersAndRows) {
+  TablePrinter t("Demo", {"Method", "0.01", "0.02"});
+  t.add_row("baseline", {12.5, 3.25});
+  t.add_row("ours", {88.0, 70.5});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Demo"), std::string::npos);
+  EXPECT_NE(out.find("Method"), std::string::npos);
+  EXPECT_NE(out.find("baseline"), std::string::npos);
+  EXPECT_NE(out.find("12.50"), std::string::npos);
+  EXPECT_NE(out.find("88.00"), std::string::npos);
+}
+
+TEST(TablePrinter, HighlightsTopK) {
+  TablePrinter t("", {"m", "c"});
+  t.add_row("a", {1.0});
+  t.add_row("b", {3.0});
+  t.add_row("c", {2.0});
+  const std::string out = t.render(/*highlight_top=*/1);
+  EXPECT_NE(out.find("3.00*"), std::string::npos);
+  EXPECT_EQ(out.find("1.00*"), std::string::npos);
+  EXPECT_EQ(out.find("2.00*"), std::string::npos);
+}
+
+TEST(TablePrinter, TopKSpansColumnIndependently) {
+  TablePrinter t("", {"m", "x", "y"});
+  t.add_row("a", {10.0, 1.0});
+  t.add_row("b", {1.0, 10.0});
+  const std::string out = t.render(1);
+  // Each column stars its own winner.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '*'), 2);
+}
+
+TEST(TablePrinter, NanRendersAsDashAndIsNeverStarred) {
+  TablePrinter t("", {"m", "v"});
+  t.add_row("a", {std::nan("")});
+  t.add_row("b", {5.0});
+  const std::string out = t.render(2);
+  EXPECT_NE(out.find('-'), std::string::npos);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '*'), 1);
+}
+
+TEST(TablePrinter, DecimalsControlFormatting) {
+  TablePrinter t("", {"m", "v"});
+  t.add_row("a", {1.23456});
+  EXPECT_NE(t.render(0, 4).find("1.2346"), std::string::npos);
+  EXPECT_NE(t.render(0, 1).find("1.2"), std::string::npos);
+}
+
+TEST(TablePrinter, Validation) {
+  EXPECT_THROW(TablePrinter("t", {"only-label"}), std::invalid_argument);
+  TablePrinter t("", {"m", "a", "b"});
+  EXPECT_THROW(t.add_row("x", {1.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ftpim

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/models/mlp.hpp"
+#include "src/reram/variation.hpp"
+#include "test_util.hpp"
+
+namespace ftpim {
+namespace {
+
+TEST(Variation, ZeroSigmaIsNearIdentity) {
+  Tensor w = testing::random_tensor(Shape{500}, 1);
+  const Tensor original = w;
+  Rng rng(2);
+  apply_conductance_variation(w, VariationConfig{.sigma = 0.0f}, rng);
+  EXPECT_TRUE(w.allclose(original, 1e-5f, 1e-5f));
+}
+
+TEST(Variation, PerturbsWeightsAtPositiveSigma) {
+  Tensor w = testing::random_tensor(Shape{500}, 3);
+  const Tensor original = w;
+  Rng rng(4);
+  apply_conductance_variation(w, VariationConfig{.sigma = 0.2f}, rng);
+  double mad = 0.0;
+  for (std::int64_t i = 0; i < w.numel(); ++i) mad += std::fabs(w[i] - original[i]);
+  EXPECT_GT(mad / static_cast<double>(w.numel()), 1e-3);
+}
+
+TEST(Variation, StaysWithinFullScale) {
+  Tensor w = testing::random_tensor(Shape{2000}, 5);
+  const float wmax = w.abs_max();
+  Rng rng(6);
+  apply_conductance_variation(w, VariationConfig{.sigma = 1.0f}, rng);
+  for (std::int64_t i = 0; i < w.numel(); ++i) {
+    EXPECT_LE(std::fabs(w[i]), wmax * (1.0f + 1e-5f));
+    EXPECT_TRUE(std::isfinite(w[i]));
+  }
+}
+
+TEST(Variation, LargerSigmaLargerDistortion) {
+  double mads[2] = {0.0, 0.0};
+  const float sigmas[2] = {0.05f, 0.5f};
+  for (int k = 0; k < 2; ++k) {
+    Tensor w = testing::random_tensor(Shape{5000}, 7);
+    const Tensor original = w;
+    Rng rng(8);
+    apply_conductance_variation(w, VariationConfig{.sigma = sigmas[k]}, rng);
+    for (std::int64_t i = 0; i < w.numel(); ++i) mads[k] += std::fabs(w[i] - original[i]);
+  }
+  EXPECT_GT(mads[1], 2.0 * mads[0]);
+}
+
+TEST(Variation, ModelHelperSkipsNonCrossbarParams) {
+  auto net = make_mlp({6, 8, 2}, 9);
+  std::vector<Tensor> biases;
+  for (const Param* p : parameters_of(*net)) {
+    if (p->kind == ParamKind::kBias) biases.push_back(p->value);
+  }
+  Rng rng(10);
+  apply_variation_to_model(*net, VariationConfig{.sigma = 0.3f}, rng);
+  std::size_t b = 0;
+  for (const Param* p : parameters_of(*net)) {
+    if (p->kind == ParamKind::kBias) {
+      EXPECT_TRUE(p->value.allclose(biases[b++], 0.0f, 0.0f));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ftpim
