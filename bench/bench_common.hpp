@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/common/config.hpp"
+#include "src/common/parallel.hpp"
 #include "src/common/timer.hpp"
 #include "src/core/experiment.hpp"
 #include "src/core/table_printer.hpp"
@@ -68,9 +69,9 @@ inline void print_preamble(const std::string& what, const Experiment& exp) {
   std::printf("dataset: %s | model: ResNet-%d (width %d) | scale: %s\n",
               exp.dataset_name().c_str(), exp.config().resnet_depth,
               static_cast<int>(s.resnet_width), s.name.c_str());
-  std::printf("epochs/stage: %d | train: %d | test: %d | img: %dx%d | defect runs: %d\n\n",
+  std::printf("epochs/stage: %d | train: %d | test: %d | img: %dx%d | defect runs: %d | threads: %d\n\n",
               s.epochs, s.train_size, s.test_size, static_cast<int>(s.image_size),
-              static_cast<int>(s.image_size), s.defect_runs);
+              static_cast<int>(s.image_size), s.defect_runs, num_threads());
 }
 
 }  // namespace ftpim::bench

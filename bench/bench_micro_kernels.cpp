@@ -1,12 +1,16 @@
 // Substrate micro-benchmarks (google-benchmark): GEMM, im2col+conv forward,
-// weight-space fault injection, defect-map sampling, and crossbar MVM.
-// Engineering baseline, not a paper artifact.
+// weight-space fault injection, defect-map sampling, crossbar MVM, and the
+// parallel Monte-Carlo defect evaluation. Engineering baseline, not a paper
+// artifact.
 #include <benchmark/benchmark.h>
 
 #include <memory>
 #include <vector>
 
+#include "src/common/parallel.hpp"
 #include "src/common/rng.hpp"
+#include "src/core/evaluator.hpp"
+#include "src/data/synthetic.hpp"
 #include "src/models/small_cnn.hpp"
 #include "src/reram/crossbar_engine.hpp"
 #include "src/reram/defect_map.hpp"
@@ -88,6 +92,41 @@ void BM_CrossbarMvm(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2 * dim * dim);
 }
 BENCHMARK(BM_CrossbarMvm)->Arg(128)->Arg(256);
+
+// End-to-end Monte-Carlo defect evaluation at a fixed worker count
+// (state.range(0) overrides FTPIM_THREADS). Run with Arg(1) vs Arg(2)/Arg(4)
+// to measure the run-level fan-out; run_accs are bit-identical across args.
+void BM_DefectEval(benchmark::State& state) {
+  auto net = make_small_cnn(SmallCnnConfig{.image_size = 16, .width = 8, .classes = 10});
+  SynthVisionConfig sv;
+  sv.num_classes = 10;
+  sv.image_size = 16;
+  sv.samples = 128;
+  sv.seed = 8;
+  const auto data = make_synthvision(sv, /*sample_stream=*/1);
+  DefectEvalConfig cfg;
+  cfg.num_runs = 8;
+  cfg.seed = 99;
+  set_num_threads(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    const DefectEvalResult r = evaluate_under_defects(*net, *data, /*p_sa=*/0.05, cfg);
+    benchmark::DoNotOptimize(r.mean_acc);
+  }
+  set_num_threads(0);  // back to FTPIM_THREADS / hardware default
+  state.SetItemsProcessed(state.iterations() * cfg.num_runs);
+}
+BENCHMARK(BM_DefectEval)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+// Cost of the deep copy each evaluation worker makes.
+void BM_ModelClone(benchmark::State& state) {
+  auto net = make_small_cnn(SmallCnnConfig{.image_size = 16, .width = 8, .classes = 10});
+  for (auto _ : state) {
+    auto copy = net->clone();
+    benchmark::DoNotOptimize(copy.get());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ModelClone);
 
 }  // namespace
 

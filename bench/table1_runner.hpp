@@ -1,5 +1,10 @@
 // Shared implementation for the two Table I benches (CIFAR-10/ResNet-20 and
 // CIFAR-100/ResNet-32 rows of the paper).
+//
+// The defect sweeps inside sweep_rates fan the Monte-Carlo device runs out
+// over FTPIM_THREADS workers (see evaluate_under_defects); the preamble
+// prints the active thread count. Table numbers are bit-identical at any
+// thread count.
 #pragma once
 
 #include <cstdio>

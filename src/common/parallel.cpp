@@ -1,14 +1,26 @@
 #include "src/common/parallel.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <thread>
 #include <vector>
 
 #include "src/common/config.hpp"
 
 namespace ftpim {
+namespace {
+
+std::atomic<int> g_thread_override{0};
+
+// Set inside worker threads so nested parallel loops run serial instead of
+// spawning threads on top of threads.
+thread_local bool t_in_worker = false;
+
+}  // namespace
 
 int num_threads() noexcept {
+  const int override_n = g_thread_override.load(std::memory_order_relaxed);
+  if (override_n > 0) return override_n;
   static const int cached = [] {
     const int hw = static_cast<int>(std::thread::hardware_concurrency());
     const int fallback = hw > 0 ? hw : 2;
@@ -18,13 +30,19 @@ int num_threads() noexcept {
   return cached;
 }
 
+void set_num_threads(int n) noexcept {
+  g_thread_override.store(n > 0 ? n : 0, std::memory_order_relaxed);
+}
+
+bool in_parallel_region() noexcept { return t_in_worker; }
+
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& fn,
                   std::size_t min_parallel_trip) {
   if (begin >= end) return;
   const std::size_t trip = end - begin;
   const int workers = num_threads();
-  if (workers <= 1 || trip < min_parallel_trip) {
+  if (t_in_worker || workers <= 1 || trip < min_parallel_trip) {
     for (std::size_t i = begin; i < end; ++i) fn(i);
     return;
   }
@@ -37,6 +55,7 @@ void parallel_for(std::size_t begin, std::size_t end,
     const std::size_t hi = std::min(end, lo + chunk);
     if (lo >= hi) break;
     threads.emplace_back([lo, hi, &fn] {
+      t_in_worker = true;
       for (std::size_t i = lo; i < hi; ++i) fn(i);
     });
   }
@@ -49,7 +68,7 @@ void parallel_for_chunks(std::size_t begin, std::size_t end,
   if (begin >= end) return;
   const std::size_t trip = end - begin;
   const int workers = num_threads();
-  if (workers <= 1 || trip < min_parallel_trip) {
+  if (t_in_worker || workers <= 1 || trip < min_parallel_trip) {
     fn(begin, end);
     return;
   }
@@ -61,7 +80,10 @@ void parallel_for_chunks(std::size_t begin, std::size_t end,
     const std::size_t lo = begin + t * chunk;
     const std::size_t hi = std::min(end, lo + chunk);
     if (lo >= hi) break;
-    threads.emplace_back([lo, hi, &fn] { fn(lo, hi); });
+    threads.emplace_back([lo, hi, &fn] {
+      t_in_worker = true;
+      fn(lo, hi);
+    });
   }
   for (auto& th : threads) th.join();
 }

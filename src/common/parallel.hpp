@@ -1,8 +1,11 @@
 // Thread-parallel loop helper.
 //
-// Uses OpenMP when compiled with it, otherwise falls back to a std::thread
-// splitter. Grain control keeps tiny loops serial (thread spawn costs more
-// than the work on 2-core hosts).
+// Uses a std::thread splitter with grain control that keeps tiny loops serial
+// (thread spawn costs more than the work on 2-core hosts). Parallel regions
+// do not nest: a parallel_for issued from inside a worker thread runs serial,
+// so coarse outer loops (e.g. the defect evaluator fanning out Monte-Carlo
+// runs) are never oversubscribed by the per-image parallelism inside
+// Conv2d::forward.
 #pragma once
 
 #include <cstddef>
@@ -10,18 +13,30 @@
 
 namespace ftpim {
 
-/// Number of worker threads parallel_for will use (env FTPIM_THREADS or
-/// hardware_concurrency).
+/// Number of worker threads parallel_for will use: set_num_threads() override
+/// if active, else env FTPIM_THREADS, else hardware_concurrency.
 [[nodiscard]] int num_threads() noexcept;
 
+/// Overrides the worker count at runtime (n >= 1); n <= 0 clears the
+/// override, falling back to FTPIM_THREADS / hardware_concurrency. Intended
+/// for tests (thread-count invariance checks) and embedding hosts that
+/// manage their own thread budget.
+void set_num_threads(int n) noexcept;
+
+/// True while the calling thread is inside a parallel_for worker — nested
+/// parallel loops detect this and degrade to serial execution.
+[[nodiscard]] bool in_parallel_region() noexcept;
+
 /// Runs fn(i) for i in [begin, end). Runs serially when the trip count is
-/// below min_parallel_trip or only one worker is configured.
+/// below min_parallel_trip, only one worker is configured, or the caller is
+/// itself a parallel_for worker (no nested parallelism).
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& fn,
                   std::size_t min_parallel_trip = 2);
 
 /// Runs fn(chunk_begin, chunk_end) over contiguous chunks — lower dispatch
-/// overhead than per-index parallel_for for fine-grained bodies.
+/// overhead than per-index parallel_for for fine-grained bodies. Same
+/// serial-fallback rules as parallel_for.
 void parallel_for_chunks(std::size_t begin, std::size_t end,
                          const std::function<void(std::size_t, std::size_t)>& fn,
                          std::size_t min_parallel_trip = 1024);

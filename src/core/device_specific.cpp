@@ -1,7 +1,5 @@
 #include "src/core/device_specific.hpp"
 
-#include <memory>
-
 #include "src/core/evaluator.hpp"
 
 namespace ftpim {
@@ -20,21 +18,21 @@ TrainStats device_specific_retrain(Module& model, const Dataset& train_data,
   const std::uint64_t stream = device_stream(config.defect_master_seed, config.device_index);
 
   Trainer trainer(model, train_data, config.base);
-  auto guard = std::shared_ptr<WeightFaultGuard>();
+  FaultInjectionSession session(model);  // snapshot buffers reused every iteration
   TrainHooks hooks;
-  hooks.before_forward = [&model, &guard, fault_model, stream,
+  hooks.before_forward = [&session, fault_model, stream,
                           injector = config.injector](int, std::int64_t) {
     // Same seed every iteration: the device's defect map is FIXED — this is
     // what makes the method device-specific.
     Rng rng(stream);
-    guard = std::make_shared<WeightFaultGuard>(model, fault_model, injector, rng);
+    session.inject(fault_model, injector, rng);
   };
-  hooks.after_backward = [&guard](int, std::int64_t) {
-    if (!guard) return;
+  hooks.after_backward = [&session](int, std::int64_t) {
+    if (!session.injected()) return;
     // The map is known, so the retraining pins stuck weights: no gradient
     // flows into positions the device cannot realize.
-    const auto& params = guard->faulted_params();
-    const auto& masks = guard->hit_masks();
+    const auto& params = session.faulted_params();
+    const auto& masks = session.hit_masks();
     for (std::size_t k = 0; k < params.size(); ++k) {
       float* g = params[k]->grad.data();
       const float* hit = masks[k].data();
@@ -42,8 +40,7 @@ TrainStats device_specific_retrain(Module& model, const Dataset& train_data,
         if (hit[i] != 0.0f) g[i] = 0.0f;
       }
     }
-    guard->restore();
-    guard.reset();
+    session.restore();
   };
   trainer.set_hooks(hooks);
   return trainer.run();

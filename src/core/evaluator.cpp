@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
+#include "src/common/parallel.hpp"
 #include "src/data/dataloader.hpp"
 #include "src/tensor/tensor_ops.hpp"
 
@@ -23,24 +25,44 @@ double evaluate_accuracy(Module& model, const Dataset& data, std::int64_t batch_
   return static_cast<double>(hits) / static_cast<double>(data.size());
 }
 
-DefectEvalResult evaluate_under_defects(Module& model, const Dataset& data, double p_sa,
+DefectEvalResult evaluate_under_defects(const Module& model, const Dataset& data, double p_sa,
                                         const DefectEvalConfig& config) {
   DefectEvalResult result;
   if (config.num_runs <= 0) return result;
   const StuckAtFaultModel fault_model(p_sa, config.sa0_fraction);
+  const std::size_t runs = static_cast<std::size_t>(config.num_runs);
+  result.run_accs.assign(runs, 0.0);
+  std::vector<double> run_rates(runs, 0.0);
+
+  // Fan the Monte-Carlo device runs out over workers. Each worker gets a
+  // private deep clone — faulted weights, BN buffers, and forward caches are
+  // all per-worker — and a reusable injection session, so runs inside a
+  // chunk share buffers instead of reallocating snapshots. Run `r`'s fault
+  // map depends only on derive_seed(config.seed, r); the chunk layout only
+  // decides who computes which run, never what that run computes.
+  parallel_for_chunks(
+      0, runs,
+      [&](std::size_t lo, std::size_t hi) {
+        const std::unique_ptr<Module> local = model.clone();
+        FaultInjectionSession session(*local);
+        for (std::size_t run = lo; run < hi; ++run) {
+          Rng rng(derive_seed(config.seed, static_cast<std::uint64_t>(run)));
+          session.inject(fault_model, config.injector, rng);
+          result.run_accs[run] = evaluate_accuracy(*local, data, config.batch_size);
+          run_rates[run] = session.stats().cell_fault_rate();
+          session.restore();
+        }
+      },
+      /*min_parallel_trip=*/2);
+
+  // Aggregate in run order so reductions are bit-identical at any worker
+  // count (same FP addition order as the historical serial loop).
   double sum = 0.0, sq = 0.0, rate_sum = 0.0;
-  result.run_accs.reserve(static_cast<std::size_t>(config.num_runs));
-  for (int run = 0; run < config.num_runs; ++run) {
-    Rng rng(derive_seed(config.seed, static_cast<std::uint64_t>(run)));
-    double acc;
-    {
-      const WeightFaultGuard guard(model, fault_model, config.injector, rng);
-      acc = evaluate_accuracy(model, data, config.batch_size);
-      rate_sum += guard.stats().cell_fault_rate();
-    }  // guard restores clean weights here
-    result.run_accs.push_back(acc);
+  for (std::size_t run = 0; run < runs; ++run) {
+    const double acc = result.run_accs[run];
     sum += acc;
     sq += acc * acc;
+    rate_sum += run_rates[run];
     result.min_acc = std::min(result.min_acc, acc);
     result.max_acc = std::max(result.max_acc, acc);
   }

@@ -4,6 +4,13 @@
 // lines 31-38): for num_of_runs independent devices, apply stuck-at faults to
 // the trained weights at the target testing failure rate, measure accuracy,
 // restore, and average.
+//
+// The runs are independent Monte-Carlo trials, so they fan out over
+// parallel_for_chunks: each worker evaluates a contiguous block of runs on
+// its own Module::clone(), and every run's fault map is seeded from
+// derive_seed(seed, run) — a function of the run index alone. Results are
+// therefore bit-identical at any FTPIM_THREADS setting, and the source model
+// is never touched (weights, buffers, or caches).
 #pragma once
 
 #include <cstdint>
@@ -37,8 +44,9 @@ struct DefectEvalResult {
 };
 
 /// Mean accuracy over `config.num_runs` simulated defective devices at
-/// per-cell failure rate `p_sa`. Model weights are restored after each run.
-DefectEvalResult evaluate_under_defects(Module& model, const Dataset& data, double p_sa,
+/// per-cell failure rate `p_sa`. Runs execute in parallel on per-worker
+/// model clones; `model` itself is left untouched.
+DefectEvalResult evaluate_under_defects(const Module& model, const Dataset& data, double p_sa,
                                         const DefectEvalConfig& config);
 
 }  // namespace ftpim

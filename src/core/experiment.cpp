@@ -51,10 +51,11 @@ std::unique_ptr<Sequential> Experiment::fresh_model(std::uint64_t seed_offset) c
                                   .seed = derive_seed(config_.seed, 0x30de1 + seed_offset)});
 }
 
-std::unique_ptr<Sequential> Experiment::clone_model(Sequential& source) const {
-  auto copy = fresh_model();
-  load_state_dict_into(*copy, state_dict_of(source));
-  return copy;
+std::unique_ptr<Sequential> Experiment::clone_model(const Sequential& source) const {
+  // Structural deep copy — carries params AND buffers (BN running stats),
+  // which the old state-dict round trip through fresh_model() also did, but
+  // without re-running weight init just to overwrite it.
+  return std::make_unique<Sequential>(source);
 }
 
 TrainConfig Experiment::base_train_config() const {

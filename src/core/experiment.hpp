@@ -40,8 +40,8 @@ class Experiment {
   /// Fresh randomly-initialized model of the configured architecture.
   [[nodiscard]] std::unique_ptr<Sequential> fresh_model(std::uint64_t seed_offset = 0) const;
 
-  /// Deep copy via state-dict round trip.
-  [[nodiscard]] std::unique_ptr<Sequential> clone_model(Sequential& source) const;
+  /// Deep copy via the Module::clone() protocol (fresh disjoint storage).
+  [[nodiscard]] std::unique_ptr<Sequential> clone_model(const Sequential& source) const;
 
   /// Training recipe at the active scale (cosine LR from 0.1, augmentation).
   [[nodiscard]] TrainConfig base_train_config() const;

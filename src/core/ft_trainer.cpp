@@ -1,6 +1,5 @@
 #include "src/core/ft_trainer.hpp"
 
-#include <memory>
 #include <stdexcept>
 
 #include "src/common/logging.hpp"
@@ -42,6 +41,12 @@ FtTrainStats FaultTolerantTrainer::run() {
   double rate_sum = 0.0;
   std::int64_t rate_count = 0;
 
+  // One session for the whole run: the clean-weight shadows and hit-mask
+  // buffers are allocated once and reused by every iteration's
+  // inject/restore cycle instead of rebuilding a fresh guard snapshot per
+  // before_forward hook.
+  FaultInjectionSession session(model_);
+
   for (std::size_t stage = 0; stage < stage_rates_.size(); ++stage) {
     const double p_sa = stage_rates_[stage];
     const StuckAtFaultModel fault_model(p_sa, config_.sa0_fraction);
@@ -50,14 +55,11 @@ FtTrainStats FaultTolerantTrainer::run() {
     stage_config.seed = derive_seed(config_.base.seed, stage);
     Trainer trainer(model_, train_data_, stage_config);
 
-    // The guard lives across the hook pair; unique_ptr so the hooks can
-    // create/destroy it around each forward/backward.
-    auto guard = std::shared_ptr<WeightFaultGuard>();
     const std::uint64_t stage_fault_seed = derive_seed(config_.fault_seed, stage);
 
     TrainHooks hooks;
-    hooks.before_forward = [this, &guard, fault_model, stage_fault_seed](int epoch,
-                                                                         std::int64_t iter) {
+    hooks.before_forward = [this, &session, fault_model, stage_fault_seed](int epoch,
+                                                                           std::int64_t iter) {
       // kPerEpoch: same RNG seed for every iteration of an epoch -> identical
       // fault positions, matching Algorithm 1's per-epoch Apply_Fault.
       const std::uint64_t draw =
@@ -67,13 +69,13 @@ FtTrainStats FaultTolerantTrainer::run() {
                             (static_cast<std::uint64_t>(epoch) << 32) ^
                                 static_cast<std::uint64_t>(iter));
       Rng rng(draw);
-      guard = std::make_shared<WeightFaultGuard>(model_, fault_model, config_.injector, rng);
+      session.inject(fault_model, config_.injector, rng);
     };
-    hooks.after_backward = [this, &guard, &rate_sum, &rate_count](int, std::int64_t) {
-      if (!guard) return;
+    hooks.after_backward = [this, &session, &rate_sum, &rate_count](int, std::int64_t) {
+      if (!session.injected()) return;
       if (config_.grad_mode == GradMode::kMasked) {
-        const auto& params = guard->faulted_params();
-        const auto& masks = guard->hit_masks();
+        const auto& params = session.faulted_params();
+        const auto& masks = session.hit_masks();
         for (std::size_t k = 0; k < params.size(); ++k) {
           float* g = params[k]->grad.data();
           const float* hit = masks[k].data();
@@ -82,10 +84,9 @@ FtTrainStats FaultTolerantTrainer::run() {
           }
         }
       }
-      rate_sum += guard->stats().cell_fault_rate();
+      rate_sum += session.stats().cell_fault_rate();
       ++rate_count;
-      guard->restore();  // optimizer step must see clean weights
-      guard.reset();
+      session.restore();  // optimizer step must see clean weights
     };
     trainer.set_hooks(hooks);
 

@@ -9,7 +9,8 @@
 // fault regimes (better Acc_defect at high rates, per Table I).
 //
 // Injection mechanics per iteration:
-//   1. snapshot clean weights, apply Apply_Fault(w, P_sa) (WeightFaultGuard);
+//   1. snapshot clean weights, apply Apply_Fault(w, P_sa) (a run-long
+//      FaultInjectionSession reuses the snapshot buffers across iterations);
 //   2. forward + backward through the faulted weights;
 //   3. optionally zero grads at faulted positions (GradMode::kMasked) —
 //      default is straight-through, since fault positions re-randomize and

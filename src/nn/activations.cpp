@@ -36,6 +36,8 @@ Tensor ReLU::backward(const Tensor& grad_output) {
   return grad_input;
 }
 
+std::unique_ptr<Module> ReLU::clone() const { return std::make_unique<ReLU>(); }
+
 Tensor LeakyReLU::forward(const Tensor& input, bool training) {
   if (training) cached_input_ = input;
   Tensor out(input.shape());
@@ -59,6 +61,8 @@ Tensor LeakyReLU::backward(const Tensor& grad_output) {
   return grad_input;
 }
 
+std::unique_ptr<Module> LeakyReLU::clone() const { return std::make_unique<LeakyReLU>(slope_); }
+
 Tensor Tanh::forward(const Tensor& input, bool training) {
   Tensor out(input.shape());
   const float* src = input.data();
@@ -77,5 +81,7 @@ Tensor Tanh::backward(const Tensor& grad_output) {
   for (std::int64_t i = 0; i < grad_output.numel(); ++i) dx[i] = dy[i] * (1.0f - y[i] * y[i]);
   return grad_input;
 }
+
+std::unique_ptr<Module> Tanh::clone() const { return std::make_unique<Tanh>(); }
 
 }  // namespace ftpim

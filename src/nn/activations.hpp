@@ -10,6 +10,7 @@ class ReLU final : public Module {
   ReLU() = default;
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::unique_ptr<Module> clone() const override;
   [[nodiscard]] std::string type_name() const override { return "ReLU"; }
 
  private:
@@ -21,6 +22,7 @@ class LeakyReLU final : public Module {
   explicit LeakyReLU(float negative_slope = 0.01f) : slope_(negative_slope) {}
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::unique_ptr<Module> clone() const override;
   [[nodiscard]] std::string type_name() const override { return "LeakyReLU"; }
 
  private:
@@ -33,6 +35,7 @@ class Tanh final : public Module {
   Tanh() = default;
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::unique_ptr<Module> clone() const override;
   [[nodiscard]] std::string type_name() const override { return "Tanh"; }
 
  private:

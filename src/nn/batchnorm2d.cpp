@@ -17,6 +17,19 @@ BatchNorm2d::BatchNorm2d(std::int64_t channels, float momentum, float eps)
   if (channels <= 0) throw std::invalid_argument("BatchNorm2d: channels must be positive");
 }
 
+BatchNorm2d::BatchNorm2d(const BatchNorm2d& other)
+    : channels_(other.channels_),
+      momentum_(other.momentum_),
+      eps_(other.eps_),
+      gamma_(other.gamma_.clone_detached()),
+      beta_(other.beta_.clone_detached()),
+      running_mean_(other.running_mean_),
+      running_var_(other.running_var_) {}
+
+std::unique_ptr<Module> BatchNorm2d::clone() const {
+  return std::unique_ptr<Module>(new BatchNorm2d(*this));
+}
+
 Tensor BatchNorm2d::forward(const Tensor& input, bool training) {
   if (input.rank() != 4 || input.dim(1) != channels_) {
     throw std::invalid_argument("BatchNorm2d::forward: expected [N," + std::to_string(channels_) +

@@ -14,6 +14,9 @@ class BatchNorm2d final : public Module {
   void collect_params(const std::string& prefix, std::vector<Param*>& out) override;
   void collect_buffers(const std::string& prefix,
                        std::vector<std::pair<std::string, Tensor*>>& out) override;
+  /// Clones gamma/beta and the running statistics (the buffers eval-mode
+  /// forward depends on); backward caches are dropped.
+  [[nodiscard]] std::unique_ptr<Module> clone() const override;
   [[nodiscard]] std::string type_name() const override { return "BatchNorm2d"; }
 
   [[nodiscard]] std::int64_t channels() const noexcept { return channels_; }
@@ -21,6 +24,8 @@ class BatchNorm2d final : public Module {
   [[nodiscard]] const Tensor& running_var() const noexcept { return running_var_; }
 
  private:
+  BatchNorm2d(const BatchNorm2d& other);
+
   std::int64_t channels_;
   float momentum_, eps_;
   Param gamma_, beta_;

@@ -26,6 +26,20 @@ Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels, std::int64_t
   kaiming_normal(weight_.value, in_channels * kernel * kernel, rng);
 }
 
+Conv2d::Conv2d(const Conv2d& other)
+    : in_channels_(other.in_channels_),
+      out_channels_(other.out_channels_),
+      kernel_(other.kernel_),
+      stride_(other.stride_),
+      pad_(other.pad_),
+      with_bias_(other.with_bias_),
+      weight_(other.weight_.clone_detached()),
+      bias_(other.bias_.clone_detached()) {}
+
+std::unique_ptr<Module> Conv2d::clone() const {
+  return std::unique_ptr<Module>(new Conv2d(*this));
+}
+
 Tensor Conv2d::forward(const Tensor& input, bool training) {
   if (input.rank() != 4 || input.dim(1) != in_channels_) {
     throw std::invalid_argument("Conv2d::forward: expected [N," + std::to_string(in_channels_) +

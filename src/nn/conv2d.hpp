@@ -20,6 +20,7 @@ class Conv2d final : public Module {
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
   void collect_params(const std::string& prefix, std::vector<Param*>& out) override;
+  [[nodiscard]] std::unique_ptr<Module> clone() const override;
   [[nodiscard]] std::string type_name() const override { return "Conv2d"; }
 
   [[nodiscard]] std::int64_t in_channels() const noexcept { return in_channels_; }
@@ -29,6 +30,8 @@ class Conv2d final : public Module {
   [[nodiscard]] Param& weight() noexcept { return weight_; }
 
  private:
+  Conv2d(const Conv2d& other);  ///< clone(): params copied, caches dropped
+
   std::int64_t in_channels_, out_channels_, kernel_, stride_, pad_;
   bool with_bias_;
   Param weight_;  ///< [out_c, in_c * k * k] — already in crossbar matrix layout

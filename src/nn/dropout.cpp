@@ -10,6 +10,10 @@ Dropout::Dropout(float drop_prob, std::uint64_t seed) : drop_prob_(drop_prob), r
   }
 }
 
+std::unique_ptr<Module> Dropout::clone() const {
+  return std::unique_ptr<Module>(new Dropout(*this));
+}
+
 Tensor Dropout::forward(const Tensor& input, bool training) {
   if (!training || drop_prob_ == 0.0f) {
     cached_mask_ = Tensor();

@@ -19,6 +19,17 @@ Linear::Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng, bo
   kaiming_uniform(weight_.value, in_features, rng);
 }
 
+Linear::Linear(const Linear& other)
+    : in_features_(other.in_features_),
+      out_features_(other.out_features_),
+      with_bias_(other.with_bias_),
+      weight_(other.weight_.clone_detached()),
+      bias_(other.bias_.clone_detached()) {}
+
+std::unique_ptr<Module> Linear::clone() const {
+  return std::unique_ptr<Module>(new Linear(*this));
+}
+
 Tensor Linear::forward(const Tensor& input, bool training) {
   if (input.rank() != 2 || input.dim(1) != in_features_) {
     throw std::invalid_argument("Linear::forward: expected [N," + std::to_string(in_features_) +

@@ -14,6 +14,7 @@ class Linear final : public Module {
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
   void collect_params(const std::string& prefix, std::vector<Param*>& out) override;
+  [[nodiscard]] std::unique_ptr<Module> clone() const override;
   [[nodiscard]] std::string type_name() const override { return "Linear"; }
 
   [[nodiscard]] std::int64_t in_features() const noexcept { return in_features_; }
@@ -23,6 +24,8 @@ class Linear final : public Module {
   [[nodiscard]] bool has_bias() const noexcept { return with_bias_; }
 
  private:
+  Linear(const Linear& other);  ///< clone(): params copied, caches dropped
+
   std::int64_t in_features_;
   std::int64_t out_features_;
   bool with_bias_;

@@ -40,6 +40,10 @@ struct Param {
   Param() = default;
   Param(std::string n, Tensor v, ParamKind k)
       : name(std::move(n)), value(std::move(v)), grad(value.shape()), kind(k) {}
+
+  /// Copy with the value in fresh storage and a zeroed gradient — what a
+  /// Module::clone() needs (grads are per-training-loop state, not weights).
+  [[nodiscard]] Param clone_detached() const { return Param(name, value, kind); }
 };
 
 class Module {
@@ -71,6 +75,14 @@ class Module {
     (void)prefix;
     (void)out;
   }
+
+  /// Deep copy: same architecture with parameter values and buffers (e.g. BN
+  /// running stats) copied into fresh, disjoint storage. Gradients are zeroed
+  /// and activation/backward caches are NOT carried over — the clone behaves
+  /// as if freshly constructed and loaded from this module's state dict.
+  /// Clones share no mutable state with the source, so each can run
+  /// forward/backward (and be fault-injected) on its own thread concurrently.
+  [[nodiscard]] virtual std::unique_ptr<Module> clone() const = 0;
 
   /// Short type tag for debugging ("Conv2d", "ReLU", ...).
   [[nodiscard]] virtual std::string type_name() const = 0;

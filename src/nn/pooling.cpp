@@ -40,6 +40,8 @@ Tensor GlobalAvgPool::backward(const Tensor& grad_output) {
   return grad_input;
 }
 
+std::unique_ptr<Module> GlobalAvgPool::clone() const { return std::make_unique<GlobalAvgPool>(); }
+
 MaxPool2d::MaxPool2d(std::int64_t window, std::int64_t stride) : window_(window), stride_(stride) {
   if (window <= 0 || stride <= 0) throw std::invalid_argument("MaxPool2d: invalid geometry");
 }
@@ -107,6 +109,10 @@ Tensor MaxPool2d::backward(const Tensor& grad_output) {
   return grad_input;
 }
 
+std::unique_ptr<Module> MaxPool2d::clone() const {
+  return std::make_unique<MaxPool2d>(window_, stride_);
+}
+
 Tensor Flatten::forward(const Tensor& input, bool training) {
   if (input.rank() < 2) throw std::invalid_argument("Flatten: rank >= 2 required");
   if (training) cached_in_shape_ = input.shape();
@@ -118,5 +124,7 @@ Tensor Flatten::backward(const Tensor& grad_output) {
   if (cached_in_shape_.empty()) throw std::logic_error("Flatten::backward without training forward");
   return grad_output.reshaped(cached_in_shape_);
 }
+
+std::unique_ptr<Module> Flatten::clone() const { return std::make_unique<Flatten>(); }
 
 }  // namespace ftpim

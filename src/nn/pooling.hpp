@@ -13,6 +13,7 @@ class GlobalAvgPool final : public Module {
   GlobalAvgPool() = default;
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::unique_ptr<Module> clone() const override;
   [[nodiscard]] std::string type_name() const override { return "GlobalAvgPool"; }
 
  private:
@@ -25,6 +26,7 @@ class MaxPool2d final : public Module {
   MaxPool2d(std::int64_t window, std::int64_t stride);
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::unique_ptr<Module> clone() const override;
   [[nodiscard]] std::string type_name() const override { return "MaxPool2d"; }
 
  private:
@@ -39,6 +41,7 @@ class Flatten final : public Module {
   Flatten() = default;
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::unique_ptr<Module> clone() const override;
   [[nodiscard]] std::string type_name() const override { return "Flatten"; }
 
  private:

@@ -22,6 +22,16 @@ ResidualBlock::ResidualBlock(std::int64_t in_channels, std::int64_t out_channels
   main_.emplace<BatchNorm2d>(out_channels);
 }
 
+ResidualBlock::ResidualBlock(const ResidualBlock& other)
+    : in_channels_(other.in_channels_),
+      out_channels_(other.out_channels_),
+      stride_(other.stride_),
+      main_(other.main_) {}
+
+std::unique_ptr<Module> ResidualBlock::clone() const {
+  return std::unique_ptr<Module>(new ResidualBlock(*this));
+}
+
 Tensor ResidualBlock::shortcut_forward(const Tensor& x) const {
   if (stride_ == 1 && in_channels_ == out_channels_) return x;
   // Option A: spatial subsample by stride, zero-pad new channels.

@@ -28,9 +28,13 @@ class ResidualBlock final : public Module {
   void collect_params(const std::string& prefix, std::vector<Param*>& out) override;
   void collect_buffers(const std::string& prefix,
                        std::vector<std::pair<std::string, Tensor*>>& out) override;
+  [[nodiscard]] std::unique_ptr<Module> clone() const override;
   [[nodiscard]] std::string type_name() const override { return "ResidualBlock"; }
 
  private:
+  ResidualBlock(const ResidualBlock& other);  ///< clone(): main path deep-copied
+
+
   /// Applies the option-A shortcut to x (identity when shapes match).
   [[nodiscard]] Tensor shortcut_forward(const Tensor& x) const;
   /// Backprop through the option-A shortcut.

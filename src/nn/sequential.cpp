@@ -4,6 +4,13 @@
 
 namespace ftpim {
 
+Sequential::Sequential(const Sequential& other) {
+  children_.reserve(other.children_.size());
+  for (const auto& child : other.children_) children_.push_back(child->clone());
+}
+
+std::unique_ptr<Module> Sequential::clone() const { return std::make_unique<Sequential>(*this); }
+
 Sequential& Sequential::add(std::unique_ptr<Module> child) {
   if (!child) throw std::invalid_argument("Sequential::add: null child");
   children_.push_back(std::move(child));

@@ -12,6 +12,12 @@ class Sequential final : public Module {
  public:
   Sequential() = default;
 
+  /// Deep copy: every child is clone()d, so the copy shares no storage or
+  /// caches with `other` (same contract as Module::clone()). This is the one
+  /// copyable Module — it is the repo's model type, and value copies are what
+  /// per-worker evaluation and harness model cloning build on.
+  Sequential(const Sequential& other);
+
   /// Appends a child module; returns a reference for chaining.
   Sequential& add(std::unique_ptr<Module> child);
 
@@ -28,6 +34,7 @@ class Sequential final : public Module {
   void collect_params(const std::string& prefix, std::vector<Param*>& out) override;
   void collect_buffers(const std::string& prefix,
                        std::vector<std::pair<std::string, Tensor*>>& out) override;
+  [[nodiscard]] std::unique_ptr<Module> clone() const override;
   [[nodiscard]] std::string type_name() const override { return "Sequential"; }
 
   [[nodiscard]] std::size_t size() const noexcept { return children_.size(); }

@@ -9,36 +9,34 @@ float tensor_wmax(const Tensor& weights, const InjectorConfig& config) {
   return m > 0.0f ? m : 1.0f;  // all-zero tensor: any scale works
 }
 
-}  // namespace
-
-InjectionStats apply_stuck_at_faults(Tensor& weights, const StuckAtFaultModel& model,
-                                     const InjectorConfig& config, Rng& rng, Tensor* hit_mask) {
+/// Shared kernel: reads clean weights from `src`, writes the faulted
+/// read-back to `dst` (src == dst is the in-place path). Every element of
+/// dst is written, so a copy destination needs no pre-fill.
+InjectionStats fault_kernel(const float* src, float* dst, std::int64_t n,
+                            const DifferentialMapper& mapper, const ConductanceQuantizer& quant,
+                            const InjectorConfig& config, const StuckAtFaultModel& model,
+                            Rng& rng, float* mask) {
   InjectionStats stats;
-  stats.cells = 2 * weights.numel();
-  if (hit_mask != nullptr) *hit_mask = Tensor(weights.shape());
-
-  const DifferentialMapper mapper(config.range, tensor_wmax(weights, config));
-  const ConductanceQuantizer quant(config.range, config.quant_levels);
+  stats.cells = 2 * n;
   const float g_min = config.range.g_min;
   const float g_max = config.range.g_max;
-
-  float* w = weights.data();
-  float* mask = hit_mask != nullptr ? hit_mask->data() : nullptr;
-  for (std::int64_t i = 0; i < weights.numel(); ++i) {
+  for (std::int64_t i = 0; i < n; ++i) {
     const FaultType f_pos = model.sample(rng);
     const FaultType f_neg = model.sample(rng);
     if (f_pos == FaultType::kNone && f_neg == FaultType::kNone) {
       if (config.quant_levels >= 2) {
         // Still pass through programming quantization so the fault-free path
         // matches device resolution.
-        CellPair cells = mapper.to_cells(w[i]);
+        CellPair cells = mapper.to_cells(src[i]);
         cells.g_pos = quant.quantize(cells.g_pos);
         cells.g_neg = quant.quantize(cells.g_neg);
-        w[i] = mapper.to_weight(cells);
+        dst[i] = mapper.to_weight(cells);
+      } else {
+        dst[i] = src[i];
       }
       continue;
     }
-    CellPair cells = mapper.to_cells(w[i]);
+    CellPair cells = mapper.to_cells(src[i]);
     if (config.quant_levels >= 2) {
       cells.g_pos = quant.quantize(cells.g_pos);
       cells.g_neg = quant.quantize(cells.g_neg);
@@ -52,13 +50,51 @@ InjectionStats apply_stuck_at_faults(Tensor& weights, const StuckAtFaultModel& m
       ++stats.faulted_cells;
     }
     const float new_w = mapper.to_weight(cells);
-    if (new_w != w[i]) {
+    if (new_w != src[i]) {
       ++stats.affected_weights;
       if (mask != nullptr) mask[i] = 1.0f;
     }
-    w[i] = new_w;
+    dst[i] = new_w;
   }
   return stats;
+}
+
+/// Shapes `buffer` like `reference`, reusing its storage when possible, and
+/// zero-fills it (hit masks must start clean).
+void reset_like(Tensor& buffer, const Tensor& reference) {
+  if (buffer.shape() != reference.shape()) {
+    buffer = Tensor(reference.shape());
+  } else {
+    buffer.zero();
+  }
+}
+
+void accumulate(InjectionStats& total, const InjectionStats& s) {
+  total.cells += s.cells;
+  total.faulted_cells += s.faulted_cells;
+  total.affected_weights += s.affected_weights;
+}
+
+}  // namespace
+
+InjectionStats apply_faults_to_copy(const Tensor& src, Tensor& dst,
+                                    const StuckAtFaultModel& model, const InjectorConfig& config,
+                                    Rng& rng, Tensor* hit_mask) {
+  if (dst.shape() != src.shape()) dst = Tensor(src.shape());
+  if (hit_mask != nullptr) reset_like(*hit_mask, src);
+  const DifferentialMapper mapper(config.range, tensor_wmax(src, config));
+  const ConductanceQuantizer quant(config.range, config.quant_levels);
+  return fault_kernel(src.data(), dst.data(), src.numel(), mapper, quant, config, model, rng,
+                      hit_mask != nullptr ? hit_mask->data() : nullptr);
+}
+
+InjectionStats apply_stuck_at_faults(Tensor& weights, const StuckAtFaultModel& model,
+                                     const InjectorConfig& config, Rng& rng, Tensor* hit_mask) {
+  if (hit_mask != nullptr) reset_like(*hit_mask, weights);
+  const DifferentialMapper mapper(config.range, tensor_wmax(weights, config));
+  const ConductanceQuantizer quant(config.range, config.quant_levels);
+  return fault_kernel(weights.data(), weights.data(), weights.numel(), mapper, quant, config,
+                      model, rng, hit_mask != nullptr ? hit_mask->data() : nullptr);
 }
 
 InjectionStats inject_into_model(Module& model_root, const StuckAtFaultModel& model,
@@ -66,38 +102,50 @@ InjectionStats inject_into_model(Module& model_root, const StuckAtFaultModel& mo
   InjectionStats total;
   for (Param* p : parameters_of(model_root)) {
     if (p->kind != ParamKind::kCrossbarWeight) continue;
-    const InjectionStats s = apply_stuck_at_faults(p->value, model, config, rng);
-    total.cells += s.cells;
-    total.faulted_cells += s.faulted_cells;
-    total.affected_weights += s.affected_weights;
+    accumulate(total, apply_stuck_at_faults(p->value, model, config, rng));
   }
   return total;
 }
 
-WeightFaultGuard::WeightFaultGuard(Module& model_root, const StuckAtFaultModel& model,
-                                   const InjectorConfig& config, Rng& rng) {
+FaultInjectionSession::FaultInjectionSession(Module& model_root) {
   for (Param* p : parameters_of(model_root)) {
     if (p->kind == ParamKind::kCrossbarWeight) params_.push_back(p);
   }
-  clean_.reserve(params_.size());
+  shadow_.resize(params_.size());
   hit_masks_.resize(params_.size());
+}
+
+const InjectionStats& FaultInjectionSession::inject(const StuckAtFaultModel& model,
+                                                    const InjectorConfig& config, Rng& rng) {
+  restore();
+  stats_ = InjectionStats{};
+  // Phase 1 (may allocate on first use): faulted copies into the shadows,
+  // model untouched — an exception here leaves the clean weights live.
   for (std::size_t k = 0; k < params_.size(); ++k) {
-    Param* p = params_[k];
-    clean_.push_back(p->value);
-    const InjectionStats s =
-        apply_stuck_at_faults(p->value, model, config, rng, &hit_masks_[k]);
-    stats_.cells += s.cells;
-    stats_.faulted_cells += s.faulted_cells;
-    stats_.affected_weights += s.affected_weights;
+    accumulate(stats_,
+               apply_faults_to_copy(params_[k]->value, shadow_[k], model, config, rng,
+                                    &hit_masks_[k]));
   }
+  // Phase 2 (noexcept): publish — shadows now hold the clean tensors.
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    std::swap(params_[k]->value, shadow_[k]);
+  }
+  injected_ = true;
+  return stats_;
 }
 
-void WeightFaultGuard::restore() {
-  if (restored_) return;
-  for (std::size_t k = 0; k < params_.size(); ++k) params_[k]->value = clean_[k];
-  restored_ = true;
+void FaultInjectionSession::restore() noexcept {
+  if (!injected_) return;
+  for (std::size_t k = 0; k < params_.size(); ++k) std::swap(params_[k]->value, shadow_[k]);
+  injected_ = false;
 }
 
-WeightFaultGuard::~WeightFaultGuard() { restore(); }
+FaultInjectionSession::~FaultInjectionSession() { restore(); }
+
+WeightFaultGuard::WeightFaultGuard(Module& model_root, const StuckAtFaultModel& model,
+                                   const InjectorConfig& config, Rng& rng)
+    : session_(model_root) {
+  session_.inject(model, config, rng);
+}
 
 }  // namespace ftpim

@@ -6,10 +6,11 @@
 // CrossbarEngine computes, collapsed to a fast per-weight path (the
 // equivalence is covered by tests/reram_equivalence_test).
 //
-// InjectIntoModel applies the injection to every ParamKind::kCrossbarWeight
-// parameter of a network; WeightFaultGuard additionally snapshots the clean
-// weights and restores them on destruction, which is how the trainer injects
-// per-iteration faults without losing the master copy.
+// The primitive is apply_faults_to_copy: a PURE function from a clean weight
+// tensor to a faulted copy + hit mask that never touches the source. The
+// in-place path (apply_stuck_at_faults), the reusable FaultInjectionSession,
+// and the RAII WeightFaultGuard are all built on it; the parallel defect
+// evaluator runs one session per worker-thread model clone.
 #pragma once
 
 #include <cstdint>
@@ -40,9 +41,18 @@ struct InjectionStats {
   }
 };
 
-/// Applies stuck-at faults to `weights` in place. If `hit_mask` is non-null it
-/// is resized to the weight shape and set to 1 at weights whose cells faulted
-/// (used for masked-gradient FT training).
+/// Non-mutating Apply_Fault: writes the faulted read-back of `src` into `dst`
+/// (reusing `dst`'s storage when the shape already matches) without touching
+/// `src`. The differential-pair w_max scale is derived from `src`, so the
+/// result is bit-identical to faulting `src` in place. If `hit_mask` is
+/// non-null it is shaped like `src` (storage reused too) and set to 1 at
+/// weights whose cells faulted.
+InjectionStats apply_faults_to_copy(const Tensor& src, Tensor& dst,
+                                    const StuckAtFaultModel& model, const InjectorConfig& config,
+                                    Rng& rng, Tensor* hit_mask = nullptr);
+
+/// Applies stuck-at faults to `weights` in place (same RNG stream and float
+/// semantics as apply_faults_to_copy).
 InjectionStats apply_stuck_at_faults(Tensor& weights, const StuckAtFaultModel& model,
                                      const InjectorConfig& config, Rng& rng,
                                      Tensor* hit_mask = nullptr);
@@ -51,33 +61,75 @@ InjectionStats apply_stuck_at_faults(Tensor& weights, const StuckAtFaultModel& m
 InjectionStats inject_into_model(Module& model_root, const StuckAtFaultModel& model,
                                  const InjectorConfig& config, Rng& rng);
 
-/// RAII: snapshots all crossbar weights of a network, injects faults, and
-/// restores the clean weights on destruction (or on restore()).
-class WeightFaultGuard {
+/// Reusable inject/restore workspace bound to one network.
+///
+/// Binds to the crossbar-weight parameters of `model_root` once; every
+/// inject() computes faulted copies into persistent shadow buffers and then
+/// swaps them in (exception-safe: the model is untouched until all copies
+/// succeeded; the publish step is noexcept swaps). restore() swaps the clean
+/// tensors back in O(pointers) and is idempotent. Buffers — shadows and hit
+/// masks — are allocated on the first inject() and reused afterwards, which
+/// is what keeps per-iteration fault injection in FaultTolerantTrainer
+/// allocation-free in steady state.
+class FaultInjectionSession {
  public:
-  WeightFaultGuard(Module& model_root, const StuckAtFaultModel& model,
-                   const InjectorConfig& config, Rng& rng);
-  ~WeightFaultGuard();
+  explicit FaultInjectionSession(Module& model_root);
+  ~FaultInjectionSession();  ///< restores clean weights if still injected
 
-  WeightFaultGuard(const WeightFaultGuard&) = delete;
-  WeightFaultGuard& operator=(const WeightFaultGuard&) = delete;
+  FaultInjectionSession(const FaultInjectionSession&) = delete;
+  FaultInjectionSession& operator=(const FaultInjectionSession&) = delete;
 
-  /// Restores clean weights early (idempotent).
-  void restore();
+  /// Snapshots clean weights and publishes a freshly drawn fault map.
+  /// Restores first if a previous injection is still active.
+  const InjectionStats& inject(const StuckAtFaultModel& model, const InjectorConfig& config,
+                               Rng& rng);
 
+  /// Swaps the clean weights back (idempotent, noexcept).
+  void restore() noexcept;
+
+  [[nodiscard]] bool injected() const noexcept { return injected_; }
   [[nodiscard]] const InjectionStats& stats() const noexcept { return stats_; }
 
-  /// Per-parameter hit masks, parallel to parameters_of(model) filtered to
-  /// crossbar weights; 1 where a cell fault changed the weight.
+  /// Per-parameter hit masks, parallel to faulted_params(); 1 where a cell
+  /// fault changed the weight. Valid after the first inject().
   [[nodiscard]] const std::vector<Tensor>& hit_masks() const noexcept { return hit_masks_; }
   [[nodiscard]] const std::vector<Param*>& faulted_params() const noexcept { return params_; }
 
  private:
   std::vector<Param*> params_;
-  std::vector<Tensor> clean_;
+  std::vector<Tensor> shadow_;  ///< faulted copy pre-publish, clean copy while injected
   std::vector<Tensor> hit_masks_;
   InjectionStats stats_;
-  bool restored_ = false;
+  bool injected_ = false;
+};
+
+/// RAII: snapshots all crossbar weights of a network, injects faults, and
+/// restores the clean weights on destruction (or on restore()). Thin
+/// single-shot wrapper over FaultInjectionSession.
+class WeightFaultGuard {
+ public:
+  WeightFaultGuard(Module& model_root, const StuckAtFaultModel& model,
+                   const InjectorConfig& config, Rng& rng);
+
+  WeightFaultGuard(const WeightFaultGuard&) = delete;
+  WeightFaultGuard& operator=(const WeightFaultGuard&) = delete;
+
+  /// Restores clean weights early (idempotent).
+  void restore() noexcept { session_.restore(); }
+
+  [[nodiscard]] const InjectionStats& stats() const noexcept { return session_.stats(); }
+
+  /// Per-parameter hit masks, parallel to parameters_of(model) filtered to
+  /// crossbar weights; 1 where a cell fault changed the weight.
+  [[nodiscard]] const std::vector<Tensor>& hit_masks() const noexcept {
+    return session_.hit_masks();
+  }
+  [[nodiscard]] const std::vector<Param*>& faulted_params() const noexcept {
+    return session_.faulted_params();
+  }
+
+ private:
+  FaultInjectionSession session_;
 };
 
 }  // namespace ftpim
