@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Local CI matrix for ftpim: builds every target (library, tests, benches,
+# examples) and runs ctest under each configuration:
+#
+#   default    plain Release build, full suite + determinism linter
+#   address    ASan/LSan, full suite
+#   undefined  UBSan (non-recovering), full suite
+#   thread     TSan, concurrency-sensitive subset with FTPIM_THREADS=4
+#
+# Usage:
+#   scripts/ci.sh             # run the whole matrix
+#   scripts/ci.sh undefined   # run a single configuration
+#
+# Build trees live under build-ci/<config> so the developer build/ is never
+# clobbered. Total runtime is dominated by the three sanitizer builds.
+set -euo pipefail
+
+REPO_ROOT="$(cd -- "$(dirname -- "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_ROOT="${REPO_ROOT}/build-ci"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+# TSan-relevant subset: parallel_for machinery, module cloning, Monte-Carlo
+# defect evaluation, fault-injection sessions, and the contract layer they
+# all guard. Kept as a regex so newly added tests matching these names are
+# picked up automatically.
+THREAD_SUBSET='Parallel|Clone|Defect|Session|Eval|Check|Logging'
+
+run_config() {
+  local name="$1" cmake_args="$2" ctest_args="$3"
+  local bdir="${BUILD_ROOT}/${name}"
+  echo "==> [${name}] configure"
+  # shellcheck disable=SC2086  # cmake_args is a deliberate word list
+  cmake -B "${bdir}" -S "${REPO_ROOT}" ${cmake_args}
+  echo "==> [${name}] build (all targets, incl. bench/ and examples/)"
+  cmake --build "${bdir}" -j "${JOBS}"
+  echo "==> [${name}] ctest ${ctest_args}"
+  # shellcheck disable=SC2086
+  (cd "${bdir}" && ctest --output-on-failure -j "${JOBS}" ${ctest_args})
+  echo "==> [${name}] OK"
+}
+
+declare -A CMAKE_ARGS=(
+  [default]="-DFTPIM_WERROR=ON"
+  [address]="-DFTPIM_SANITIZE=address"
+  [undefined]="-DFTPIM_SANITIZE=undefined"
+  [thread]="-DFTPIM_SANITIZE=thread"
+)
+declare -A CTEST_ARGS=(
+  [default]=""
+  [address]="-E ^lint"
+  [undefined]="-E ^lint"
+  [thread]="-R ${THREAD_SUBSET}"
+)
+
+ORDER=(default address undefined thread)
+if [[ $# -gt 0 ]]; then
+  ORDER=("$@")
+fi
+
+for cfg in "${ORDER[@]}"; do
+  if [[ -z "${CMAKE_ARGS[${cfg}]+x}" ]]; then
+    echo "ci.sh: unknown config '${cfg}' (known: ${!CMAKE_ARGS[*]})" >&2
+    exit 2
+  fi
+  if [[ "${cfg}" == "thread" ]]; then
+    FTPIM_THREADS=4 run_config "${cfg}" "${CMAKE_ARGS[${cfg}]}" "${CTEST_ARGS[${cfg}]}"
+  else
+    run_config "${cfg}" "${CMAKE_ARGS[${cfg}]}" "${CTEST_ARGS[${cfg}]}"
+  fi
+done
+
+echo "ci.sh: all configurations passed"

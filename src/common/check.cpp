@@ -1,0 +1,38 @@
+#include "src/common/check.hpp"
+
+#include <cstring>
+
+namespace ftpim::detail {
+namespace {
+
+// Trailing path component only — keeps messages stable across build roots.
+const char* basename_of(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+void contract_fail(const char* file, int line, const char* expr_text,
+                   const std::string& values, const std::string& message) {
+  std::string what;
+  what.reserve(128);
+  what += basename_of(file);
+  what += ':';
+  what += std::to_string(line);
+  what += ": ";
+  what += expr_text;
+  what += " failed";
+  if (!values.empty()) {
+    what += " (";
+    what += values;
+    what += ')';
+  }
+  if (!message.empty()) {
+    what += ": ";
+    what += message;
+  }
+  throw ContractViolation(what);
+}
+
+}  // namespace ftpim::detail

@@ -1,0 +1,147 @@
+// Contract-checking macros — the machine-checked invariants layer.
+//
+// Two tiers (see DESIGN.md "Invariants & determinism rules"):
+//
+//   FTPIM_CHECK(cond [, fmt, ...])        always on, every build type. Use at
+//   FTPIM_CHECK_{EQ,NE,LT,LE,GT,GE}(a,b)  public API boundaries: argument
+//                                         shapes, probability ranges, config
+//                                         validation. Failure throws
+//                                         ftpim::ContractViolation with
+//                                         file:line, the failed expression,
+//                                         and (for comparisons) both operand
+//                                         values.
+//
+//   FTPIM_DCHECK(...) / FTPIM_DCHECK_*    debug-only twins for hot loops
+//                                         (tensor indexing, kernel inner
+//                                         preconditions). Compile away to
+//                                         nothing in Release — operands are
+//                                         not evaluated — so they are free on
+//                                         the paper's Monte-Carlo hot path.
+//
+// ContractViolation derives from std::invalid_argument: call sites that used
+// to `throw std::invalid_argument(...)` by hand migrate to FTPIM_CHECK
+// without changing what callers (and tests) can catch.
+//
+// The enabled/disabled state of DCHECKs is controlled by FTPIM_DCHECK_ENABLED
+// (0/1). The build sets it via the FTPIM_DCHECKS CMake option (AUTO = on in
+// Debug, off in Release); standalone inclusion falls back to !NDEBUG.
+// The optional message is printf-style, same formatting as the logger.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <utility>
+
+#include "src/common/strformat.hpp"
+
+#if !defined(FTPIM_DCHECK_ENABLED)
+#if defined(NDEBUG)
+#define FTPIM_DCHECK_ENABLED 0
+#else
+#define FTPIM_DCHECK_ENABLED 1
+#endif
+#endif
+
+namespace ftpim {
+
+/// Thrown by every violated FTPIM_CHECK*/FTPIM_DCHECK*. IS-A
+/// std::invalid_argument (hence std::logic_error), so legacy catch sites work.
+class ContractViolation : public std::invalid_argument {
+ public:
+  explicit ContractViolation(const std::string& what_arg)
+      : std::invalid_argument(what_arg) {}
+};
+
+/// True when FTPIM_DCHECK* are live in this build (tests branch on this to
+/// assert both the firing and the compiled-away behavior).
+inline constexpr bool kDChecksEnabled = FTPIM_DCHECK_ENABLED != 0;
+
+namespace detail {
+
+/// Builds the what() string and throws ContractViolation. `values` is the
+/// pre-rendered "3 vs 4" operand text for comparison checks ("" otherwise).
+[[noreturn]] void contract_fail(const char* file, int line, const char* expr_text,
+                                const std::string& values, const std::string& message);
+
+/// Renders one comparison operand for the failure message. Arithmetic types
+/// print their value; anything else prints a placeholder so the header stays
+/// iostream-free.
+template <typename T>
+std::string contract_repr(const T& v) {
+  using D = std::decay_t<T>;
+  if constexpr (std::is_same_v<D, bool>) {
+    return v ? "true" : "false";
+  } else if constexpr (std::is_enum_v<D>) {
+    return std::to_string(static_cast<long long>(static_cast<std::underlying_type_t<D>>(v)));
+  } else if constexpr (std::is_arithmetic_v<D>) {
+    return std::to_string(v);
+  } else if constexpr (std::is_convertible_v<const T&, std::string>) {
+    return std::string(v);
+  } else {
+    return "<value>";
+  }
+}
+
+inline std::string contract_msg() { return {}; }
+template <typename... Args>
+std::string contract_msg(const char* fmt, Args&&... args) {
+  return format_msg(fmt, std::forward<Args>(args)...);
+}
+
+}  // namespace detail
+}  // namespace ftpim
+
+#define FTPIM_CHECK(cond, ...)                                                        \
+  do {                                                                                \
+    if (!(cond)) {                                                                    \
+      ::ftpim::detail::contract_fail(__FILE__, __LINE__, "FTPIM_CHECK(" #cond ")",    \
+                                     std::string(),                                   \
+                                     ::ftpim::detail::contract_msg(__VA_ARGS__));     \
+    }                                                                                 \
+  } while (0)
+
+// Operands are evaluated exactly once; both values appear in the message.
+#define FTPIM_CHECK_OP_(checkname, op, a, b, ...)                                     \
+  do {                                                                                \
+    const auto& ftpim_chk_a_ = (a);                                                   \
+    const auto& ftpim_chk_b_ = (b);                                                   \
+    if (!(ftpim_chk_a_ op ftpim_chk_b_)) {                                            \
+      ::ftpim::detail::contract_fail(                                                 \
+          __FILE__, __LINE__, checkname "(" #a ", " #b ")",                           \
+          ::ftpim::detail::contract_repr(ftpim_chk_a_) + " vs " +                     \
+              ::ftpim::detail::contract_repr(ftpim_chk_b_),                           \
+          ::ftpim::detail::contract_msg(__VA_ARGS__));                                \
+    }                                                                                 \
+  } while (0)
+
+#define FTPIM_CHECK_EQ(a, b, ...) FTPIM_CHECK_OP_("FTPIM_CHECK_EQ", ==, a, b, __VA_ARGS__)
+#define FTPIM_CHECK_NE(a, b, ...) FTPIM_CHECK_OP_("FTPIM_CHECK_NE", !=, a, b, __VA_ARGS__)
+#define FTPIM_CHECK_LT(a, b, ...) FTPIM_CHECK_OP_("FTPIM_CHECK_LT", <, a, b, __VA_ARGS__)
+#define FTPIM_CHECK_LE(a, b, ...) FTPIM_CHECK_OP_("FTPIM_CHECK_LE", <=, a, b, __VA_ARGS__)
+#define FTPIM_CHECK_GT(a, b, ...) FTPIM_CHECK_OP_("FTPIM_CHECK_GT", >, a, b, __VA_ARGS__)
+#define FTPIM_CHECK_GE(a, b, ...) FTPIM_CHECK_OP_("FTPIM_CHECK_GE", >=, a, b, __VA_ARGS__)
+
+#if FTPIM_DCHECK_ENABLED
+
+#define FTPIM_DCHECK(cond, ...) FTPIM_CHECK(cond, __VA_ARGS__)
+#define FTPIM_DCHECK_EQ(a, b, ...) FTPIM_CHECK_EQ(a, b, __VA_ARGS__)
+#define FTPIM_DCHECK_NE(a, b, ...) FTPIM_CHECK_NE(a, b, __VA_ARGS__)
+#define FTPIM_DCHECK_LT(a, b, ...) FTPIM_CHECK_LT(a, b, __VA_ARGS__)
+#define FTPIM_DCHECK_LE(a, b, ...) FTPIM_CHECK_LE(a, b, __VA_ARGS__)
+#define FTPIM_DCHECK_GT(a, b, ...) FTPIM_CHECK_GT(a, b, __VA_ARGS__)
+#define FTPIM_DCHECK_GE(a, b, ...) FTPIM_CHECK_GE(a, b, __VA_ARGS__)
+
+#else  // FTPIM_DCHECK_ENABLED
+
+// sizeof keeps the operands type-checked but UNEVALUATED (no side effects,
+// no codegen) while still counting as a use for -Wunused purposes.
+#define FTPIM_DCHECK(cond, ...) static_cast<void>(sizeof(!(cond)))
+#define FTPIM_DCHECK_EQ(a, b, ...) static_cast<void>(sizeof(!((a) == (b))))
+#define FTPIM_DCHECK_NE(a, b, ...) static_cast<void>(sizeof(!((a) != (b))))
+#define FTPIM_DCHECK_LT(a, b, ...) static_cast<void>(sizeof(!((a) < (b))))
+#define FTPIM_DCHECK_LE(a, b, ...) static_cast<void>(sizeof(!((a) <= (b))))
+#define FTPIM_DCHECK_GT(a, b, ...) static_cast<void>(sizeof(!((a) > (b))))
+#define FTPIM_DCHECK_GE(a, b, ...) static_cast<void>(sizeof(!((a) >= (b))))
+
+#endif  // FTPIM_DCHECK_ENABLED

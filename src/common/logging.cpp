@@ -1,15 +1,24 @@
 #include "src/common/logging.hpp"
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
+
+#include "src/common/thread_annotations.hpp"
 
 namespace ftpim {
 namespace {
 
+// Log threshold. Lock-free: relaxed is sufficient because the level is a
+// standalone filter — no other data is published through it.
 std::atomic<int> g_level{-1};  // -1 = not yet initialized from env
-std::mutex g_mutex;
+
+// Serializes sink invocation (line-granularity interleaving guarantee) and
+// guards the sink registration below.
+Mutex g_mutex;
+LogSink g_sink FTPIM_GUARDED_BY(g_mutex) = nullptr;
+void* g_sink_user FTPIM_GUARDED_BY(g_mutex) = nullptr;
 
 LogLevel level_from_env() {
   const char* env = std::getenv("FTPIM_LOG");
@@ -47,9 +56,19 @@ void set_log_level(LogLevel level) noexcept {
   g_level.store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
+void set_log_sink(LogSink sink, void* user) noexcept {
+  const MutexLock lock(g_mutex);
+  g_sink = sink;
+  g_sink_user = user;
+}
+
 namespace detail {
 void log_line(LogLevel level, const std::string& msg) {
-  const std::lock_guard<std::mutex> lock(g_mutex);
+  const MutexLock lock(g_mutex);
+  if (g_sink != nullptr) {
+    g_sink(level, msg, g_sink_user);
+    return;
+  }
   std::fprintf(stderr, "[ftpim %s] %s\n", level_tag(level), msg.c_str());
 }
 }  // namespace detail

@@ -1,10 +1,12 @@
-// Minimal leveled logger. Not thread-interleave-safe beyond line granularity;
-// suitable for experiment harness progress output.
+// Minimal leveled logger. Thread-safe at line granularity: concurrent
+// log_* calls never interleave within a line (the sink runs under a mutex —
+// see logging.cpp for the Clang thread-safety annotations).
 #pragma once
 
-#include <cstdio>
 #include <string>
 #include <utility>
+
+#include "src/common/strformat.hpp"
 
 namespace ftpim {
 
@@ -15,18 +17,14 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff =
 LogLevel log_level() noexcept;
 void set_log_level(LogLevel level) noexcept;
 
+/// Sink hook: receives every emitted line instead of stderr. Used by tests to
+/// capture output and by embedding hosts to reroute logs. The callback runs
+/// under the logging mutex (so it must not log). nullptr restores stderr.
+using LogSink = void (*)(LogLevel level, const std::string& line, void* user);
+void set_log_sink(LogSink sink, void* user) noexcept;
+
 namespace detail {
 void log_line(LogLevel level, const std::string& msg);
-
-template <typename... Args>
-std::string format_msg(const char* fmt, Args&&... args) {
-  const int needed = std::snprintf(nullptr, 0, fmt, std::forward<Args>(args)...);
-  if (needed <= 0) return std::string(fmt);
-  std::string out(static_cast<std::size_t>(needed), '\0');
-  std::snprintf(out.data(), out.size() + 1, fmt, std::forward<Args>(args)...);
-  return out;
-}
-inline std::string format_msg(const char* fmt) { return std::string(fmt); }
 }  // namespace detail
 
 template <typename... Args>

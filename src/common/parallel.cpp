@@ -10,6 +10,14 @@
 namespace ftpim {
 namespace {
 
+// Worker-count override. Lock-free shared state (see the atomics convention
+// in thread_annotations.hpp): written by set_num_threads from any thread,
+// read by every parallel_for dispatch. Release on store / acquire on load so
+// a dispatcher that observes a new override also observes everything the
+// setting thread did before publishing it; the value itself is a single int,
+// so no stronger ordering is needed and TSan sees every access as
+// synchronized (tests/parallel_test.cpp hammers this concurrently).
+// 0 means "no override" — fall back to FTPIM_THREADS / hardware_concurrency.
 std::atomic<int> g_thread_override{0};
 
 // Set inside worker threads so nested parallel loops run serial instead of
@@ -19,8 +27,9 @@ thread_local bool t_in_worker = false;
 }  // namespace
 
 int num_threads() noexcept {
-  const int override_n = g_thread_override.load(std::memory_order_relaxed);
+  const int override_n = g_thread_override.load(std::memory_order_acquire);
   if (override_n > 0) return override_n;
+  // Magic-static init is itself thread-safe; the env is read exactly once.
   static const int cached = [] {
     const int hw = static_cast<int>(std::thread::hardware_concurrency());
     const int fallback = hw > 0 ? hw : 2;
@@ -31,7 +40,7 @@ int num_threads() noexcept {
 }
 
 void set_num_threads(int n) noexcept {
-  g_thread_override.store(n > 0 ? n : 0, std::memory_order_relaxed);
+  g_thread_override.store(n > 0 ? n : 0, std::memory_order_release);
 }
 
 bool in_parallel_region() noexcept { return t_in_worker; }

@@ -20,7 +20,11 @@ namespace ftpim {
 /// Overrides the worker count at runtime (n >= 1); n <= 0 clears the
 /// override, falling back to FTPIM_THREADS / hardware_concurrency. Intended
 /// for tests (thread-count invariance checks) and embedding hosts that
-/// manage their own thread budget.
+/// manage their own thread budget. Safe to call concurrently with
+/// num_threads() and with running parallel loops: the override is a single
+/// release/acquire atomic (documented in parallel.cpp), so concurrent
+/// override + read is formally race-free; loops already dispatched keep the
+/// worker count they read at entry.
 void set_num_threads(int n) noexcept;
 
 /// True while the calling thread is inside a parallel_for worker — nested

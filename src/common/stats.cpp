@@ -1,5 +1,7 @@
 #include "src/common/stats.hpp"
 
+#include "src/common/check.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
@@ -26,8 +28,8 @@ Summary summarize(const std::vector<double>& values) {
 }
 
 double quantile(std::vector<double> values, double q) {
-  if (values.empty()) throw std::invalid_argument("quantile: empty sample");
-  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q outside [0,1]");
+  FTPIM_CHECK(!(values.empty()), "quantile: empty sample");
+  FTPIM_CHECK(!(q < 0.0 || q > 1.0), "quantile: q outside [0,1]");
   std::sort(values.begin(), values.end());
   const auto idx = static_cast<std::size_t>(
       std::llround(q * static_cast<double>(values.size() - 1)));

@@ -1,0 +1,24 @@
+// printf-style formatting into std::string.
+//
+// Shared by the logging layer and the contract-check layer so both produce
+// identically formatted messages. The two-pass snprintf sizes the buffer
+// exactly; a malformed format string degrades to returning the format text.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+namespace ftpim::detail {
+
+template <typename... Args>
+std::string format_msg(const char* fmt, Args&&... args) {
+  const int needed = std::snprintf(nullptr, 0, fmt, std::forward<Args>(args)...);
+  if (needed <= 0) return std::string(fmt);
+  std::string out(static_cast<std::size_t>(needed), '\0');
+  std::snprintf(out.data(), out.size() + 1, fmt, std::forward<Args>(args)...);
+  return out;
+}
+inline std::string format_msg(const char* fmt) { return std::string(fmt); }
+
+}  // namespace ftpim::detail

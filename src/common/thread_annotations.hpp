@@ -1,0 +1,70 @@
+// Clang Thread Safety Analysis attribute macros + annotated mutex wrappers.
+//
+// Under clang these expand to the capability attributes that -Wthread-safety
+// checks statically (build with -DFTPIM_WERROR=ON to promote findings to
+// errors); under GCC and other compilers they expand to nothing, so the
+// annotations are free documentation. Conventions (DESIGN.md "Invariants &
+// determinism rules"):
+//
+//   * every std::mutex in the library is wrapped in ftpim::Mutex and locked
+//     through ftpim::MutexLock so the analysis sees acquire/release;
+//   * shared state protected by a mutex carries FTPIM_GUARDED_BY(mu);
+//   * functions that must be called with a lock held carry FTPIM_REQUIRES(mu);
+//   * lock-free shared state uses std::atomic with an explicit, commented
+//     memory order (see parallel.cpp's g_thread_override) — atomics need no
+//     capability annotation, but the ordering comment is mandatory.
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__)
+#define FTPIM_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define FTPIM_THREAD_ANNOTATION_(x)  // no-op outside clang
+#endif
+
+#define FTPIM_CAPABILITY(x) FTPIM_THREAD_ANNOTATION_(capability(x))
+#define FTPIM_SCOPED_CAPABILITY FTPIM_THREAD_ANNOTATION_(scoped_lockable)
+#define FTPIM_GUARDED_BY(x) FTPIM_THREAD_ANNOTATION_(guarded_by(x))
+#define FTPIM_PT_GUARDED_BY(x) FTPIM_THREAD_ANNOTATION_(pt_guarded_by(x))
+#define FTPIM_REQUIRES(...) FTPIM_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define FTPIM_ACQUIRE(...) FTPIM_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define FTPIM_RELEASE(...) FTPIM_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define FTPIM_TRY_ACQUIRE(...) FTPIM_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define FTPIM_EXCLUDES(...) FTPIM_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+#define FTPIM_ACQUIRED_BEFORE(...) FTPIM_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define FTPIM_ACQUIRED_AFTER(...) FTPIM_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+#define FTPIM_RETURN_CAPABILITY(x) FTPIM_THREAD_ANNOTATION_(lock_returned(x))
+#define FTPIM_NO_THREAD_SAFETY_ANALYSIS FTPIM_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace ftpim {
+
+/// std::mutex wrapped as a Clang capability so -Wthread-safety can track it.
+class FTPIM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() FTPIM_ACQUIRE() { mu_.lock(); }
+  void unlock() FTPIM_RELEASE() { mu_.unlock(); }
+  bool try_lock() FTPIM_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock for ftpim::Mutex (std::lock_guard is invisible to the analysis).
+class FTPIM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) FTPIM_ACQUIRE(mu) : mu_(&mu) { mu_->lock(); }
+  ~MutexLock() FTPIM_RELEASE() { mu_->unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+}  // namespace ftpim

@@ -1,5 +1,7 @@
 #include "src/core/evaluator.hpp"
 
+#include "src/common/check.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <memory>
@@ -11,6 +13,7 @@
 namespace ftpim {
 
 double evaluate_accuracy(Module& model, const Dataset& data, std::int64_t batch_size) {
+  FTPIM_CHECK_GT(batch_size, std::int64_t{0}, "evaluate_accuracy: batch_size");
   if (data.size() == 0) return 0.0;
   DataLoader loader(data, batch_size, /*shuffle=*/false, /*seed=*/0);
   std::int64_t hits = 0;
@@ -27,6 +30,13 @@ double evaluate_accuracy(Module& model, const Dataset& data, std::int64_t batch_
 
 DefectEvalResult evaluate_under_defects(const Module& model, const Dataset& data, double p_sa,
                                         const DefectEvalConfig& config) {
+  // Protocol contracts up front: a bad rate or config must fail loudly, not
+  // skew a 100-run mean (Algorithm 1 lines 31-38).
+  FTPIM_CHECK(p_sa >= 0.0 && p_sa <= 1.0, "evaluate_under_defects: p_sa %g outside [0,1]", p_sa);
+  FTPIM_CHECK(config.sa0_fraction >= 0.0 && config.sa0_fraction <= 1.0,
+              "evaluate_under_defects: sa0_fraction outside [0,1]");
+  FTPIM_CHECK_GT(config.batch_size, std::int64_t{0}, "evaluate_under_defects: batch_size");
+  config.injector.range.validate();
   DefectEvalResult result;
   if (config.num_runs <= 0) return result;
   const StuckAtFaultModel fault_model(p_sa, config.sa0_fraction);

@@ -1,5 +1,7 @@
 #include "src/core/ft_trainer.hpp"
 
+#include "src/common/check.hpp"
+
 #include <stdexcept>
 
 #include "src/common/logging.hpp"
@@ -13,23 +15,16 @@ std::vector<double> default_progressive_ramp(double target_p_sa) {
 FaultTolerantTrainer::FaultTolerantTrainer(Module& model, const Dataset& train_data,
                                            FtTrainConfig config)
     : model_(model), train_data_(train_data), config_(std::move(config)) {
-  if (config_.target_p_sa < 0.0 || config_.target_p_sa > 1.0) {
-    throw std::invalid_argument("FaultTolerantTrainer: target_p_sa must be in [0,1]");
-  }
+  FTPIM_CHECK(!(config_.target_p_sa < 0.0 || config_.target_p_sa > 1.0), "FaultTolerantTrainer: target_p_sa must be in [0,1]");
   if (config_.scheme == FtScheme::kOneShot) {
     stage_rates_ = {config_.target_p_sa};
   } else {
     stage_rates_ = config_.progressive_levels.empty() ? default_progressive_ramp(config_.target_p_sa)
                                                       : config_.progressive_levels;
     for (std::size_t i = 1; i < stage_rates_.size(); ++i) {
-      if (stage_rates_[i] < stage_rates_[i - 1]) {
-        throw std::invalid_argument("FaultTolerantTrainer: progressive levels must ascend");
-      }
+      FTPIM_CHECK(!(stage_rates_[i] < stage_rates_[i - 1]), "FaultTolerantTrainer: progressive levels must ascend");
     }
-    if (stage_rates_.empty() || stage_rates_.back() != config_.target_p_sa) {
-      throw std::invalid_argument(
-          "FaultTolerantTrainer: progressive levels must end at target_p_sa");
-    }
+    FTPIM_CHECK(!(stage_rates_.empty() || stage_rates_.back() != config_.target_p_sa), "FaultTolerantTrainer: progressive levels must end at target_p_sa");
   }
 }
 

@@ -1,17 +1,15 @@
 #include "src/core/stability.hpp"
 
+#include "src/common/check.hpp"
+
 #include <algorithm>
 #include <stdexcept>
 
 namespace ftpim {
 
 double stability_score(const StabilityInputs& inputs, double denominator_floor) {
-  if (denominator_floor <= 0.0) {
-    throw std::invalid_argument("stability_score: denominator_floor must be positive");
-  }
-  if (inputs.acc_pretrain < 0.0 || inputs.acc_retrain < 0.0 || inputs.acc_defect < 0.0) {
-    throw std::invalid_argument("stability_score: accuracies must be non-negative");
-  }
+  FTPIM_CHECK(!(denominator_floor <= 0.0), "stability_score: denominator_floor must be positive");
+  FTPIM_CHECK(!(inputs.acc_pretrain < 0.0 || inputs.acc_retrain < 0.0 || inputs.acc_defect < 0.0), "stability_score: accuracies must be non-negative");
   const double denom = std::max(inputs.acc_pretrain - inputs.acc_defect, denominator_floor);
   return inputs.acc_retrain / denom;
 }

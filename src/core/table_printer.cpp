@@ -1,5 +1,7 @@
 #include "src/core/table_printer.hpp"
 
+#include "src/common/check.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -10,15 +12,11 @@ namespace ftpim {
 
 TablePrinter::TablePrinter(std::string title, std::vector<std::string> headers)
     : title_(std::move(title)), headers_(std::move(headers)) {
-  if (headers_.size() < 2) {
-    throw std::invalid_argument("TablePrinter: need a label header plus >= 1 column");
-  }
+  FTPIM_CHECK(!(headers_.size() < 2), "TablePrinter: need a label header plus >= 1 column");
 }
 
 void TablePrinter::add_row(const std::string& label, const std::vector<double>& values) {
-  if (values.size() != headers_.size() - 1) {
-    throw std::invalid_argument("TablePrinter::add_row: column count mismatch");
-  }
+  FTPIM_CHECK(!(values.size() != headers_.size() - 1), "TablePrinter::add_row: column count mismatch");
   labels_.push_back(label);
   rows_.push_back(values);
 }

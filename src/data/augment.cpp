@@ -1,11 +1,13 @@
 #include "src/data/augment.hpp"
 
+#include "src/common/check.hpp"
+
 #include <stdexcept>
 
 namespace ftpim {
 
 Tensor hflip_image(const Tensor& image) {
-  if (image.rank() != 3) throw std::invalid_argument("hflip_image: [C,H,W] required");
+  FTPIM_CHECK(!(image.rank() != 3), "hflip_image: [C,H,W] required");
   const std::int64_t c = image.dim(0), h = image.dim(1), w = image.dim(2);
   Tensor out(image.shape());
   for (std::int64_t ch = 0; ch < c; ++ch) {
@@ -19,10 +21,8 @@ Tensor hflip_image(const Tensor& image) {
 }
 
 Tensor pad_crop_image(const Tensor& image, std::int64_t pad, std::int64_t dy, std::int64_t dx) {
-  if (image.rank() != 3) throw std::invalid_argument("pad_crop_image: [C,H,W] required");
-  if (pad < 0 || dy < 0 || dx < 0 || dy > 2 * pad || dx > 2 * pad) {
-    throw std::invalid_argument("pad_crop_image: offsets out of range");
-  }
+  FTPIM_CHECK(!(image.rank() != 3), "pad_crop_image: [C,H,W] required");
+  FTPIM_CHECK(!(pad < 0 || dy < 0 || dx < 0 || dy > 2 * pad || dx > 2 * pad), "pad_crop_image: offsets out of range");
   const std::int64_t c = image.dim(0), h = image.dim(1), w = image.dim(2);
   Tensor out(image.shape());
   for (std::int64_t ch = 0; ch < c; ++ch) {

@@ -1,5 +1,7 @@
 #include "src/data/dataloader.hpp"
 
+#include "src/common/check.hpp"
+
 #include <cstring>
 #include <numeric>
 #include <stdexcept>
@@ -15,7 +17,7 @@ DataLoader::DataLoader(const Dataset& dataset, std::int64_t batch_size, bool shu
       augment_(augment),
       order_(static_cast<std::size_t>(dataset.size())),
       augment_rng_(derive_seed(seed, 0xa09)) {
-  if (batch_size <= 0) throw std::invalid_argument("DataLoader: batch_size must be positive");
+  FTPIM_CHECK(!(batch_size <= 0), "DataLoader: batch_size must be positive");
   std::iota(order_.begin(), order_.end(), 0);
 }
 

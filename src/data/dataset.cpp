@@ -1,5 +1,7 @@
 #include "src/data/dataset.hpp"
 
+#include "src/common/check.hpp"
+
 #include <cmath>
 #include <stdexcept>
 
@@ -7,19 +9,13 @@ namespace ftpim {
 
 InMemoryDataset::InMemoryDataset(Shape image_shape, std::int64_t num_classes)
     : image_shape_(std::move(image_shape)), num_classes_(num_classes) {
-  if (image_shape_.size() != 3) {
-    throw std::invalid_argument("InMemoryDataset: image shape must be [C,H,W]");
-  }
-  if (num_classes <= 1) throw std::invalid_argument("InMemoryDataset: need >= 2 classes");
+  FTPIM_CHECK(!(image_shape_.size() != 3), "InMemoryDataset: image shape must be [C,H,W]");
+  FTPIM_CHECK(!(num_classes <= 1), "InMemoryDataset: need >= 2 classes");
 }
 
 void InMemoryDataset::add(Tensor image, std::int64_t label) {
-  if (image.shape() != image_shape_) {
-    throw std::invalid_argument("InMemoryDataset::add: image shape mismatch");
-  }
-  if (label < 0 || label >= num_classes_) {
-    throw std::invalid_argument("InMemoryDataset::add: label out of range");
-  }
+  FTPIM_CHECK(!(image.shape() != image_shape_), "InMemoryDataset::add: image shape mismatch");
+  FTPIM_CHECK(!(label < 0 || label >= num_classes_), "InMemoryDataset::add: label out of range");
   images_.push_back(std::move(image));
   labels_.push_back(label);
 }

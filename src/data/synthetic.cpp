@@ -1,5 +1,7 @@
 #include "src/data/synthetic.hpp"
 
+#include "src/common/check.hpp"
+
 #include <cmath>
 #include <stdexcept>
 #include <vector>
@@ -68,9 +70,7 @@ ClassProto make_proto(std::uint64_t seed, std::int64_t cls, std::int64_t num_cla
 
 std::unique_ptr<InMemoryDataset> make_synthvision(const SynthVisionConfig& config,
                                                   std::uint64_t sample_stream) {
-  if (config.num_classes <= 1 || config.image_size < 4 || config.samples <= 0) {
-    throw std::invalid_argument("make_synthvision: invalid config");
-  }
+  FTPIM_CHECK(!(config.num_classes <= 1 || config.image_size < 4 || config.samples <= 0), "make_synthvision: invalid config");
   const std::int64_t side = config.image_size;
   auto data = std::make_unique<InMemoryDataset>(Shape{3, side, side}, config.num_classes);
   data->reserve(config.samples);

@@ -1,5 +1,7 @@
 #include "src/models/mlp.hpp"
 
+#include "src/common/check.hpp"
+
 #include <stdexcept>
 
 #include "src/nn/activations.hpp"
@@ -8,7 +10,7 @@
 namespace ftpim {
 
 std::unique_ptr<Sequential> make_mlp(const std::vector<std::int64_t>& sizes, std::uint64_t seed) {
-  if (sizes.size() < 2) throw std::invalid_argument("make_mlp: need at least in/out sizes");
+  FTPIM_CHECK(!(sizes.size() < 2), "make_mlp: need at least in/out sizes");
   Rng rng(seed);
   auto net = std::make_unique<Sequential>();
   for (std::size_t i = 0; i + 1 < sizes.size(); ++i) {

@@ -1,5 +1,7 @@
 #include "src/models/resnet.hpp"
 
+#include "src/common/check.hpp"
+
 #include <stdexcept>
 
 #include "src/nn/activations.hpp"
@@ -13,12 +15,10 @@ namespace ftpim {
 
 std::unique_ptr<Sequential> make_resnet(const ResNetConfig& config) {
   if (config.depth < 8 || (config.depth - 2) % 6 != 0) {
-    throw std::invalid_argument("make_resnet: depth must be 6n+2, got " +
+    throw ContractViolation("make_resnet: depth must be 6n+2, got " +
                                 std::to_string(config.depth));
   }
-  if (config.classes <= 1 || config.base_width <= 0) {
-    throw std::invalid_argument("make_resnet: invalid classes/base_width");
-  }
+  FTPIM_CHECK(!(config.classes <= 1 || config.base_width <= 0), "make_resnet: invalid classes/base_width");
   const int blocks_per_stage = (config.depth - 2) / 6;
   const std::int64_t w = config.base_width;
 

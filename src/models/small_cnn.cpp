@@ -1,5 +1,7 @@
 #include "src/models/small_cnn.hpp"
 
+#include "src/common/check.hpp"
+
 #include <stdexcept>
 
 #include "src/nn/activations.hpp"
@@ -11,9 +13,7 @@
 namespace ftpim {
 
 std::unique_ptr<Sequential> make_small_cnn(const SmallCnnConfig& config) {
-  if (config.image_size % 4 != 0 || config.image_size < 4) {
-    throw std::invalid_argument("make_small_cnn: image_size must be a positive multiple of 4");
-  }
+  FTPIM_CHECK(!(config.image_size % 4 != 0 || config.image_size < 4), "make_small_cnn: image_size must be a positive multiple of 4");
   Rng rng(config.seed);
   auto net = std::make_unique<Sequential>();
   net->emplace<Conv2d>(config.in_channels, config.width, 3, 1, 1, rng, /*with_bias=*/false);

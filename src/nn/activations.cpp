@@ -1,5 +1,7 @@
 #include "src/nn/activations.hpp"
 
+#include "src/common/check.hpp"
+
 #include <cmath>
 #include <stdexcept>
 
@@ -24,10 +26,8 @@ Tensor ReLU::forward(const Tensor& input, bool training) {
 }
 
 Tensor ReLU::backward(const Tensor& grad_output) {
-  if (cached_mask_.empty()) throw std::logic_error("ReLU::backward without training forward");
-  if (grad_output.shape() != cached_mask_.shape()) {
-    throw std::invalid_argument("ReLU::backward: grad shape mismatch");
-  }
+  FTPIM_CHECK(!(cached_mask_.empty()), "ReLU::backward without training forward");
+  FTPIM_CHECK(!(grad_output.shape() != cached_mask_.shape()), "ReLU::backward: grad shape mismatch");
   Tensor grad_input(grad_output.shape());
   const float* dy = grad_output.data();
   const float* mask = cached_mask_.data();
@@ -50,7 +50,7 @@ Tensor LeakyReLU::forward(const Tensor& input, bool training) {
 }
 
 Tensor LeakyReLU::backward(const Tensor& grad_output) {
-  if (cached_input_.empty()) throw std::logic_error("LeakyReLU::backward without training forward");
+  FTPIM_CHECK(!(cached_input_.empty()), "LeakyReLU::backward without training forward");
   Tensor grad_input(grad_output.shape());
   const float* dy = grad_output.data();
   const float* x = cached_input_.data();
@@ -73,7 +73,7 @@ Tensor Tanh::forward(const Tensor& input, bool training) {
 }
 
 Tensor Tanh::backward(const Tensor& grad_output) {
-  if (cached_output_.empty()) throw std::logic_error("Tanh::backward without training forward");
+  FTPIM_CHECK(!(cached_output_.empty()), "Tanh::backward without training forward");
   Tensor grad_input(grad_output.shape());
   const float* dy = grad_output.data();
   const float* y = cached_output_.data();

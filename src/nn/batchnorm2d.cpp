@@ -1,5 +1,7 @@
 #include "src/nn/batchnorm2d.hpp"
 
+#include "src/common/check.hpp"
+
 #include <cmath>
 #include <stdexcept>
 #include <vector>
@@ -14,7 +16,7 @@ BatchNorm2d::BatchNorm2d(std::int64_t channels, float momentum, float eps)
       beta_("beta", Tensor(Shape{channels}, 0.0f), ParamKind::kNorm),
       running_mean_(Shape{channels}, 0.0f),
       running_var_(Shape{channels}, 1.0f) {
-  if (channels <= 0) throw std::invalid_argument("BatchNorm2d: channels must be positive");
+  FTPIM_CHECK(!(channels <= 0), "BatchNorm2d: channels must be positive");
 }
 
 BatchNorm2d::BatchNorm2d(const BatchNorm2d& other)
@@ -32,7 +34,7 @@ std::unique_ptr<Module> BatchNorm2d::clone() const {
 
 Tensor BatchNorm2d::forward(const Tensor& input, bool training) {
   if (input.rank() != 4 || input.dim(1) != channels_) {
-    throw std::invalid_argument("BatchNorm2d::forward: expected [N," + std::to_string(channels_) +
+    throw ContractViolation("BatchNorm2d::forward: expected [N," + std::to_string(channels_) +
                                 ",H,W], got " + shape_to_string(input.shape()));
   }
   const std::int64_t n = input.dim(0), h = input.dim(2), w = input.dim(3);
@@ -97,9 +99,7 @@ Tensor BatchNorm2d::forward(const Tensor& input, bool training) {
 }
 
 Tensor BatchNorm2d::backward(const Tensor& grad_output) {
-  if (cached_xhat_.empty()) {
-    throw std::logic_error("BatchNorm2d::backward called without a training forward");
-  }
+  FTPIM_CHECK(!(cached_xhat_.empty()), "BatchNorm2d::backward called without a training forward");
   const std::int64_t n = cached_n_, h = cached_h_, w = cached_w_;
   const std::int64_t plane = h * w;
   const std::int64_t count = n * plane;

@@ -1,5 +1,7 @@
 #include "src/nn/conv2d.hpp"
 
+#include "src/common/check.hpp"
+
 #include <cstring>
 #include <stdexcept>
 
@@ -20,9 +22,7 @@ Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels, std::int64_t
       weight_("weight", Tensor(Shape{out_channels, in_channels * kernel * kernel}),
               ParamKind::kCrossbarWeight),
       bias_("bias", Tensor(Shape{out_channels}), ParamKind::kBias) {
-  if (in_channels <= 0 || out_channels <= 0 || kernel <= 0 || stride <= 0 || pad < 0) {
-    throw std::invalid_argument("Conv2d: invalid geometry");
-  }
+  FTPIM_CHECK(!(in_channels <= 0 || out_channels <= 0 || kernel <= 0 || stride <= 0 || pad < 0), "Conv2d: invalid geometry");
   kaiming_normal(weight_.value, in_channels * kernel * kernel, rng);
 }
 
@@ -42,7 +42,7 @@ std::unique_ptr<Module> Conv2d::clone() const {
 
 Tensor Conv2d::forward(const Tensor& input, bool training) {
   if (input.rank() != 4 || input.dim(1) != in_channels_) {
-    throw std::invalid_argument("Conv2d::forward: expected [N," + std::to_string(in_channels_) +
+    throw ContractViolation("Conv2d::forward: expected [N," + std::to_string(in_channels_) +
                                 ",H,W], got " + shape_to_string(input.shape()));
   }
   const std::int64_t n = input.dim(0);
@@ -57,9 +57,7 @@ Tensor Conv2d::forward(const Tensor& input, bool training) {
                        .pad_w = pad_};
   const std::int64_t oh = geom_.out_h();
   const std::int64_t ow = geom_.out_w();
-  if (oh <= 0 || ow <= 0) {
-    throw std::invalid_argument("Conv2d::forward: output would be empty");
-  }
+  FTPIM_CHECK(!(oh <= 0 || ow <= 0), "Conv2d::forward: output would be empty");
   const std::int64_t col_rows = geom_.col_rows();
   const std::int64_t col_cols = geom_.col_cols();
   const std::int64_t in_plane = in_channels_ * geom_.in_h * geom_.in_w;
@@ -98,9 +96,7 @@ Tensor Conv2d::forward(const Tensor& input, bool training) {
 }
 
 Tensor Conv2d::backward(const Tensor& grad_output) {
-  if (cached_input_.empty() || cached_batch_ == 0) {
-    throw std::logic_error("Conv2d::backward called without a training forward");
-  }
+  FTPIM_CHECK(!(cached_input_.empty() || cached_batch_ == 0), "Conv2d::backward called without a training forward");
   const std::int64_t n = cached_batch_;
   const std::int64_t oh = geom_.out_h();
   const std::int64_t ow = geom_.out_w();
@@ -110,7 +106,7 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
   const std::int64_t out_plane = out_channels_ * oh * ow;
   if (grad_output.rank() != 4 || grad_output.dim(0) != n || grad_output.dim(1) != out_channels_ ||
       grad_output.dim(2) != oh || grad_output.dim(3) != ow) {
-    throw std::invalid_argument("Conv2d::backward: grad shape mismatch");
+    throw ContractViolation("Conv2d::backward: grad shape mismatch");
   }
 
   Tensor grad_input(cached_input_.shape());

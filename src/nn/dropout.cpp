@@ -1,13 +1,13 @@
 #include "src/nn/dropout.hpp"
 
+#include "src/common/check.hpp"
+
 #include <stdexcept>
 
 namespace ftpim {
 
 Dropout::Dropout(float drop_prob, std::uint64_t seed) : drop_prob_(drop_prob), rng_(seed) {
-  if (drop_prob < 0.0f || drop_prob >= 1.0f) {
-    throw std::invalid_argument("Dropout: drop_prob must be in [0,1)");
-  }
+  FTPIM_CHECK(!(drop_prob < 0.0f || drop_prob >= 1.0f), "Dropout: drop_prob must be in [0,1)");
 }
 
 std::unique_ptr<Module> Dropout::clone() const {
@@ -35,9 +35,7 @@ Tensor Dropout::forward(const Tensor& input, bool training) {
 
 Tensor Dropout::backward(const Tensor& grad_output) {
   if (cached_mask_.empty()) return grad_output;  // eval-mode or p=0 forward
-  if (grad_output.shape() != cached_mask_.shape()) {
-    throw std::invalid_argument("Dropout::backward: grad shape mismatch");
-  }
+  FTPIM_CHECK(!(grad_output.shape() != cached_mask_.shape()), "Dropout::backward: grad shape mismatch");
   Tensor grad(grad_output.shape());
   const float* dy = grad_output.data();
   const float* mask = cached_mask_.data();

@@ -1,19 +1,21 @@
 #include "src/nn/init.hpp"
 
+#include "src/common/check.hpp"
+
 #include <cmath>
 #include <stdexcept>
 
 namespace ftpim {
 
 void kaiming_normal(Tensor& w, std::int64_t fan_in, Rng& rng) {
-  if (fan_in <= 0) throw std::invalid_argument("kaiming_normal: fan_in must be positive");
+  FTPIM_CHECK(!(fan_in <= 0), "kaiming_normal: fan_in must be positive");
   const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
   float* p = w.data();
   for (std::int64_t i = 0; i < w.numel(); ++i) p[i] = rng.normal(0.0f, stddev);
 }
 
 void kaiming_uniform(Tensor& w, std::int64_t fan_in, Rng& rng) {
-  if (fan_in <= 0) throw std::invalid_argument("kaiming_uniform: fan_in must be positive");
+  FTPIM_CHECK(!(fan_in <= 0), "kaiming_uniform: fan_in must be positive");
   const float bound = std::sqrt(6.0f / static_cast<float>(fan_in));
   uniform_init(w, bound, rng);
 }

@@ -1,5 +1,7 @@
 #include "src/nn/linear.hpp"
 
+#include "src/common/check.hpp"
+
 #include <stdexcept>
 
 #include "src/nn/init.hpp"
@@ -13,9 +15,7 @@ Linear::Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng, bo
       with_bias_(with_bias),
       weight_("weight", Tensor(Shape{out_features, in_features}), ParamKind::kCrossbarWeight),
       bias_("bias", Tensor(Shape{out_features}), ParamKind::kBias) {
-  if (in_features <= 0 || out_features <= 0) {
-    throw std::invalid_argument("Linear: feature counts must be positive");
-  }
+  FTPIM_CHECK(!(in_features <= 0 || out_features <= 0), "Linear: feature counts must be positive");
   kaiming_uniform(weight_.value, in_features, rng);
 }
 
@@ -31,10 +31,9 @@ std::unique_ptr<Module> Linear::clone() const {
 }
 
 Tensor Linear::forward(const Tensor& input, bool training) {
-  if (input.rank() != 2 || input.dim(1) != in_features_) {
-    throw std::invalid_argument("Linear::forward: expected [N," + std::to_string(in_features_) +
-                                "], got " + shape_to_string(input.shape()));
-  }
+  FTPIM_CHECK(input.rank() == 2 && input.dim(1) == in_features_,
+              "Linear::forward: expected [N,%lld], got %s", static_cast<long long>(in_features_),
+              shape_to_string(input.shape()).c_str());
   if (training) cached_input_ = input;
   const std::int64_t n = input.dim(0);
   Tensor out(Shape{n, out_features_});
@@ -52,9 +51,7 @@ Tensor Linear::forward(const Tensor& input, bool training) {
 }
 
 Tensor Linear::backward(const Tensor& grad_output) {
-  if (cached_input_.empty()) {
-    throw std::logic_error("Linear::backward called without a training forward");
-  }
+  FTPIM_CHECK(!(cached_input_.empty()), "Linear::backward called without a training forward");
   const std::int64_t n = grad_output.dim(0);
   // dW[out,in] += dY^T[out,N] * X[N,in]
   gemm_at(out_features_, in_features_, n, 1.0f, grad_output.data(), cached_input_.data(), 1.0f,

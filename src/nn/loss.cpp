@@ -1,5 +1,7 @@
 #include "src/nn/loss.hpp"
 
+#include "src/common/check.hpp"
+
 #include <cmath>
 #include <stdexcept>
 
@@ -7,13 +9,11 @@ namespace ftpim {
 
 SoftmaxCrossEntropy::SoftmaxCrossEntropy(float label_smoothing)
     : label_smoothing_(label_smoothing) {
-  if (label_smoothing < 0.0f || label_smoothing >= 1.0f) {
-    throw std::invalid_argument("SoftmaxCrossEntropy: label_smoothing must be in [0,1)");
-  }
+  FTPIM_CHECK(!(label_smoothing < 0.0f || label_smoothing >= 1.0f), "SoftmaxCrossEntropy: label_smoothing must be in [0,1)");
 }
 
 Tensor softmax_rows(const Tensor& logits) {
-  if (logits.rank() != 2) throw std::invalid_argument("softmax_rows: rank-2 required");
+  FTPIM_CHECK(!(logits.rank() != 2), "softmax_rows: rank-2 required");
   const std::int64_t n = logits.dim(0), c = logits.dim(1);
   Tensor out(logits.shape());
   for (std::int64_t i = 0; i < n; ++i) {
@@ -35,11 +35,9 @@ Tensor softmax_rows(const Tensor& logits) {
 
 LossResult SoftmaxCrossEntropy::forward(const Tensor& logits,
                                         const std::vector<std::int64_t>& labels) const {
-  if (logits.rank() != 2) throw std::invalid_argument("SoftmaxCrossEntropy: rank-2 logits");
+  FTPIM_CHECK(!(logits.rank() != 2), "SoftmaxCrossEntropy: rank-2 logits");
   const std::int64_t n = logits.dim(0), c = logits.dim(1);
-  if (static_cast<std::int64_t>(labels.size()) != n) {
-    throw std::invalid_argument("SoftmaxCrossEntropy: label count mismatch");
-  }
+  FTPIM_CHECK(!(static_cast<std::int64_t>(labels.size()) != n), "SoftmaxCrossEntropy: label count mismatch");
   LossResult result;
   result.grad_logits = softmax_rows(logits);
   const float off_target = label_smoothing_ / static_cast<float>(c);

@@ -1,12 +1,14 @@
 #include "src/nn/pooling.hpp"
 
+#include "src/common/check.hpp"
+
 #include <limits>
 #include <stdexcept>
 
 namespace ftpim {
 
 Tensor GlobalAvgPool::forward(const Tensor& input, bool training) {
-  if (input.rank() != 4) throw std::invalid_argument("GlobalAvgPool: rank-4 input required");
+  FTPIM_CHECK(!(input.rank() != 4), "GlobalAvgPool: rank-4 input required");
   if (training) cached_in_shape_ = input.shape();
   const std::int64_t n = input.dim(0), c = input.dim(1), plane = input.dim(2) * input.dim(3);
   Tensor out(Shape{n, c});
@@ -23,9 +25,7 @@ Tensor GlobalAvgPool::forward(const Tensor& input, bool training) {
 }
 
 Tensor GlobalAvgPool::backward(const Tensor& grad_output) {
-  if (cached_in_shape_.empty()) {
-    throw std::logic_error("GlobalAvgPool::backward without training forward");
-  }
+  FTPIM_CHECK(!(cached_in_shape_.empty()), "GlobalAvgPool::backward without training forward");
   const std::int64_t n = cached_in_shape_[0], c = cached_in_shape_[1];
   const std::int64_t plane = cached_in_shape_[2] * cached_in_shape_[3];
   Tensor grad_input(cached_in_shape_);
@@ -43,15 +43,15 @@ Tensor GlobalAvgPool::backward(const Tensor& grad_output) {
 std::unique_ptr<Module> GlobalAvgPool::clone() const { return std::make_unique<GlobalAvgPool>(); }
 
 MaxPool2d::MaxPool2d(std::int64_t window, std::int64_t stride) : window_(window), stride_(stride) {
-  if (window <= 0 || stride <= 0) throw std::invalid_argument("MaxPool2d: invalid geometry");
+  FTPIM_CHECK(!(window <= 0 || stride <= 0), "MaxPool2d: invalid geometry");
 }
 
 Tensor MaxPool2d::forward(const Tensor& input, bool training) {
-  if (input.rank() != 4) throw std::invalid_argument("MaxPool2d: rank-4 input required");
+  FTPIM_CHECK(!(input.rank() != 4), "MaxPool2d: rank-4 input required");
   const std::int64_t n = input.dim(0), c = input.dim(1), h = input.dim(2), w = input.dim(3);
   const std::int64_t oh = (h - window_) / stride_ + 1;
   const std::int64_t ow = (w - window_) / stride_ + 1;
-  if (oh <= 0 || ow <= 0) throw std::invalid_argument("MaxPool2d: output would be empty");
+  FTPIM_CHECK(!(oh <= 0 || ow <= 0), "MaxPool2d: output would be empty");
   Tensor out(Shape{n, c, oh, ow});
   if (training) {
     cached_in_shape_ = input.shape();
@@ -87,9 +87,7 @@ Tensor MaxPool2d::forward(const Tensor& input, bool training) {
 }
 
 Tensor MaxPool2d::backward(const Tensor& grad_output) {
-  if (cached_in_shape_.empty()) {
-    throw std::logic_error("MaxPool2d::backward without training forward");
-  }
+  FTPIM_CHECK(!(cached_in_shape_.empty()), "MaxPool2d::backward without training forward");
   const std::int64_t n = cached_in_shape_[0], c = cached_in_shape_[1];
   const std::int64_t h = cached_in_shape_[2], w = cached_in_shape_[3];
   const std::int64_t oh = grad_output.dim(2), ow = grad_output.dim(3);
@@ -114,14 +112,14 @@ std::unique_ptr<Module> MaxPool2d::clone() const {
 }
 
 Tensor Flatten::forward(const Tensor& input, bool training) {
-  if (input.rank() < 2) throw std::invalid_argument("Flatten: rank >= 2 required");
+  FTPIM_CHECK(!(input.rank() < 2), "Flatten: rank >= 2 required");
   if (training) cached_in_shape_ = input.shape();
   const std::int64_t n = input.dim(0);
   return input.reshaped(Shape{n, input.numel() / n});
 }
 
 Tensor Flatten::backward(const Tensor& grad_output) {
-  if (cached_in_shape_.empty()) throw std::logic_error("Flatten::backward without training forward");
+  FTPIM_CHECK(!(cached_in_shape_.empty()), "Flatten::backward without training forward");
   return grad_output.reshaped(cached_in_shape_);
 }
 

@@ -1,5 +1,7 @@
 #include "src/nn/residual.hpp"
 
+#include "src/common/check.hpp"
+
 #include <stdexcept>
 
 #include "src/nn/activations.hpp"
@@ -9,12 +11,8 @@ namespace ftpim {
 ResidualBlock::ResidualBlock(std::int64_t in_channels, std::int64_t out_channels,
                              std::int64_t stride, Rng& rng)
     : in_channels_(in_channels), out_channels_(out_channels), stride_(stride) {
-  if (stride != 1 && stride != 2) {
-    throw std::invalid_argument("ResidualBlock: stride must be 1 or 2");
-  }
-  if (stride == 1 && in_channels != out_channels) {
-    throw std::invalid_argument("ResidualBlock: channel change requires stride 2 (option A)");
-  }
+  FTPIM_CHECK(!(stride != 1 && stride != 2), "ResidualBlock: stride must be 1 or 2");
+  FTPIM_CHECK(!(stride == 1 && in_channels != out_channels), "ResidualBlock: channel change requires stride 2 (option A)");
   main_.emplace<Conv2d>(in_channels, out_channels, 3, stride, 1, rng, /*with_bias=*/false);
   main_.emplace<BatchNorm2d>(out_channels);
   main_.emplace<ReLU>();
@@ -73,7 +71,7 @@ Tensor ResidualBlock::forward(const Tensor& input, bool training) {
   Tensor main_out = main_.forward(input, training);
   const Tensor short_out = shortcut_forward(input);
   if (main_out.shape() != short_out.shape()) {
-    throw std::logic_error("ResidualBlock: main/shortcut shape mismatch " +
+    throw ContractViolation("ResidualBlock: main/shortcut shape mismatch " +
                            shape_to_string(main_out.shape()) + " vs " +
                            shape_to_string(short_out.shape()));
   }
@@ -98,9 +96,7 @@ Tensor ResidualBlock::forward(const Tensor& input, bool training) {
 }
 
 Tensor ResidualBlock::backward(const Tensor& grad_output) {
-  if (cached_sum_mask_.empty()) {
-    throw std::logic_error("ResidualBlock::backward without training forward");
-  }
+  FTPIM_CHECK(!(cached_sum_mask_.empty()), "ResidualBlock::backward without training forward");
   Tensor grad_sum(grad_output.shape());
   const float* dy = grad_output.data();
   const float* mask = cached_sum_mask_.data();
@@ -109,9 +105,7 @@ Tensor ResidualBlock::backward(const Tensor& grad_output) {
 
   Tensor grad_main = main_.backward(grad_sum);
   const Tensor grad_short = shortcut_backward(grad_sum);
-  if (grad_main.shape() != grad_short.shape()) {
-    throw std::logic_error("ResidualBlock::backward: gradient shape mismatch");
-  }
+  FTPIM_CHECK(!(grad_main.shape() != grad_short.shape()), "ResidualBlock::backward: gradient shape mismatch");
   float* pa = grad_main.data();
   const float* pb = grad_short.data();
   for (std::int64_t i = 0; i < grad_main.numel(); ++i) pa[i] += pb[i];

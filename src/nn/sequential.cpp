@@ -1,5 +1,7 @@
 #include "src/nn/sequential.hpp"
 
+#include "src/common/check.hpp"
+
 #include <stdexcept>
 
 namespace ftpim {
@@ -12,7 +14,7 @@ Sequential::Sequential(const Sequential& other) {
 std::unique_ptr<Module> Sequential::clone() const { return std::make_unique<Sequential>(*this); }
 
 Sequential& Sequential::add(std::unique_ptr<Module> child) {
-  if (!child) throw std::invalid_argument("Sequential::add: null child");
+  FTPIM_CHECK(!(!child), "Sequential::add: null child");
   children_.push_back(std::move(child));
   return *this;
 }

@@ -1,5 +1,7 @@
 #include "src/optim/adam.hpp"
 
+#include "src/common/check.hpp"
+
 #include <cmath>
 #include <stdexcept>
 
@@ -7,12 +9,12 @@ namespace ftpim {
 
 Adam::Adam(std::vector<Param*> params, AdamConfig config)
     : params_(std::move(params)), config_(config) {
-  if (config_.lr <= 0.0f) throw std::invalid_argument("Adam: lr must be positive");
+  FTPIM_CHECK(!(config_.lr <= 0.0f), "Adam: lr must be positive");
   if (config_.beta1 < 0.0f || config_.beta1 >= 1.0f || config_.beta2 < 0.0f ||
       config_.beta2 >= 1.0f) {
-    throw std::invalid_argument("Adam: betas must be in [0,1)");
+    throw ContractViolation("Adam: betas must be in [0,1)");
   }
-  if (config_.eps <= 0.0f) throw std::invalid_argument("Adam: eps must be positive");
+  FTPIM_CHECK(!(config_.eps <= 0.0f), "Adam: eps must be positive");
   m_.reserve(params_.size());
   v_.reserve(params_.size());
   for (const Param* p : params_) {
@@ -23,7 +25,7 @@ Adam::Adam(std::vector<Param*> params, AdamConfig config)
 
 void Adam::set_mask(const Param* param, Tensor mask) {
   if (mask.shape() != param->value.shape()) {
-    throw std::invalid_argument("Adam::set_mask: mask shape mismatch for " + param->name);
+    throw ContractViolation("Adam::set_mask: mask shape mismatch for " + param->name);
   }
   masks_[param] = std::move(mask);
 }

@@ -1,5 +1,7 @@
 #include "src/optim/lr_scheduler.hpp"
 
+#include "src/common/check.hpp"
+
 #include <cmath>
 #include <stdexcept>
 
@@ -7,9 +9,7 @@ namespace ftpim {
 
 CosineSchedule::CosineSchedule(float base_lr, float eta_min)
     : base_lr_(base_lr), eta_min_(eta_min) {
-  if (base_lr <= 0.0f || eta_min < 0.0f || eta_min > base_lr) {
-    throw std::invalid_argument("CosineSchedule: invalid lr range");
-  }
+  FTPIM_CHECK(!(base_lr <= 0.0f || eta_min < 0.0f || eta_min > base_lr), "CosineSchedule: invalid lr range");
 }
 
 float CosineSchedule::lr_at(int epoch, int total_epochs) const {
@@ -21,9 +21,7 @@ float CosineSchedule::lr_at(int epoch, int total_epochs) const {
 
 StepSchedule::StepSchedule(float base_lr, std::vector<int> milestones, float gamma)
     : base_lr_(base_lr), milestones_(std::move(milestones)), gamma_(gamma) {
-  if (base_lr <= 0.0f || gamma <= 0.0f || gamma > 1.0f) {
-    throw std::invalid_argument("StepSchedule: invalid base_lr/gamma");
-  }
+  FTPIM_CHECK(!(base_lr <= 0.0f || gamma <= 0.0f || gamma > 1.0f), "StepSchedule: invalid base_lr/gamma");
 }
 
 float StepSchedule::lr_at(int epoch, int /*total_epochs*/) const {

@@ -1,5 +1,7 @@
 #include "src/optim/sgd.hpp"
 
+#include "src/common/check.hpp"
+
 #include <cmath>
 #include <stdexcept>
 
@@ -7,17 +9,15 @@ namespace ftpim {
 
 Sgd::Sgd(std::vector<Param*> params, SgdConfig config)
     : params_(std::move(params)), config_(config) {
-  if (config_.lr <= 0.0f) throw std::invalid_argument("Sgd: lr must be positive");
-  if (config_.momentum < 0.0f || config_.momentum >= 1.0f) {
-    throw std::invalid_argument("Sgd: momentum must be in [0,1)");
-  }
+  FTPIM_CHECK(!(config_.lr <= 0.0f), "Sgd: lr must be positive");
+  FTPIM_CHECK(!(config_.momentum < 0.0f || config_.momentum >= 1.0f), "Sgd: momentum must be in [0,1)");
   velocity_.reserve(params_.size());
   for (const Param* p : params_) velocity_.emplace_back(p->value.shape());
 }
 
 void Sgd::set_mask(const Param* param, Tensor mask) {
   if (mask.shape() != param->value.shape()) {
-    throw std::invalid_argument("Sgd::set_mask: mask shape mismatch for " + param->name);
+    throw ContractViolation("Sgd::set_mask: mask shape mismatch for " + param->name);
   }
   masks_[param] = std::move(mask);
 }

@@ -1,5 +1,7 @@
 #include "src/prune/admm_pruner.hpp"
 
+#include "src/common/check.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
@@ -8,11 +10,9 @@ namespace ftpim {
 
 AdmmPruner::AdmmPruner(Module& root, const AdmmConfig& config)
     : params_(prunable_params(root)), config_(config) {
-  if (config.sparsity < 0.0 || config.sparsity >= 1.0) {
-    throw std::invalid_argument("AdmmPruner: sparsity must be in [0,1)");
-  }
-  if (config.rho <= 0.0f) throw std::invalid_argument("AdmmPruner: rho must be positive");
-  if (params_.empty()) throw std::invalid_argument("AdmmPruner: no prunable parameters");
+  FTPIM_CHECK(!(config.sparsity < 0.0 || config.sparsity >= 1.0), "AdmmPruner: sparsity must be in [0,1)");
+  FTPIM_CHECK(!(config.rho <= 0.0f), "AdmmPruner: rho must be positive");
+  FTPIM_CHECK(!(params_.empty()), "AdmmPruner: no prunable parameters");
   z_.reserve(params_.size());
   u_.reserve(params_.size());
   keep_counts_.reserve(params_.size());

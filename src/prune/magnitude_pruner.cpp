@@ -1,5 +1,7 @@
 #include "src/prune/magnitude_pruner.hpp"
 
+#include "src/common/check.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
@@ -59,11 +61,9 @@ std::vector<PruneMask> global_prune(const std::vector<Param*>& params, double sp
 }  // namespace
 
 std::vector<PruneMask> magnitude_prune(Module& root, const MagnitudePruneConfig& config) {
-  if (config.sparsity < 0.0 || config.sparsity >= 1.0) {
-    throw std::invalid_argument("magnitude_prune: sparsity must be in [0,1)");
-  }
+  FTPIM_CHECK(!(config.sparsity < 0.0 || config.sparsity >= 1.0), "magnitude_prune: sparsity must be in [0,1)");
   const std::vector<Param*> params = prunable_params(root);
-  if (params.empty()) throw std::invalid_argument("magnitude_prune: no prunable parameters");
+  FTPIM_CHECK(!(params.empty()), "magnitude_prune: no prunable parameters");
   return config.scope == PruneScope::kGlobal ? global_prune(params, config.sparsity)
                                              : per_layer_prune(params, config.sparsity);
 }

@@ -1,5 +1,7 @@
 #include "src/prune/sparsity.hpp"
 
+#include "src/common/check.hpp"
+
 #include <cmath>
 #include <sstream>
 #include <stdexcept>
@@ -37,9 +39,7 @@ double model_sparsity(Module& root) {
 }
 
 Tensor magnitude_keep_mask(const Tensor& values, std::int64_t keep_count) {
-  if (keep_count < 0 || keep_count > values.numel()) {
-    throw std::invalid_argument("magnitude_keep_mask: keep_count out of range");
-  }
+  FTPIM_CHECK(!(keep_count < 0 || keep_count > values.numel()), "magnitude_keep_mask: keep_count out of range");
   Tensor mask(values.shape());
   if (keep_count == 0) return mask;
   const float threshold = kth_largest_abs(values, keep_count);
@@ -71,9 +71,7 @@ Tensor project_topk(const Tensor& values, std::int64_t keep_count) {
 }
 
 void apply_mask(Tensor& values, const Tensor& mask) {
-  if (values.shape() != mask.shape()) {
-    throw std::invalid_argument("apply_mask: shape mismatch");
-  }
+  FTPIM_CHECK(!(values.shape() != mask.shape()), "apply_mask: shape mismatch");
   float* v = values.data();
   const float* m = mask.data();
   for (std::int64_t i = 0; i < values.numel(); ++i) v[i] *= m[i];

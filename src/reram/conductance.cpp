@@ -1,5 +1,7 @@
 #include "src/reram/conductance.hpp"
 
+#include "src/common/check.hpp"
+
 #include <algorithm>
 
 namespace ftpim {
@@ -7,7 +9,7 @@ namespace ftpim {
 DifferentialMapper::DifferentialMapper(ConductanceRange range, float w_max)
     : range_(range), w_max_(w_max) {
   range_.validate();
-  if (!(w_max > 0.0f)) throw std::invalid_argument("DifferentialMapper: w_max must be > 0");
+  FTPIM_CHECK(!(!(w_max > 0.0f)), "DifferentialMapper: w_max must be > 0");
   w_to_g_ = range_.span() / w_max_;
   g_to_w_ = w_max_ / range_.span();
 }

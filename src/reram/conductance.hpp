@@ -11,7 +11,7 @@
 // way to ±wmax, which is why SAF defects are so destructive).
 #pragma once
 
-#include <stdexcept>
+#include "src/common/check.hpp"
 
 namespace ftpim {
 
@@ -21,9 +21,7 @@ struct ConductanceRange {
 
   [[nodiscard]] float span() const noexcept { return g_max - g_min; }
   void validate() const {
-    if (!(g_min >= 0.0f) || !(g_max > g_min)) {
-      throw std::invalid_argument("ConductanceRange: require 0 <= g_min < g_max");
-    }
+    FTPIM_CHECK(g_min >= 0.0f && g_max > g_min, "ConductanceRange: require 0 <= g_min < g_max");
   }
 };
 

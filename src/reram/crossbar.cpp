@@ -1,5 +1,7 @@
 #include "src/reram/crossbar.hpp"
 
+#include "src/common/check.hpp"
+
 #include <algorithm>
 #include <stdexcept>
 
@@ -13,7 +15,7 @@ CrossbarArray::CrossbarArray(std::int64_t rows, std::int64_t cols, ConductanceRa
       quantizer_(range, quant_levels),
       g_(static_cast<std::size_t>(rows * cols), range.g_min),
       fault_(static_cast<std::size_t>(rows * cols), 0) {
-  if (rows <= 0 || cols <= 0) throw std::invalid_argument("CrossbarArray: invalid dimensions");
+  FTPIM_CHECK(!(rows <= 0 || cols <= 0), "CrossbarArray: invalid dimensions");
   range_.validate();
 }
 
@@ -34,9 +36,7 @@ float CrossbarArray::read(std::int64_t r, std::int64_t c) const {
 }
 
 void CrossbarArray::apply_defects(const DefectMap& map) {
-  if (map.cell_count() != cell_count()) {
-    throw std::invalid_argument("CrossbarArray::apply_defects: cell count mismatch");
-  }
+  FTPIM_CHECK(!(map.cell_count() != cell_count()), "CrossbarArray::apply_defects: cell count mismatch");
   for (const CellFault& f : map.faults()) {
     const auto i = static_cast<std::size_t>(f.cell_index);
     fault_[i] = static_cast<std::uint8_t>(f.type);

@@ -1,5 +1,7 @@
 #include "src/reram/crossbar_engine.hpp"
 
+#include "src/common/check.hpp"
+
 #include <algorithm>
 #include <stdexcept>
 #include <vector>
@@ -9,10 +11,8 @@ namespace ftpim {
 CrossbarEngine::CrossbarEngine(const Tensor& weights, const CrossbarEngineConfig& config,
                                float w_max)
     : config_(config) {
-  if (weights.rank() != 2) throw std::invalid_argument("CrossbarEngine: [out,in] matrix required");
-  if (config.tile_rows <= 0 || config.tile_cols <= 1 || config.tile_cols % 2 != 0) {
-    throw std::invalid_argument("CrossbarEngine: tile_cols must be even and positive");
-  }
+  FTPIM_CHECK(!(weights.rank() != 2), "CrossbarEngine: [out,in] matrix required");
+  FTPIM_CHECK(!(config.tile_rows <= 0 || config.tile_cols <= 1 || config.tile_cols % 2 != 0), "CrossbarEngine: tile_cols must be even and positive");
   out_ = weights.dim(0);
   in_ = weights.dim(1);
   w_max_ = w_max > 0.0f ? w_max : (weights.abs_max() > 0.0f ? weights.abs_max() : 1.0f);

@@ -1,5 +1,7 @@
 #include "src/reram/fault_injector.hpp"
 
+#include "src/common/check.hpp"
+
 namespace ftpim {
 namespace {
 
@@ -80,6 +82,14 @@ void accumulate(InjectionStats& total, const InjectionStats& s) {
 InjectionStats apply_faults_to_copy(const Tensor& src, Tensor& dst,
                                     const StuckAtFaultModel& model, const InjectorConfig& config,
                                     Rng& rng, Tensor* hit_mask) {
+  FTPIM_CHECK(&dst != &src, "apply_faults_to_copy: dst must not alias src (use apply_stuck_at_faults)");
+  FTPIM_CHECK(hit_mask == nullptr || (hit_mask != &dst && hit_mask != &src),
+              "apply_faults_to_copy: hit_mask must not alias src/dst");
+  config.range.validate();
+  FTPIM_CHECK(config.quant_levels == 0 || config.quant_levels >= 2,
+              "InjectorConfig: quant_levels must be 0 (analog) or >= 2");
+  FTPIM_CHECK(config.per_tensor_wmax || config.fixed_wmax > 0.0f,
+              "InjectorConfig: fixed_wmax must be positive");
   if (dst.shape() != src.shape()) dst = Tensor(src.shape());
   if (hit_mask != nullptr) reset_like(*hit_mask, src);
   const DifferentialMapper mapper(config.range, tensor_wmax(src, config));
@@ -117,6 +127,16 @@ FaultInjectionSession::FaultInjectionSession(Module& model_root) {
 
 const InjectionStats& FaultInjectionSession::inject(const StuckAtFaultModel& model,
                                                     const InjectorConfig& config, Rng& rng) {
+  // A session is single-owner state (one per worker clone in the parallel
+  // evaluator); concurrent inject() would corrupt the swap protocol. The
+  // exchange is cheap and catches misuse in every build type.
+  const bool was_busy = busy_.exchange(true, std::memory_order_acq_rel);
+  FTPIM_CHECK(!was_busy, "FaultInjectionSession::inject: concurrent use of one session");
+  // Clears the busy flag on every exit path, including a throwing copy phase.
+  struct BusyClear {
+    std::atomic<bool>& flag;
+    ~BusyClear() { flag.store(false, std::memory_order_release); }
+  } busy_clear{busy_};
   restore();
   stats_ = InjectionStats{};
   // Phase 1 (may allocate on first use): faulted copies into the shadows,

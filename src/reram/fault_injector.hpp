@@ -13,6 +13,7 @@
 // evaluator runs one session per worker-thread model clone.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -63,6 +64,11 @@ InjectionStats inject_into_model(Module& model_root, const StuckAtFaultModel& mo
 
 /// Reusable inject/restore workspace bound to one network.
 ///
+/// Thread-safety contract: a session (like the Module it binds) is
+/// single-owner — one session per worker clone, never shared across threads
+/// (see evaluate_under_defects). inject() enforces non-concurrent use with an
+/// always-on contract check on an internal atomic flag.
+///
 /// Binds to the crossbar-weight parameters of `model_root` once; every
 /// inject() computes faulted copies into persistent shadow buffers and then
 /// swaps them in (exception-safe: the model is untouched until all copies
@@ -101,6 +107,7 @@ class FaultInjectionSession {
   std::vector<Tensor> hit_masks_;
   InjectionStats stats_;
   bool injected_ = false;
+  std::atomic<bool> busy_{false};  ///< inject() reentrancy/concurrency detector
 };
 
 /// RAII: snapshots all crossbar weights of a network, injects faults, and

@@ -1,17 +1,15 @@
 #include "src/reram/fault_model.hpp"
 
+#include "src/common/check.hpp"
+
 #include <stdexcept>
 
 namespace ftpim {
 
 StuckAtFaultModel::StuckAtFaultModel(double p_sa, double sa0_fraction)
     : p_sa_(p_sa), sa0_fraction_(sa0_fraction) {
-  if (p_sa < 0.0 || p_sa > 1.0) {
-    throw std::invalid_argument("StuckAtFaultModel: p_sa must be in [0,1]");
-  }
-  if (sa0_fraction < 0.0 || sa0_fraction > 1.0) {
-    throw std::invalid_argument("StuckAtFaultModel: sa0_fraction must be in [0,1]");
-  }
+  FTPIM_CHECK(!(p_sa < 0.0 || p_sa > 1.0), "StuckAtFaultModel: p_sa must be in [0,1]");
+  FTPIM_CHECK(!(sa0_fraction < 0.0 || sa0_fraction > 1.0), "StuckAtFaultModel: sa0_fraction must be in [0,1]");
 }
 
 FaultType StuckAtFaultModel::sample(Rng& rng) const noexcept {

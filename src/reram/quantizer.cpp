@@ -1,5 +1,7 @@
 #include "src/reram/quantizer.hpp"
 
+#include "src/common/check.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
@@ -9,9 +11,7 @@ namespace ftpim {
 ConductanceQuantizer::ConductanceQuantizer(ConductanceRange range, int levels)
     : range_(range), levels_(levels) {
   range_.validate();
-  if (levels < 0 || levels == 1) {
-    throw std::invalid_argument("ConductanceQuantizer: levels must be 0 or >= 2");
-  }
+  FTPIM_CHECK(!(levels < 0 || levels == 1), "ConductanceQuantizer: levels must be 0 or >= 2");
   if (levels_ >= 2) step_ = range_.span() / static_cast<float>(levels_ - 1);
 }
 

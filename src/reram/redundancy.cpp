@@ -1,5 +1,7 @@
 #include "src/reram/redundancy.hpp"
 
+#include "src/common/check.hpp"
+
 #include <algorithm>
 #include <stdexcept>
 
@@ -35,9 +37,7 @@ float replica_readout(float weight, const DifferentialMapper& mapper,
 RedundantInjectionStats apply_faults_with_redundancy(Tensor& weights,
                                                      const StuckAtFaultModel& model,
                                                      const RedundancyConfig& config, Rng& rng) {
-  if (config.replicas < 1 || config.replicas % 2 == 0) {
-    throw std::invalid_argument("redundancy: replicas must be odd and >= 1");
-  }
+  FTPIM_CHECK(!(config.replicas < 1 || config.replicas % 2 == 0), "redundancy: replicas must be odd and >= 1");
   RedundantInjectionStats stats;
   stats.cells = 2ll * config.replicas * weights.numel();
 

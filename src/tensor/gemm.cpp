@@ -4,10 +4,23 @@
 #include <cstring>
 #include <vector>
 
+#include "src/common/check.hpp"
 #include "src/common/parallel.hpp"
 
 namespace ftpim {
 namespace {
+
+// Kernel-entry preconditions (debug-only: gemm sits on the training hot
+// path). Null operand pointers are legal only for empty problems.
+void dcheck_gemm_args(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
+                      const float* b, const float* c) {
+  FTPIM_DCHECK_GE(m, 0);
+  FTPIM_DCHECK_GE(n, 0);
+  FTPIM_DCHECK_GE(k, 0);
+  FTPIM_DCHECK(m == 0 || n == 0 || c != nullptr, "gemm: null C");
+  FTPIM_DCHECK(m == 0 || k == 0 || a != nullptr, "gemm: null A");
+  FTPIM_DCHECK(k == 0 || n == 0 || b != nullptr, "gemm: null B");
+}
 
 constexpr std::int64_t kBlockK = 256;
 constexpr std::int64_t kBlockN = 128;
@@ -47,6 +60,7 @@ void gemm_rows(std::int64_t lo, std::int64_t hi, std::int64_t n, std::int64_t k,
 
 void gemm(std::int64_t m, std::int64_t n, std::int64_t k, float alpha, const float* a,
           const float* b, float beta, float* c) {
+  dcheck_gemm_args(m, n, k, a, b, c);
   if (m <= 0 || n <= 0) return;
   scale_c(m, n, beta, c);
   if (k <= 0 || alpha == 0.0f) return;
@@ -65,6 +79,7 @@ void gemm(std::int64_t m, std::int64_t n, std::int64_t k, float alpha, const flo
 
 void gemm_at(std::int64_t m, std::int64_t n, std::int64_t k, float alpha, const float* a,
              const float* b, float beta, float* c) {
+  dcheck_gemm_args(m, n, k, a, b, c);
   if (m <= 0 || n <= 0) return;
   scale_c(m, n, beta, c);
   if (k <= 0 || alpha == 0.0f) return;
@@ -93,6 +108,7 @@ void gemm_at(std::int64_t m, std::int64_t n, std::int64_t k, float alpha, const 
 
 void gemm_bt(std::int64_t m, std::int64_t n, std::int64_t k, float alpha, const float* a,
              const float* b, float beta, float* c) {
+  dcheck_gemm_args(m, n, k, a, b, c);
   if (m <= 0 || n <= 0) return;
   scale_c(m, n, beta, c);
   if (k <= 0 || alpha == 0.0f) return;

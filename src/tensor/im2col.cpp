@@ -5,6 +5,9 @@
 namespace ftpim {
 
 void im2col(const float* image, const ConvGeometry& g, float* col) {
+  g.validate();
+  FTPIM_DCHECK(image != nullptr);
+  FTPIM_DCHECK(col != nullptr);
   const std::int64_t oh = g.out_h();
   const std::int64_t ow = g.out_w();
   std::int64_t row = 0;
@@ -32,6 +35,9 @@ void im2col(const float* image, const ConvGeometry& g, float* col) {
 }
 
 void col2im(const float* col, const ConvGeometry& g, float* image) {
+  g.validate();
+  FTPIM_DCHECK(col != nullptr);
+  FTPIM_DCHECK(image != nullptr);
   const std::int64_t oh = g.out_h();
   const std::int64_t ow = g.out_w();
   std::int64_t row = 0;

@@ -7,6 +7,8 @@
 
 #include <cstdint>
 
+#include "src/common/check.hpp"
+
 namespace ftpim {
 
 struct ConvGeometry {
@@ -23,6 +25,20 @@ struct ConvGeometry {
   }
   [[nodiscard]] std::int64_t col_rows() const { return in_c * kernel_h * kernel_w; }
   [[nodiscard]] std::int64_t col_cols() const { return out_h() * out_w(); }
+
+  /// Contract: all extents positive, pads non-negative, kernel not larger
+  /// than the padded input (so out_h/out_w are positive). Throws
+  /// ContractViolation otherwise. Called by im2col/col2im and Conv2d.
+  void validate() const {
+    FTPIM_CHECK(in_c > 0 && in_h > 0 && in_w > 0, "ConvGeometry: input extents must be positive");
+    FTPIM_CHECK(kernel_h > 0 && kernel_w > 0, "ConvGeometry: kernel extents must be positive");
+    FTPIM_CHECK(stride_h > 0 && stride_w > 0, "ConvGeometry: strides must be positive");
+    FTPIM_CHECK(pad_h >= 0 && pad_w >= 0, "ConvGeometry: pads must be non-negative");
+    FTPIM_CHECK(out_h() > 0 && out_w() > 0,
+                "ConvGeometry: kernel %lldx%lld does not fit padded input %lldx%lld",
+                static_cast<long long>(kernel_h), static_cast<long long>(kernel_w),
+                static_cast<long long>(in_h + 2 * pad_h), static_cast<long long>(in_w + 2 * pad_w));
+  }
 };
 
 /// image [C,H,W] -> col [C*kh*kw, out_h*out_w] (zero padding).

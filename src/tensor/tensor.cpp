@@ -3,14 +3,16 @@
 #include <algorithm>
 #include <cmath>
 #include <sstream>
-#include <stdexcept>
+
+#include "src/common/check.hpp"
 
 namespace ftpim {
 
 std::int64_t shape_numel(const Shape& shape) {
   std::int64_t n = 1;
   for (const std::int64_t d : shape) {
-    if (d < 0) throw std::invalid_argument("negative dimension in shape " + shape_to_string(shape));
+    FTPIM_CHECK_GE(d, std::int64_t{0}, "negative dimension in shape %s",
+                   shape_to_string(shape).c_str());
     n *= d;
   }
   return n;
@@ -35,10 +37,8 @@ Tensor::Tensor(Shape shape, float fill)
 
 Tensor::Tensor(Shape shape, std::vector<float> data)
     : shape_(std::move(shape)), data_(std::move(data)) {
-  if (shape_numel(shape_) != static_cast<std::int64_t>(data_.size())) {
-    throw std::invalid_argument("Tensor: data size " + std::to_string(data_.size()) +
-                                " does not match shape " + shape_to_string(shape_));
-  }
+  FTPIM_CHECK_EQ(shape_numel(shape_), static_cast<std::int64_t>(data_.size()),
+                 "Tensor: data size does not match shape %s", shape_to_string(shape_).c_str());
 }
 
 Tensor Tensor::from_vector(std::vector<float> values) {
@@ -49,18 +49,14 @@ Tensor Tensor::from_vector(std::vector<float> values) {
 void Tensor::fill(float value) { std::fill(data_.begin(), data_.end(), value); }
 
 Tensor Tensor::reshaped(Shape new_shape) const {
-  if (shape_numel(new_shape) != numel()) {
-    throw std::invalid_argument("reshape: numel mismatch " + shape_to_string(shape_) + " -> " +
-                                shape_to_string(new_shape));
-  }
+  FTPIM_CHECK_EQ(shape_numel(new_shape), numel(), "reshape: %s -> %s",
+                 shape_to_string(shape_).c_str(), shape_to_string(new_shape).c_str());
   return Tensor(std::move(new_shape), data_);
 }
 
 void Tensor::reshape_inplace(Shape new_shape) {
-  if (shape_numel(new_shape) != numel()) {
-    throw std::invalid_argument("reshape_inplace: numel mismatch " + shape_to_string(shape_) +
-                                " -> " + shape_to_string(new_shape));
-  }
+  FTPIM_CHECK_EQ(shape_numel(new_shape), numel(), "reshape_inplace: %s -> %s",
+                 shape_to_string(shape_).c_str(), shape_to_string(new_shape).c_str());
   shape_ = std::move(new_shape);
 }
 
@@ -88,12 +84,12 @@ float Tensor::mean() const {
 }
 
 float Tensor::min() const {
-  if (data_.empty()) throw std::logic_error("min of empty tensor");
+  FTPIM_CHECK(!data_.empty(), "min of empty tensor");
   return *std::min_element(data_.begin(), data_.end());
 }
 
 float Tensor::max() const {
-  if (data_.empty()) throw std::logic_error("max of empty tensor");
+  FTPIM_CHECK(!data_.empty(), "max of empty tensor");
   return *std::max_element(data_.begin(), data_.end());
 }
 

@@ -5,11 +5,12 @@
 // kernel surface small. Shapes are small vectors of int64.
 #pragma once
 
-#include <cassert>
 #include <cstdint>
 #include <initializer_list>
 #include <string>
 #include <vector>
+
+#include "src/common/check.hpp"
 
 namespace ftpim {
 
@@ -38,9 +39,13 @@ class Tensor {
   static Tensor from_vector(std::vector<float> values);
 
   [[nodiscard]] const Shape& shape() const noexcept { return shape_; }
-  [[nodiscard]] std::int64_t dim(std::size_t axis) const {
-    assert(axis < shape_.size());
-    return shape_[axis];
+  // Indices and axes are std::int64_t throughout (one signed type, no mixed
+  // signed/unsigned comparisons in the contracts); rank() stays size_t to
+  // mirror shape().size().
+  [[nodiscard]] std::int64_t dim(std::int64_t axis) const {
+    FTPIM_DCHECK_GE(axis, 0);
+    FTPIM_DCHECK_LT(axis, static_cast<std::int64_t>(shape_.size()));
+    return shape_[static_cast<std::size_t>(axis)];
   }
   [[nodiscard]] std::size_t rank() const noexcept { return shape_.size(); }
   [[nodiscard]] std::int64_t numel() const noexcept {
@@ -54,32 +59,30 @@ class Tensor {
   [[nodiscard]] const std::vector<float>& vec() const noexcept { return data_; }
 
   [[nodiscard]] float& operator[](std::int64_t i) {
-    assert(i >= 0 && i < numel());
+    FTPIM_DCHECK_GE(i, 0);
+    FTPIM_DCHECK_LT(i, numel());
     return data_[static_cast<std::size_t>(i)];
   }
   [[nodiscard]] float operator[](std::int64_t i) const {
-    assert(i >= 0 && i < numel());
+    FTPIM_DCHECK_GE(i, 0);
+    FTPIM_DCHECK_LT(i, numel());
     return data_[static_cast<std::size_t>(i)];
   }
 
-  /// 2-D indexed access (rank must be 2).
+  /// 2-D indexed access (rank must be 2; bounds DCHECKed per axis).
   [[nodiscard]] float& at(std::int64_t r, std::int64_t c) {
-    assert(rank() == 2);
-    return data_[static_cast<std::size_t>(r * shape_[1] + c)];
+    return data_[index2_(r, c)];
   }
   [[nodiscard]] float at(std::int64_t r, std::int64_t c) const {
-    assert(rank() == 2);
-    return data_[static_cast<std::size_t>(r * shape_[1] + c)];
+    return data_[index2_(r, c)];
   }
 
   /// 4-D indexed access (rank must be 4; NCHW convention).
   [[nodiscard]] float& at(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) {
-    assert(rank() == 4);
-    return data_[static_cast<std::size_t>(((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w)];
+    return data_[index4_(n, c, h, w)];
   }
   [[nodiscard]] float at(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) const {
-    assert(rank() == 4);
-    return data_[static_cast<std::size_t>(((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w)];
+    return data_[index4_(n, c, h, w)];
   }
 
   /// Sets every element to `value`.
@@ -108,6 +111,28 @@ class Tensor {
   [[nodiscard]] float abs_max() const;
 
  private:
+  [[nodiscard]] std::size_t index2_(std::int64_t r, std::int64_t c) const {
+    FTPIM_DCHECK_EQ(rank(), std::size_t{2});
+    FTPIM_DCHECK_GE(r, 0);
+    FTPIM_DCHECK_LT(r, shape_[0]);
+    FTPIM_DCHECK_GE(c, 0);
+    FTPIM_DCHECK_LT(c, shape_[1]);
+    return static_cast<std::size_t>(r * shape_[1] + c);
+  }
+  [[nodiscard]] std::size_t index4_(std::int64_t n, std::int64_t c, std::int64_t h,
+                                    std::int64_t w) const {
+    FTPIM_DCHECK_EQ(rank(), std::size_t{4});
+    FTPIM_DCHECK_GE(n, 0);
+    FTPIM_DCHECK_LT(n, shape_[0]);
+    FTPIM_DCHECK_GE(c, 0);
+    FTPIM_DCHECK_LT(c, shape_[1]);
+    FTPIM_DCHECK_GE(h, 0);
+    FTPIM_DCHECK_LT(h, shape_[2]);
+    FTPIM_DCHECK_GE(w, 0);
+    FTPIM_DCHECK_LT(w, shape_[3]);
+    return static_cast<std::size_t>(((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w);
+  }
+
   Shape shape_;
   std::vector<float> data_;
 };

@@ -2,17 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
 
+#include "src/common/check.hpp"
 #include "src/tensor/gemm.hpp"
 
 namespace ftpim {
 namespace {
 void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
-  if (a.shape() != b.shape()) {
-    throw std::invalid_argument(std::string(op) + ": shape mismatch " +
-                                shape_to_string(a.shape()) + " vs " + shape_to_string(b.shape()));
-  }
+  FTPIM_CHECK(a.shape() == b.shape(), "%s: shape mismatch %s vs %s", op,
+              shape_to_string(a.shape()).c_str(), shape_to_string(b.shape()).c_str());
 }
 }  // namespace
 
@@ -74,17 +72,18 @@ void axpy_inplace(Tensor& a, float s, const Tensor& b) {
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
-  if (a.rank() != 2 || b.rank() != 2 || a.dim(1) != b.dim(0)) {
-    throw std::invalid_argument("matmul: incompatible shapes " + shape_to_string(a.shape()) +
-                                " x " + shape_to_string(b.shape()));
-  }
+  FTPIM_CHECK(a.rank() == 2 && b.rank() == 2 && a.dim(1) == b.dim(0),
+              "matmul: incompatible shapes %s x %s", shape_to_string(a.shape()).c_str(),
+              shape_to_string(b.shape()).c_str());
   Tensor c(Shape{a.dim(0), b.dim(1)});
   gemm(a.dim(0), b.dim(1), a.dim(1), 1.0f, a.data(), b.data(), 0.0f, c.data());
   return c;
 }
 
 std::int64_t argmax_row(const Tensor& logits, std::int64_t row) {
-  if (logits.rank() != 2) throw std::invalid_argument("argmax_row: rank-2 tensor required");
+  FTPIM_CHECK_EQ(logits.rank(), std::size_t{2}, "argmax_row: rank-2 tensor required");
+  FTPIM_DCHECK_GE(row, 0);
+  FTPIM_DCHECK_LT(row, logits.dim(0));
   const std::int64_t cols = logits.dim(1);
   const float* p = logits.data() + row * cols;
   std::int64_t best = 0;
@@ -95,11 +94,10 @@ std::int64_t argmax_row(const Tensor& logits, std::int64_t row) {
 }
 
 double accuracy(const Tensor& logits, const std::vector<std::int64_t>& labels) {
-  if (logits.rank() != 2) throw std::invalid_argument("accuracy: rank-2 logits required");
+  FTPIM_CHECK_EQ(logits.rank(), std::size_t{2}, "accuracy: rank-2 logits required");
   const std::int64_t rows = logits.dim(0);
-  if (rows != static_cast<std::int64_t>(labels.size())) {
-    throw std::invalid_argument("accuracy: label count mismatch");
-  }
+  FTPIM_CHECK_EQ(rows, static_cast<std::int64_t>(labels.size()),
+                 "accuracy: label count mismatch");
   if (rows == 0) return 0.0;
   std::int64_t hits = 0;
   for (std::int64_t r = 0; r < rows; ++r) {
@@ -125,9 +123,8 @@ std::int64_t count_zeros(const Tensor& a) {
 }
 
 float kth_largest_abs(const Tensor& a, std::int64_t k) {
-  if (k < 1 || k > a.numel()) {
-    throw std::invalid_argument("kth_largest_abs: k out of range");
-  }
+  FTPIM_CHECK_GE(k, std::int64_t{1}, "kth_largest_abs: k out of range");
+  FTPIM_CHECK_LE(k, a.numel(), "kth_largest_abs: k out of range");
   std::vector<float> mags(static_cast<std::size_t>(a.numel()));
   const float* p = a.data();
   for (std::int64_t i = 0; i < a.numel(); ++i) mags[static_cast<std::size_t>(i)] = std::fabs(p[i]);

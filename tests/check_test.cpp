@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "src/common/check.hpp"
+#include "src/tensor/tensor.hpp"
+
+namespace ftpim {
+namespace {
+
+TEST(Check, TrueConditionDoesNotThrow) {
+  EXPECT_NO_THROW(FTPIM_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(FTPIM_CHECK(true, "message ignored on success %d", 7));
+}
+
+TEST(Check, FalseConditionThrowsContractViolation) {
+  EXPECT_THROW(FTPIM_CHECK(2 < 1), ContractViolation);
+}
+
+TEST(Check, WhatContainsLocationExpressionAndMessage) {
+  try {
+    FTPIM_CHECK(1 == 2, "batch_size=%d is not %s", 3, "positive");
+    FAIL() << "FTPIM_CHECK did not throw";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("check_test.cpp"), std::string::npos) << what;
+    EXPECT_NE(what.find("FTPIM_CHECK(1 == 2)"), std::string::npos) << what;
+    EXPECT_NE(what.find("batch_size=3 is not positive"), std::string::npos) << what;
+  }
+}
+
+TEST(Check, CatchableAsLegacyExceptionTypes) {
+  // Conversion contract: sites that migrated from `throw std::invalid_argument`
+  // must keep satisfying callers catching the old types.
+  EXPECT_THROW(FTPIM_CHECK(false), std::invalid_argument);
+  EXPECT_THROW(FTPIM_CHECK(false), std::logic_error);
+  EXPECT_THROW(FTPIM_CHECK(false), std::exception);
+}
+
+TEST(Check, ComparisonMacrosPassAndFail) {
+  EXPECT_NO_THROW(FTPIM_CHECK_EQ(4, 4));
+  EXPECT_NO_THROW(FTPIM_CHECK_NE(4, 5));
+  EXPECT_NO_THROW(FTPIM_CHECK_LT(4, 5));
+  EXPECT_NO_THROW(FTPIM_CHECK_LE(5, 5));
+  EXPECT_NO_THROW(FTPIM_CHECK_GT(5, 4));
+  EXPECT_NO_THROW(FTPIM_CHECK_GE(5, 5));
+  EXPECT_THROW(FTPIM_CHECK_EQ(4, 5), ContractViolation);
+  EXPECT_THROW(FTPIM_CHECK_NE(4, 4), ContractViolation);
+  EXPECT_THROW(FTPIM_CHECK_LT(5, 5), ContractViolation);
+  EXPECT_THROW(FTPIM_CHECK_LE(6, 5), ContractViolation);
+  EXPECT_THROW(FTPIM_CHECK_GT(5, 5), ContractViolation);
+  EXPECT_THROW(FTPIM_CHECK_GE(4, 5), ContractViolation);
+}
+
+TEST(Check, ComparisonFailureReportsBothOperands) {
+  try {
+    const int rows = 3;
+    const int cols = 4;
+    FTPIM_CHECK_EQ(rows, cols, "matrix must be square");
+    FAIL() << "FTPIM_CHECK_EQ did not throw";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("FTPIM_CHECK_EQ(rows, cols)"), std::string::npos) << what;
+    EXPECT_NE(what.find("3 vs 4"), std::string::npos) << what;
+    EXPECT_NE(what.find("matrix must be square"), std::string::npos) << what;
+  }
+}
+
+TEST(Check, ComparisonOperandsEvaluatedExactlyOnce) {
+  int calls = 0;
+  const auto next = [&calls]() { return ++calls; };
+  FTPIM_CHECK_LE(next(), 10);
+  EXPECT_EQ(calls, 1);
+  EXPECT_THROW(FTPIM_CHECK_GT(next(), 10), ContractViolation);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(DCheck, FiringMatchesBuildConfiguration) {
+  // kDChecksEnabled is set by the FTPIM_DCHECKS CMake option (AUTO = off in
+  // Release). The same test binary asserts whichever behavior was built.
+  if (kDChecksEnabled) {
+    EXPECT_THROW(FTPIM_DCHECK(false), ContractViolation);
+    EXPECT_THROW(FTPIM_DCHECK_EQ(1, 2), ContractViolation);
+  } else {
+    EXPECT_NO_THROW(FTPIM_DCHECK(false));
+    EXPECT_NO_THROW(FTPIM_DCHECK_EQ(1, 2));
+  }
+  EXPECT_NO_THROW(FTPIM_DCHECK(true));
+  EXPECT_NO_THROW(FTPIM_DCHECK_EQ(2, 2));
+}
+
+TEST(DCheck, DisabledOperandsAreNotEvaluated) {
+  if (kDChecksEnabled) GTEST_SKIP() << "DCHECKs live in this build";
+  int side_effects = 0;
+  const auto bump = [&side_effects]() { return ++side_effects; };
+  FTPIM_DCHECK(bump() > 0);
+  FTPIM_DCHECK_EQ(bump(), 1);
+  FTPIM_DCHECK_LT(bump(), bump());
+  EXPECT_EQ(side_effects, 0) << "compiled-away DCHECK evaluated its operands";
+}
+
+TEST(CheckIntegration, TensorContractsThrowContractViolation) {
+  EXPECT_THROW(Tensor({-1, 4}), ContractViolation);
+  EXPECT_THROW(Tensor({2, 2}, std::vector<float>{1.0f, 2.0f, 3.0f}), ContractViolation);
+  Tensor t({2, 3});
+  EXPECT_THROW(t.reshaped({4, 2}), ContractViolation);
+  EXPECT_THROW(t.reshape_inplace({5}), ContractViolation);
+  EXPECT_NO_THROW(t.reshape_inplace({3, 2}));
+}
+
+}  // namespace
+}  // namespace ftpim

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/common/logging.hpp"
+
+namespace ftpim {
+namespace {
+
+struct Captured {
+  std::vector<LogLevel> levels;
+  std::vector<std::string> lines;
+};
+
+void capture_sink(LogLevel level, const std::string& line, void* user) {
+  auto* out = static_cast<Captured*>(user);
+  out->levels.push_back(level);
+  out->lines.push_back(line);
+}
+
+// Installs the capture sink at kDebug threshold and restores the previous
+// level + stderr sink on scope exit, so tests compose with any suite order.
+class SinkGuard {
+ public:
+  explicit SinkGuard(Captured* out) : saved_level_(log_level()) {
+    set_log_level(LogLevel::kDebug);
+    set_log_sink(&capture_sink, out);
+  }
+  ~SinkGuard() {
+    set_log_sink(nullptr, nullptr);
+    set_log_level(saved_level_);
+  }
+
+ private:
+  LogLevel saved_level_;
+};
+
+TEST(Logging, SinkReceivesFormattedLines) {
+  Captured got;
+  {
+    SinkGuard guard(&got);
+    log_info("epoch %d: accuracy %.2f", 3, 0.875);
+    log_warn("p_sa=%g outside sweep range", 0.25);
+  }
+  ASSERT_EQ(got.lines.size(), 2u);
+  EXPECT_EQ(got.levels[0], LogLevel::kInfo);
+  EXPECT_NE(got.lines[0].find("epoch 3: accuracy 0.88"), std::string::npos) << got.lines[0];
+  EXPECT_EQ(got.levels[1], LogLevel::kWarn);
+  EXPECT_NE(got.lines[1].find("p_sa=0.25"), std::string::npos) << got.lines[1];
+}
+
+TEST(Logging, LevelThresholdFilters) {
+  Captured got;
+  {
+    SinkGuard guard(&got);
+    set_log_level(LogLevel::kWarn);
+    log_debug("dropped %d", 1);
+    log_info("dropped %d", 2);
+    log_warn("kept %d", 3);
+    log_error("kept %d", 4);
+    set_log_level(LogLevel::kOff);
+    log_error("dropped even at error %d", 5);
+  }
+  ASSERT_EQ(got.lines.size(), 2u);
+  EXPECT_EQ(got.levels[0], LogLevel::kWarn);
+  EXPECT_EQ(got.levels[1], LogLevel::kError);
+}
+
+TEST(Logging, NullSinkRestoresStderrWithoutCrashing) {
+  Captured got;
+  {
+    SinkGuard guard(&got);
+    log_info("captured");
+  }
+  // Sink removed — this must route to stderr (not the dead Captured) safely.
+  log_debug("post-restore line, default threshold drops it");
+  EXPECT_EQ(got.lines.size(), 1u);
+}
+
+}  // namespace
+}  // namespace ftpim

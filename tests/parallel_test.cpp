@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <thread>
 #include <vector>
 
 #include "src/common/config.hpp"
@@ -55,6 +56,42 @@ TEST(ParallelForChunks, OffsetRangesWork) {
 TEST(NumThreads, PositiveAndStable) {
   EXPECT_GE(num_threads(), 1);
   EXPECT_EQ(num_threads(), num_threads());
+}
+
+TEST(NumThreads, OverrideSetAndClear) {
+  const int base = num_threads();
+  set_num_threads(3);
+  EXPECT_EQ(num_threads(), 3);
+  set_num_threads(1);
+  EXPECT_EQ(num_threads(), 1);
+  set_num_threads(0);  // clears the override
+  EXPECT_EQ(num_threads(), base);
+}
+
+TEST(NumThreads, ConcurrentOverrideAndLoopsAreRaceFree) {
+  // Hammers the documented contract of set_num_threads: concurrent override
+  // writes, num_threads() reads, and parallel_for dispatch must be free of
+  // data races (the TSan config of scripts/ci.sh runs this test) and must
+  // never corrupt loop coverage.
+  std::atomic<bool> stop{false};
+  std::thread mutator([&] {
+    int n = 1;
+    while (!stop.load(std::memory_order_relaxed)) {
+      set_num_threads(n);
+      n = (n % 4) + 1;
+    }
+    set_num_threads(0);
+  });
+  for (int round = 0; round < 50; ++round) {
+    const int seen = num_threads();
+    EXPECT_GE(seen, 1);
+    std::vector<std::atomic<int>> hits(257);
+    parallel_for(0, hits.size(), [&](std::size_t i) { hits[i]++; }, /*min_parallel_trip=*/1);
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  mutator.join();
+  EXPECT_GE(num_threads(), 1);
 }
 
 TEST(EnvHelpers, ParseAndFallback) {

@@ -1,0 +1,7 @@
+// Lint fixture: header missing its include guard, using raw assert. NOT COMPILED.
+#include <cassert>
+
+inline int checked_index(int i, int n) {
+  assert(i >= 0 && i < n);
+  return i;
+}

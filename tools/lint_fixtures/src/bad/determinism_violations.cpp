@@ -1,0 +1,12 @@
+// Lint fixture: every line below violates a determinism rule. NOT COMPILED.
+#include <cstdlib>
+#include <ctime>
+#include <iostream>
+#include <random>
+
+int bad_seed() {
+  std::srand(static_cast<unsigned>(time(nullptr)));  // rng-source (srand + time)
+  std::random_device rd;                             // rng-source
+  std::cout << "seed: " << rd() << "\n";             // raw-stdout
+  return std::rand();                                // rng-source
+}

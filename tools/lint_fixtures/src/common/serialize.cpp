@@ -1,0 +1,10 @@
+// Lint fixture: unordered container in a serialization path — iteration
+// order would depend on hash-table layout. NOT COMPILED.
+#include <string>
+#include <unordered_map>
+
+void write_entries(const std::unordered_map<std::string, int>& entries) {
+  for (const auto& kv : entries) {
+    (void)kv;  // order nondeterministic: unordered-output must fire
+  }
+}

@@ -1,0 +1,16 @@
+// Lint fixture: fully compliant header — the linter must stay silent here.
+// Comments may mention std::rand, random_device, std::cout and assert()
+// freely; only code positions count. NOT COMPILED.
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace ftpim_fixture {
+
+inline int lookup(const std::map<std::string, int>& table, const std::string& key) {
+  const auto it = table.find(key);
+  return it == table.end() ? -1 : it->second;
+}
+
+}  // namespace ftpim_fixture
