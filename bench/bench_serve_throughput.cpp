@@ -1,0 +1,117 @@
+// Serving-layer throughput sweep: batch size x replica count.
+//
+// For each grid point, an InferenceServer over an (untrained, seeded)
+// SmallCNN serves FTPIM_REQS single-sample requests fired from FTPIM_CLIENTS
+// client threads, and the harness reports req/s, achieved batch fill, and
+// p50/p95/p99 latency. Larger max batch amortizes per-forward overhead
+// (im2col + GEMM setup) so req/s should rise with batch size; replicas add
+// worker-level parallelism until the host cores saturate.
+#include <cstdio>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "src/common/config.hpp"
+#include "src/common/parallel.hpp"
+#include "src/common/timer.hpp"
+#include "src/data/synthetic.hpp"
+#include "src/models/small_cnn.hpp"
+#include "src/serve/inference_server.hpp"
+
+namespace {
+
+using namespace ftpim;
+using namespace ftpim::serve;
+
+struct SweepPoint {
+  std::int64_t batch;
+  int replicas;
+  double reqs_per_sec;
+  double fill;
+  double p50_ms, p95_ms, p99_ms;
+};
+
+SweepPoint run_point(const Module& model, const Dataset& data, std::int64_t max_batch,
+                     int replicas, int clients, int total_requests) {
+  ServerConfig cfg;
+  cfg.queue_capacity = 1024;
+  cfg.batching.max_batch_size = max_batch;
+  cfg.batching.max_linger_ns = 500'000;  // 0.5ms
+  cfg.pool.num_replicas = replicas;
+  cfg.pool.p_sa = 0.01;
+  cfg.pool.seed = 7;
+  InferenceServer server(model, cfg);
+  server.start();
+
+  const int per_client = total_requests / clients;
+  Timer wall;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      std::vector<std::future<InferenceResult>> futures;
+      futures.reserve(static_cast<std::size_t>(per_client));
+      for (int i = 0; i < per_client; ++i) {
+        const std::int64_t idx =
+            (static_cast<std::int64_t>(c) * per_client + i) % data.size();
+        futures.push_back(server.submit(data.get(idx).image));
+      }
+      for (auto& f : futures) (void)f.get();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  server.drain();
+  const double secs = wall.seconds();
+  server.stop();
+
+  const ServerStats stats = server.stats();
+  SweepPoint point;
+  point.batch = max_batch;
+  point.replicas = replicas;
+  point.reqs_per_sec = static_cast<double>(stats.served) / secs;
+  point.fill = stats.mean_batch_fill();
+  point.p50_ms = static_cast<double>(stats.latency.p50_ns()) * 1e-6;
+  point.p95_ms = static_cast<double>(stats.latency.p95_ns()) * 1e-6;
+  point.p99_ms = static_cast<double>(stats.latency.p99_ns()) * 1e-6;
+  return point;
+}
+
+}  // namespace
+
+int main() {
+  const RunScale scale = run_scale();
+  const int clients = env_int("FTPIM_CLIENTS", 4);
+  const int total_requests = env_int("FTPIM_REQS", scale.name == "quick" ? 512 : 2048);
+
+  std::printf("=== serve throughput: batch size x replica count ===\n");
+  std::printf("model: SmallCNN | img: %dx%d | requests: %d | clients: %d | scale: %s | "
+              "threads: %d\n\n",
+              scale.image_size, scale.image_size, total_requests, clients,
+              scale.name.c_str(), ftpim::num_threads());
+
+  SynthVisionConfig data_cfg;
+  data_cfg.num_classes = 10;
+  data_cfg.image_size = scale.image_size;
+  data_cfg.samples = 256;
+  const auto data = make_synthvision(data_cfg, 3);
+
+  SmallCnnConfig model_cfg;
+  model_cfg.image_size = scale.image_size;
+  const auto model = make_small_cnn(model_cfg);
+
+  const std::vector<std::int64_t> batch_sizes = {1, 4, 16};
+  const std::vector<int> replica_counts = {1, 2, 4};
+
+  std::printf("%6s %9s %10s %6s %9s %9s %9s\n", "batch", "replicas", "req/s", "fill",
+              "p50(ms)", "p95(ms)", "p99(ms)");
+  for (const int replicas : replica_counts) {
+    for (const std::int64_t batch : batch_sizes) {
+      const SweepPoint p =
+          run_point(*model, *data, batch, replicas, clients, total_requests);
+      std::printf("%6lld %9d %10.0f %6.2f %9.3f %9.3f %9.3f\n",
+                  static_cast<long long>(p.batch), p.replicas, p.reqs_per_sec, p.fill,
+                  p.p50_ms, p.p95_ms, p.p99_ms);
+    }
+  }
+  return 0;
+}

@@ -20,10 +20,10 @@ BUILD_ROOT="${REPO_ROOT}/build-ci"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
 # TSan-relevant subset: parallel_for machinery, module cloning, Monte-Carlo
-# defect evaluation, fault-injection sessions, and the contract layer they
-# all guard. Kept as a regex so newly added tests matching these names are
-# picked up automatically.
-THREAD_SUBSET='Parallel|Clone|Defect|Session|Eval|Check|Logging'
+# defect evaluation, fault-injection sessions, the serving layer's queue and
+# worker threads, and the contract layer they all guard. Kept as a regex so
+# newly added tests matching these names are picked up automatically.
+THREAD_SUBSET='Parallel|Clone|Defect|Session|Eval|Check|Logging|Serve'
 
 run_config() {
   local name="$1" cmake_args="$2" ctest_args="$3"

@@ -36,4 +36,81 @@ double quantile(std::vector<double> values, double q) {
   return values[idx];
 }
 
+// --- LatencyHistogram --------------------------------------------------------
+
+int LatencyHistogram::bin_index(std::int64_t ns) noexcept {
+  if (ns < 1) ns = 1;
+  // Floor log2 via bit scan; sub-bin from the two bits below the leading one.
+  int octave = 0;
+  for (std::uint64_t v = static_cast<std::uint64_t>(ns); v > 1; v >>= 1) ++octave;
+  if (octave >= kOctaves) return kBins - 1;
+  const int sub =
+      octave >= 2 ? static_cast<int>((static_cast<std::uint64_t>(ns) >> (octave - 2)) & 3) : 0;
+  return octave * kSubBins + sub;
+}
+
+std::int64_t LatencyHistogram::bin_upper_ns(int bin) noexcept {
+  // Upper edge from the bin's own (octave o, sub s). For o >= 2 the quarter
+  // sub-bins are real and the next lower edge is ((4+s+1) << (o-2)); s+1 == 4
+  // rolls cleanly into the next octave's start. For o < 2 the sub-bins are
+  // degenerate (bin_index only emits s == 0), so the octave spans
+  // [2^o, 2^(o+1)-1] whole.
+  if (bin >= kBins - 1) return (std::int64_t{1} << kOctaves) - 1;
+  const int octave = bin / kSubBins;
+  const int sub = bin % kSubBins;
+  if (octave < 2) return (std::int64_t{1} << (octave + 1)) - 1;
+  return (std::int64_t{4 + sub + 1} << (octave - 2)) - 1;
+}
+
+void LatencyHistogram::record(std::int64_t ns) noexcept {
+  const std::int64_t clamped = std::max<std::int64_t>(ns, 0);
+  ++counts_[static_cast<std::size_t>(bin_index(clamped))];
+  if (count_ == 0) {
+    min_ = clamped;
+    max_ = clamped;
+  } else {
+    min_ = std::min(min_, clamped);
+    max_ = std::max(max_, clamped);
+  }
+  ++count_;
+  sum_ += clamped;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) noexcept {
+  if (other.count_ == 0) return;
+  for (int b = 0; b < kBins; ++b) counts_[static_cast<std::size_t>(b)] +=
+      other.counts_[static_cast<std::size_t>(b)];
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+std::int64_t LatencyHistogram::quantile_ns(double q) const {
+  FTPIM_CHECK(!(q < 0.0 || q > 1.0), "LatencyHistogram::quantile_ns: q %g outside [0,1]", q);
+  if (count_ == 0) return 0;
+  if (q == 0.0) return min_;  // exact; the bin upper edge would overshoot
+  // Nearest-rank: smallest bin whose cumulative count reaches ceil(q*count).
+  const auto target = std::max<std::int64_t>(
+      std::int64_t{1},
+      static_cast<std::int64_t>(std::ceil(q * static_cast<double>(count_))));
+  std::int64_t cum = 0;
+  for (int b = 0; b < kBins; ++b) {
+    cum += counts_[static_cast<std::size_t>(b)];
+    if (cum >= target) {
+      return std::clamp(bin_upper_ns(b), min_, max_);
+    }
+  }
+  return max_;
+}
+
+double LatencyHistogram::mean_ns() const noexcept {
+  return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
 }  // namespace ftpim

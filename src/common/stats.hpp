@@ -1,6 +1,10 @@
-// Small descriptive-statistics helpers used by evaluators and benches.
+// Small descriptive-statistics helpers used by evaluators, benches, and the
+// serving layer's latency accounting.
 #pragma once
 
+#include <array>
+#include <chrono>
+#include <cstdint>
 #include <vector>
 
 namespace ftpim {
@@ -19,5 +23,88 @@ struct Summary {
 /// q-quantile (0 <= q <= 1) by nearest-rank on a sorted copy.
 /// Throws std::invalid_argument on empty input or q outside [0,1].
 [[nodiscard]] double quantile(std::vector<double> values, double q);
+
+namespace detail {
+template <typename T>
+[[nodiscard]] double stat_value(const T& v) {
+  return static_cast<double>(v);
+}
+/// Durations summarize as seconds (matches Timer::seconds()).
+template <typename Rep, typename Period>
+[[nodiscard]] double stat_value(const std::chrono::duration<Rep, Period>& d) {
+  return std::chrono::duration<double>(d).count();
+}
+template <typename T>
+[[nodiscard]] std::vector<double> to_doubles(const std::vector<T>& values) {
+  std::vector<double> out;
+  out.reserve(values.size());
+  for (const T& v : values) out.push_back(stat_value(v));
+  return out;
+}
+}  // namespace detail
+
+/// summarize/quantile over float, integer, or std::chrono::duration samples
+/// (durations are converted to seconds) — callers no longer hand-copy into a
+/// std::vector<double> first.
+template <typename T>
+[[nodiscard]] Summary summarize(const std::vector<T>& values) {
+  return summarize(detail::to_doubles(values));
+}
+template <typename T>
+[[nodiscard]] double quantile(const std::vector<T>& values, double q) {
+  return quantile(detail::to_doubles(values), q);
+}
+
+/// Fixed-bin log-spaced latency histogram (nanosecond samples).
+///
+/// Bins are quarter-octave (4 sub-bins per power of two, ~19-25% relative
+/// width) covering [1ns, 2^32 ns ≈ 4.3s); samples outside clamp to the edge
+/// bins while exact min/max/sum are tracked separately. All state is integer,
+/// so merge() is exactly associative and commutative — per-worker histograms
+/// merged in any order yield bit-identical quantiles.
+class LatencyHistogram {
+ public:
+  static constexpr int kOctaves = 32;
+  static constexpr int kSubBins = 4;  ///< per octave
+  static constexpr int kBins = kOctaves * kSubBins;
+
+  /// Records one latency sample; ns < 1 clamps to the first bin.
+  void record(std::int64_t ns) noexcept;
+
+  /// Accumulates `other` into *this (exact, associative).
+  void merge(const LatencyHistogram& other) noexcept;
+
+  [[nodiscard]] std::int64_t count() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+
+  /// q-quantile estimate (bin upper edge, clamped to the observed [min,max]).
+  /// Throws ContractViolation for q outside [0,1]; returns 0 when empty.
+  [[nodiscard]] std::int64_t quantile_ns(double q) const;
+
+  [[nodiscard]] std::int64_t p50_ns() const { return quantile_ns(0.50); }
+  [[nodiscard]] std::int64_t p95_ns() const { return quantile_ns(0.95); }
+  [[nodiscard]] std::int64_t p99_ns() const { return quantile_ns(0.99); }
+
+  /// Exact aggregates (0 when empty).
+  [[nodiscard]] double mean_ns() const noexcept;
+  [[nodiscard]] std::int64_t min_ns() const noexcept { return count_ == 0 ? 0 : min_; }
+  [[nodiscard]] std::int64_t max_ns() const noexcept { return count_ == 0 ? 0 : max_; }
+
+  [[nodiscard]] const std::array<std::int64_t, kBins>& bin_counts() const noexcept {
+    return counts_;
+  }
+
+  /// Bin index a sample lands in / inclusive upper edge of a bin (both pure,
+  /// exposed for tests).
+  [[nodiscard]] static int bin_index(std::int64_t ns) noexcept;
+  [[nodiscard]] static std::int64_t bin_upper_ns(int bin) noexcept;
+
+ private:
+  std::array<std::int64_t, kBins> counts_{};
+  std::int64_t count_ = 0;
+  std::int64_t sum_ = 0;  ///< exact ns total (int math keeps merge associative)
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+};
 
 }  // namespace ftpim

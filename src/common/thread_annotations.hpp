@@ -15,6 +15,8 @@
 //     capability annotation, but the ordering comment is mandatory.
 #pragma once
 
+#include <chrono>
+#include <condition_variable>
 #include <mutex>
 
 #if defined(__clang__)
@@ -64,7 +66,49 @@ class FTPIM_SCOPED_CAPABILITY MutexLock {
   MutexLock& operator=(const MutexLock&) = delete;
 
  private:
+  friend class CondVar;
   Mutex* mu_;
+};
+
+/// Condition variable paired with ftpim::Mutex/MutexLock (std::condition_
+/// variable wants a raw std::unique_lock<std::mutex>, which the analysis
+/// cannot see). wait() atomically releases the lock and reacquires it before
+/// returning; the capability is held again on exit, so callers keep their
+/// FTPIM_GUARDED_BY guarantees — the transient release inside the wait is
+/// hidden from the analysis (FTPIM_NO_THREAD_SAFETY_ANALYSIS), matching how
+/// scoped capabilities model condition waits.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(MutexLock& lock) FTPIM_NO_THREAD_SAFETY_ANALYSIS { cv_.wait(*lock.mu_); }
+
+  template <typename Pred>
+  void wait(MutexLock& lock, Pred pred) {
+    while (!pred()) wait(lock);
+  }
+
+  /// Bounded wait; returns false on timeout (predicate-free form may also
+  /// wake spuriously — use the predicate overload for state waits).
+  template <typename Rep, typename Period>
+  bool wait_for(MutexLock& lock,
+                const std::chrono::duration<Rep, Period>& timeout) FTPIM_NO_THREAD_SAFETY_ANALYSIS {
+    return cv_.wait_for(*lock.mu_, timeout) == std::cv_status::no_timeout;
+  }
+
+  template <typename Rep, typename Period, typename Pred>
+  bool wait_for(MutexLock& lock, const std::chrono::duration<Rep, Period>& timeout, Pred pred)
+      FTPIM_NO_THREAD_SAFETY_ANALYSIS {
+    return cv_.wait_for(*lock.mu_, timeout, std::move(pred));
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
 };
 
 }  // namespace ftpim

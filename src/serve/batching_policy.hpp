@@ -1,0 +1,45 @@
+// Dynamic-batching policy: how long a worker holds an open batch.
+//
+// A batch closes when it is full (max_batch_size) or when the oldest request
+// in it has lingered max_linger_ns — the standard throughput/latency knob of
+// dynamic batching servers. All decisions are pure functions of (batch size,
+// now, batch-open time) read from the server's injectable ServeClock, so the
+// policy is unit-testable with a ManualServeClock and the single-worker
+// serving path stays deterministic (see DESIGN.md "Serving layer").
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "src/common/check.hpp"
+
+namespace ftpim::serve {
+
+struct BatchingPolicy {
+  std::int64_t max_batch_size = 8;
+  std::int64_t max_linger_ns = 1'000'000;  ///< 1ms; 0 = greedy (never wait)
+
+  void validate() const {
+    FTPIM_CHECK_GT(max_batch_size, std::int64_t{0}, "BatchingPolicy: max_batch_size");
+    FTPIM_CHECK_GE(max_linger_ns, std::int64_t{0}, "BatchingPolicy: max_linger_ns");
+  }
+
+  [[nodiscard]] bool full(std::int64_t batch_size) const noexcept {
+    return batch_size >= max_batch_size;
+  }
+
+  /// Nanoseconds the worker may still wait for more requests; 0 once the
+  /// linger budget of a batch opened at `open_ns` is spent.
+  [[nodiscard]] std::int64_t remaining_linger_ns(std::int64_t now_ns,
+                                                 std::int64_t open_ns) const noexcept {
+    return std::max<std::int64_t>(std::int64_t{0}, max_linger_ns - (now_ns - open_ns));
+  }
+
+  /// True when the batch must be dispatched now (full, or linger expired).
+  [[nodiscard]] bool should_flush(std::int64_t batch_size, std::int64_t now_ns,
+                                  std::int64_t open_ns) const noexcept {
+    return full(batch_size) || remaining_linger_ns(now_ns, open_ns) == 0;
+  }
+};
+
+}  // namespace ftpim::serve

@@ -1,0 +1,53 @@
+// Injectable time source for the serving layer.
+//
+// Every time-dependent decision in ftpim::serve (batch linger expiry,
+// request latency measurement) reads a ServeClock instead of calling
+// std::chrono directly, so tests can substitute a ManualServeClock and get
+// bit-identical latency statistics across runs (DESIGN.md "Serving layer"
+// determinism rules). Production code uses SteadyServeClock (monotonic).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace ftpim::serve {
+
+class ServeClock {
+ public:
+  virtual ~ServeClock() = default;
+  /// Monotonic nanoseconds since an arbitrary epoch.
+  [[nodiscard]] virtual std::int64_t now_ns() = 0;
+};
+
+/// Wall-clock implementation over std::chrono::steady_clock.
+class SteadyServeClock final : public ServeClock {
+ public:
+  [[nodiscard]] std::int64_t now_ns() override {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+};
+
+/// Test clock: time only moves when advance()d. Thread-safe (the serving
+/// workers and the test driver may read/advance concurrently); the counter
+/// is a relaxed atomic — the clock carries no happens-before obligations,
+/// only a monotonic value.
+class ManualServeClock final : public ServeClock {
+ public:
+  explicit ManualServeClock(std::int64_t start_ns = 0) noexcept : now_ns_(start_ns) {}
+
+  [[nodiscard]] std::int64_t now_ns() override {
+    return now_ns_.load(std::memory_order_relaxed);
+  }
+
+  void advance_ns(std::int64_t delta_ns) noexcept {
+    now_ns_.fetch_add(delta_ns, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> now_ns_;
+};
+
+}  // namespace ftpim::serve

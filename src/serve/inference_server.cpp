@@ -1,0 +1,236 @@
+#include "src/serve/inference_server.hpp"
+
+#include "src/common/check.hpp"
+#include "src/common/logging.hpp"
+#include "src/tensor/tensor_ops.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <exception>
+#include <stdexcept>
+#include <utility>
+
+namespace ftpim::serve {
+
+InferenceServer::InferenceServer(const Module& model, const ServerConfig& config)
+    : config_(config),
+      pool_(model, config.pool),
+      clock_(config.clock != nullptr ? config.clock : &default_clock_),
+      queue_(config.queue_capacity) {
+  config_.batching.validate();
+  MutexLock lock(mu_);
+  per_replica_served_.assign(static_cast<std::size_t>(pool_.size()), 0);
+  per_worker_latency_.assign(static_cast<std::size_t>(pool_.size()), LatencyHistogram{});
+}
+
+InferenceServer::~InferenceServer() { stop(); }
+
+void InferenceServer::reject(Request&& request, const char* why) {
+  request.promise.set_exception(std::make_exception_ptr(std::runtime_error(why)));
+  MutexLock lock(mu_);
+  ++rejected_;
+  --submitted_;
+  --in_flight_;
+  if (in_flight_ == 0) drained_.notify_all();
+}
+
+std::future<InferenceResult> InferenceServer::submit(Tensor input) {
+  FTPIM_CHECK_EQ(input.rank(), std::size_t{3}, "InferenceServer::submit: input must be [C,H,W]");
+  Request req;
+  req.input = std::move(input);
+  req.enqueue_ns = clock_->now_ns();
+  std::future<InferenceResult> fut = req.promise.get_future();
+
+  {
+    MutexLock lock(mu_);
+    if (state_ == State::kStopped) {
+      // Reject inline (under the same lock as the counter) — queue is closed.
+      req.promise.set_exception(
+          std::make_exception_ptr(std::runtime_error("InferenceServer: stopped")));
+      ++rejected_;
+      return fut;
+    }
+    if (input_shape_.empty()) {
+      input_shape_ = req.input.shape();
+    } else {
+      FTPIM_CHECK(req.input.shape() == input_shape_,
+                  "InferenceServer::submit: input shape %s differs from the server's %s",
+                  shape_to_string(req.input.shape()).c_str(),
+                  shape_to_string(input_shape_).c_str());
+    }
+    req.id = next_id_++;
+    // Count before the push so drain() never observes an accepted-but-
+    // uncounted request; reject() rolls this back on push failure.
+    ++submitted_;
+    ++in_flight_;
+  }
+
+  // The (possibly blocking) push runs outside mu_ — workers take mu_ to
+  // publish batch results and must stay able to while a client waits here.
+  const bool accepted = config_.overflow == OverflowPolicy::kBlock
+                            ? queue_.push(std::move(req))
+                            : queue_.try_push(std::move(req));
+  if (!accepted) {
+    // push/try_push leave the request intact on failure.
+    reject(std::move(req), config_.overflow == OverflowPolicy::kBlock
+                               ? "InferenceServer: stopped"
+                               : "InferenceServer: queue full");
+  }
+  return fut;
+}
+
+void InferenceServer::start() {
+  {
+    MutexLock lock(mu_);
+    FTPIM_CHECK(state_ == State::kIdle, "InferenceServer::start: already started");
+    state_ = State::kRunning;
+  }
+  workers_.reserve(static_cast<std::size_t>(pool_.size()));
+  for (int r = 0; r < pool_.size(); ++r) {
+    workers_.emplace_back([this, r] { worker_loop(r); });
+  }
+  log_debug("serve: started %d worker(s), queue capacity %zu", pool_.size(),
+            queue_.capacity());
+}
+
+void InferenceServer::drain() {
+  MutexLock lock(mu_);
+  FTPIM_CHECK(state_ == State::kRunning, "InferenceServer::drain: server not running");
+  while (in_flight_ > 0) drained_.wait(lock);
+}
+
+void InferenceServer::stop() {
+  {
+    MutexLock lock(mu_);
+    if (state_ == State::kStopped) return;
+    state_ = State::kStopped;
+  }
+  queue_.close();  // workers flush the remaining accepted requests, then exit
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  workers_.clear();
+  // Never-started servers have no workers; answer whatever is still queued so
+  // no future is left dangling with a broken promise.
+  Request leftover;
+  while (queue_.try_pop(leftover)) {
+    leftover.promise.set_exception(
+        std::make_exception_ptr(std::runtime_error("InferenceServer: stopped before serving")));
+    MutexLock lock(mu_);
+    ++rejected_;
+    --in_flight_;
+    if (in_flight_ == 0) drained_.notify_all();
+  }
+}
+
+bool InferenceServer::running() const {
+  MutexLock lock(mu_);
+  return state_ == State::kRunning;
+}
+
+ServerStats InferenceServer::stats() const {
+  ServerStats out;
+  out.queue_depth = queue_.size();
+  MutexLock lock(mu_);
+  out.submitted = submitted_;
+  out.rejected = rejected_;
+  out.served = served_;
+  out.failed = failed_;
+  out.batches = batches_;
+  out.in_flight = in_flight_;
+  out.per_replica_served = per_replica_served_;
+  for (const LatencyHistogram& h : per_worker_latency_) out.latency.merge(h);
+  return out;
+}
+
+void InferenceServer::worker_loop(int replica_id) {
+  std::vector<Request> batch;
+  batch.reserve(static_cast<std::size_t>(config_.batching.max_batch_size));
+  while (true) {
+    Request first;
+    if (!queue_.pop(first)) break;  // closed and drained -> exit
+    batch.clear();
+    batch.push_back(std::move(first));
+    const std::int64_t open_ns = clock_->now_ns();
+
+    // Coalesce: greedily take what is already queued; once the queue runs
+    // dry, wait out the remaining linger budget (per the injectable clock;
+    // the bounded cv-wait itself is real time).
+    while (!config_.batching.full(static_cast<std::int64_t>(batch.size()))) {
+      Request more;
+      if (queue_.try_pop(more)) {
+        batch.push_back(std::move(more));
+        continue;
+      }
+      const std::int64_t remaining =
+          config_.batching.remaining_linger_ns(clock_->now_ns(), open_ns);
+      if (remaining == 0) break;
+      if (!queue_.pop_for(more, remaining)) break;  // linger expired or closing
+      batch.push_back(std::move(more));
+    }
+    run_batch(replica_id, batch);
+  }
+}
+
+void InferenceServer::run_batch(int replica_id, std::vector<Request>& batch) {
+  const auto batch_size = static_cast<std::int64_t>(batch.size());
+  const Shape& sample_shape = batch.front().input.shape();
+  Shape batched_shape;
+  batched_shape.reserve(sample_shape.size() + 1);
+  batched_shape.push_back(batch_size);
+  batched_shape.insert(batched_shape.end(), sample_shape.begin(), sample_shape.end());
+
+  Tensor inputs(std::move(batched_shape));
+  const std::int64_t sample_numel = batch.front().input.numel();
+  for (std::int64_t i = 0; i < batch_size; ++i) {
+    std::memcpy(inputs.data() + i * sample_numel,
+                batch[static_cast<std::size_t>(i)].input.data(),
+                static_cast<std::size_t>(sample_numel) * sizeof(float));
+  }
+
+  bool ok = true;
+  Tensor logits;
+  try {
+    logits = pool_.replica(replica_id).forward(inputs, /*training=*/false);
+    FTPIM_CHECK_EQ(logits.rank(), std::size_t{2}, "serve: model output must be [N, classes]");
+    FTPIM_CHECK_EQ(logits.dim(0), batch_size, "serve: model output batch mismatch");
+  } catch (...) {
+    ok = false;
+    const std::exception_ptr error = std::current_exception();
+    for (Request& req : batch) req.promise.set_exception(error);
+  }
+
+  const std::int64_t done_ns = clock_->now_ns();
+  if (ok) {
+    const std::int64_t classes = logits.dim(1);
+    for (std::int64_t i = 0; i < batch_size; ++i) {
+      Request& req = batch[static_cast<std::size_t>(i)];
+      InferenceResult res;
+      res.logits = Tensor(Shape{classes});
+      std::memcpy(res.logits.data(), logits.data() + i * classes,
+                  static_cast<std::size_t>(classes) * sizeof(float));
+      res.predicted = argmax_row(logits, i);
+      res.replica_id = replica_id;
+      res.batch_size = batch_size;
+      res.latency_ns = std::max<std::int64_t>(std::int64_t{0}, done_ns - req.enqueue_ns);
+      req.promise.set_value(std::move(res));
+    }
+  }
+
+  MutexLock lock(mu_);
+  ++batches_;
+  if (ok) {
+    served_ += batch_size;
+    per_replica_served_[static_cast<std::size_t>(replica_id)] += batch_size;
+    LatencyHistogram& hist = per_worker_latency_[static_cast<std::size_t>(replica_id)];
+    for (const Request& req : batch) {
+      hist.record(std::max<std::int64_t>(std::int64_t{0}, done_ns - req.enqueue_ns));
+    }
+  } else {
+    failed_ += batch_size;
+  }
+  in_flight_ -= batch_size;
+  if (in_flight_ == 0) drained_.notify_all();
+}
+
+}  // namespace ftpim::serve

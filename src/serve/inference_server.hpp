@@ -1,0 +1,129 @@
+// Asynchronous dynamically-batched inference over a fleet of defective
+// replicas — the serving layer (DESIGN.md "Serving layer").
+//
+// Architecture: clients submit() single samples and get a std::future; the
+// requests land in one bounded FIFO RequestQueue; each replica of the
+// ReplicaPool is owned by exactly one worker thread that pops requests,
+// coalesces them into batches under the BatchingPolicy, runs one batched
+// forward pass on its (persistently faulted) clone, and fulfills the
+// promises. Because a worker is the sole driver of its replica, the model
+// hot path is lock-free; the only shared state is the queue and the stats
+// block, each behind its own annotated Mutex.
+//
+// Lifecycle: construct -> [submit()...] -> start() -> traffic -> stop().
+// submit() is legal before start() (requests queue up; this is what makes
+// the deterministic single-worker test mode possible) and after stop() it
+// rejects. drain() blocks until every accepted request has been answered.
+// stop() is graceful: the queue closes, workers flush every remaining
+// accepted request, then exit — a drained shutdown loses nothing. The
+// destructor stop()s.
+//
+// Determinism: with one worker, requests submitted in a fixed order before
+// start(), max_linger_ns = 0, and a ManualServeClock, batch composition,
+// outputs, and every stat (latency histogram included) are bit-identical
+// across runs — see tests/serve_server_test.cpp.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/common/thread_annotations.hpp"
+#include "src/nn/module.hpp"
+#include "src/serve/batching_policy.hpp"
+#include "src/serve/clock.hpp"
+#include "src/serve/replica_pool.hpp"
+#include "src/serve/request_queue.hpp"
+#include "src/serve/server_stats.hpp"
+
+namespace ftpim::serve {
+
+/// What submit() does when the queue is full.
+enum class OverflowPolicy {
+  kBlock,   ///< backpressure: block the client until space frees up
+  kReject,  ///< fail fast: the returned future throws std::runtime_error
+};
+
+struct ServerConfig {
+  std::size_t queue_capacity = 256;
+  OverflowPolicy overflow = OverflowPolicy::kBlock;
+  BatchingPolicy batching{};
+  ReplicaPoolConfig pool{};
+  /// Time source for linger decisions and latency stats; nullptr = monotonic
+  /// wall clock. Non-owning — must outlive the server.
+  ServeClock* clock = nullptr;
+};
+
+class InferenceServer {
+ public:
+  /// Builds the replica fleet from `model` (cloned; never mutated).
+  InferenceServer(const Module& model, const ServerConfig& config);
+
+  /// Graceful stop() — flushes in-flight requests before returning.
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Enqueues one sample ([C,H,W], same shape for every request) and returns
+  /// the future answer. Rejections (full queue under kReject, or a stopped
+  /// server) are delivered through the future as std::runtime_error.
+  [[nodiscard]] std::future<InferenceResult> submit(Tensor input);
+
+  /// Spawns one worker thread per replica. Call once.
+  void start();
+
+  /// Blocks until every accepted request has been answered (queue empty and
+  /// nothing in flight). Requires start(); the server keeps serving after.
+  void drain();
+
+  /// Graceful shutdown: stop intake, flush every accepted request, join the
+  /// workers. Idempotent. Safe to call without start() (queued requests are
+  /// then answered with an exception — no worker ever existed to run them).
+  void stop();
+
+  [[nodiscard]] bool running() const;
+
+  /// Point-in-time metrics snapshot (see ServerStats).
+  [[nodiscard]] ServerStats stats() const;
+
+  /// The underlying fleet — e.g. to measure per-replica accuracy offline.
+  /// Do not drive replicas while the server is running.
+  [[nodiscard]] ReplicaPool& pool() noexcept { return pool_; }
+  [[nodiscard]] const ReplicaPool& pool() const noexcept { return pool_; }
+
+  [[nodiscard]] const ServerConfig& config() const noexcept { return config_; }
+
+ private:
+  void worker_loop(int replica_id);
+  void run_batch(int replica_id, std::vector<Request>& batch);
+  void reject(Request&& request, const char* why);
+
+  ServerConfig config_;
+  ReplicaPool pool_;
+  SteadyServeClock default_clock_;
+  ServeClock* clock_;  ///< config_.clock or &default_clock_
+  RequestQueue queue_;
+
+  enum class State { kIdle, kRunning, kStopped };
+
+  mutable Mutex mu_;
+  CondVar drained_;  ///< signaled when in_flight_ hits zero
+  State state_ FTPIM_GUARDED_BY(mu_) = State::kIdle;
+  std::uint64_t next_id_ FTPIM_GUARDED_BY(mu_) = 0;
+  std::int64_t in_flight_ FTPIM_GUARDED_BY(mu_) = 0;
+  std::int64_t submitted_ FTPIM_GUARDED_BY(mu_) = 0;
+  std::int64_t rejected_ FTPIM_GUARDED_BY(mu_) = 0;
+  std::int64_t served_ FTPIM_GUARDED_BY(mu_) = 0;
+  std::int64_t failed_ FTPIM_GUARDED_BY(mu_) = 0;
+  std::int64_t batches_ FTPIM_GUARDED_BY(mu_) = 0;
+  Shape input_shape_ FTPIM_GUARDED_BY(mu_);  ///< pinned by the first submit()
+  std::vector<std::int64_t> per_replica_served_ FTPIM_GUARDED_BY(mu_);
+  std::vector<LatencyHistogram> per_worker_latency_ FTPIM_GUARDED_BY(mu_);
+
+  std::vector<std::thread> workers_;  ///< touched only by start()/stop()
+};
+
+}  // namespace ftpim::serve

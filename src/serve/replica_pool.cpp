@@ -1,0 +1,54 @@
+#include "src/serve/replica_pool.hpp"
+
+#include "src/common/check.hpp"
+#include "src/common/rng.hpp"
+
+namespace ftpim::serve {
+
+ReplicaPool::ReplicaPool(const Module& source, const ReplicaPoolConfig& config)
+    : config_(config) {
+  FTPIM_CHECK_GT(config.num_replicas, 0, "ReplicaPool: num_replicas");
+  FTPIM_CHECK(config.p_sa >= 0.0 && config.p_sa <= 1.0, "ReplicaPool: p_sa %g outside [0,1]",
+              config.p_sa);
+  FTPIM_CHECK(config.sa0_fraction >= 0.0 && config.sa0_fraction <= 1.0,
+              "ReplicaPool: sa0_fraction outside [0,1]");
+  config.injector.range.validate();
+
+  replicas_.reserve(static_cast<std::size_t>(config.num_replicas));
+  for (int r = 0; r < config.num_replicas; ++r) {
+    Replica rep;
+    rep.model = source.clone();
+    if (config.p_sa > 0.0) {
+      const StuckAtFaultModel fault_model(config.p_sa, config.sa0_fraction);
+      Rng rng(replica_seed(r));
+      rep.stats = inject_into_model(*rep.model, fault_model, config.injector, rng);
+    }
+    replicas_.push_back(std::move(rep));
+  }
+}
+
+Module& ReplicaPool::replica(int index) {
+  FTPIM_CHECK_GE(index, 0, "ReplicaPool::replica");
+  FTPIM_CHECK_LT(index, size(), "ReplicaPool::replica");
+  return *replicas_[static_cast<std::size_t>(index)].model;
+}
+
+const Module& ReplicaPool::replica(int index) const {
+  FTPIM_CHECK_GE(index, 0, "ReplicaPool::replica");
+  FTPIM_CHECK_LT(index, size(), "ReplicaPool::replica");
+  return *replicas_[static_cast<std::size_t>(index)].model;
+}
+
+const InjectionStats& ReplicaPool::injection_stats(int index) const {
+  FTPIM_CHECK_GE(index, 0, "ReplicaPool::injection_stats");
+  FTPIM_CHECK_LT(index, size(), "ReplicaPool::injection_stats");
+  return replicas_[static_cast<std::size_t>(index)].stats;
+}
+
+std::uint64_t ReplicaPool::replica_seed(int index) const {
+  FTPIM_CHECK_GE(index, 0, "ReplicaPool::replica_seed");
+  FTPIM_CHECK_LT(index, config_.num_replicas, "ReplicaPool::replica_seed");
+  return derive_seed(config_.seed, static_cast<std::uint64_t>(index));
+}
+
+}  // namespace ftpim::serve

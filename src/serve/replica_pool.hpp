@@ -1,0 +1,69 @@
+// Fleet of device replicas: one trained model, N defective copies.
+//
+// This is the paper's deployment story made executable: a single FT-trained
+// network is cloned once per simulated edge device, and each clone gets its
+// own persistent stuck-at defect map (drawn through the same Apply_Fault
+// machinery as the offline evaluator) that stays applied for the replica's
+// lifetime — no per-device retraining, no fault refresh. Replica r's map is
+// seeded with derive_seed(config.seed, r), a function of the replica index
+// alone, so a fleet is bit-reproducible across runs and across pool
+// rebuilds.
+//
+// Thread-safety: replicas are disjoint deep clones (Module::clone()), so
+// each may run forward() on its own thread concurrently; the pool itself is
+// immutable after construction.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/nn/module.hpp"
+#include "src/reram/fault_injector.hpp"
+#include "src/reram/fault_model.hpp"
+
+namespace ftpim::serve {
+
+struct ReplicaPoolConfig {
+  int num_replicas = 1;
+  double p_sa = 0.0;  ///< per-cell stuck-at probability; 0 = pristine fleet
+  double sa0_fraction = kPaperSa0Fraction;
+  InjectorConfig injector{};
+  std::uint64_t seed = 99;  ///< master seed; replica r uses derive_seed(seed, r)
+};
+
+class ReplicaPool {
+ public:
+  /// Clones `source` num_replicas times and injects each clone's persistent
+  /// defect map. `source` is never mutated.
+  ReplicaPool(const Module& source, const ReplicaPoolConfig& config);
+
+  ReplicaPool(const ReplicaPool&) = delete;
+  ReplicaPool& operator=(const ReplicaPool&) = delete;
+
+  [[nodiscard]] int size() const noexcept { return static_cast<int>(replicas_.size()); }
+
+  /// The replica model (faulted weights). Callers own the threading
+  /// discipline: at most one thread drives a given replica at a time.
+  [[nodiscard]] Module& replica(int index);
+  [[nodiscard]] const Module& replica(int index) const;
+
+  /// Injection outcome of replica `index` (fault counts, affected weights).
+  [[nodiscard]] const InjectionStats& injection_stats(int index) const;
+
+  /// The seed replica `index`'s defect map was drawn with.
+  [[nodiscard]] std::uint64_t replica_seed(int index) const;
+
+  [[nodiscard]] const ReplicaPoolConfig& config() const noexcept { return config_; }
+
+ private:
+  struct Replica {
+    std::unique_ptr<Module> model;
+    InjectionStats stats;
+  };
+
+  ReplicaPoolConfig config_;
+  std::vector<Replica> replicas_;
+};
+
+}  // namespace ftpim::serve

@@ -1,0 +1,84 @@
+#include "src/serve/request_queue.hpp"
+
+#include "src/common/check.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace ftpim::serve {
+
+RequestQueue::RequestQueue(std::size_t capacity) : capacity_(capacity) {
+  FTPIM_CHECK_GT(capacity, std::size_t{0}, "RequestQueue: capacity");
+}
+
+bool RequestQueue::push(Request&& request) {
+  MutexLock lock(mu_);
+  while (!closed_ && items_.size() >= capacity_) not_full_.wait(lock);
+  if (closed_) return false;
+  items_.push_back(std::move(request));
+  not_empty_.notify_one();
+  return true;
+}
+
+bool RequestQueue::try_push(Request&& request) {
+  MutexLock lock(mu_);
+  if (closed_ || items_.size() >= capacity_) return false;
+  items_.push_back(std::move(request));
+  not_empty_.notify_one();
+  return true;
+}
+
+bool RequestQueue::pop(Request& out) {
+  MutexLock lock(mu_);
+  while (!closed_ && items_.empty()) not_empty_.wait(lock);
+  if (items_.empty()) return false;  // closed and drained
+  out = std::move(items_.front());
+  items_.pop_front();
+  not_full_.notify_one();
+  return true;
+}
+
+bool RequestQueue::try_pop(Request& out) {
+  MutexLock lock(mu_);
+  if (items_.empty()) return false;
+  out = std::move(items_.front());
+  items_.pop_front();
+  not_full_.notify_one();
+  return true;
+}
+
+bool RequestQueue::pop_for(Request& out, std::int64_t timeout_ns) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::nanoseconds(std::max<std::int64_t>(timeout_ns, 0));
+  MutexLock lock(mu_);
+  while (!closed_ && items_.empty()) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) break;
+    (void)not_empty_.wait_for(lock, deadline - now);
+  }
+  if (items_.empty()) return false;  // timeout, or closed and drained
+  out = std::move(items_.front());
+  items_.pop_front();
+  not_full_.notify_one();
+  return true;
+}
+
+void RequestQueue::close() {
+  MutexLock lock(mu_);
+  closed_ = true;
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+bool RequestQueue::closed() const {
+  MutexLock lock(mu_);
+  return closed_;
+}
+
+std::size_t RequestQueue::size() const {
+  MutexLock lock(mu_);
+  return items_.size();
+}
+
+}  // namespace ftpim::serve

@@ -1,0 +1,86 @@
+// Bounded MPMC request queue with backpressure — the intake of the serving
+// layer.
+//
+// Producers are client threads calling InferenceServer::submit(); consumers
+// are the per-replica worker threads. The queue is strictly FIFO (a deque
+// under one mutex — at single-sample-inference granularity the lock is never
+// the bottleneck, the forward pass is), which is also what makes the
+// single-worker serving path deterministic: batch composition is a pure
+// function of arrival order.
+//
+// Backpressure comes in two flavors, selected by the server's OverflowPolicy:
+// push() blocks until space frees up (kBlock), try_push() fails immediately
+// (kReject). close() starts shutdown: subsequent pushes fail, pending and
+// future pops drain the remaining items and then return false, so consumers
+// observe every accepted request before exiting (graceful drain loses
+// nothing).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <future>
+
+#include "src/common/thread_annotations.hpp"
+#include "src/tensor/tensor.hpp"
+
+namespace ftpim::serve {
+
+/// One answered inference request.
+struct InferenceResult {
+  Tensor logits;                 ///< [classes]
+  std::int64_t predicted = 0;    ///< argmax of logits
+  int replica_id = 0;            ///< device replica that served the request
+  std::int64_t batch_size = 1;   ///< size of the batch the request rode in
+  std::int64_t latency_ns = 0;   ///< enqueue -> answer, per the server's clock
+};
+
+/// In-flight request: payload + the promise the worker answers.
+struct Request {
+  Tensor input;                  ///< single sample [C,H,W]
+  std::promise<InferenceResult> promise;
+  std::int64_t enqueue_ns = 0;
+  std::uint64_t id = 0;          ///< server-assigned, monotonically increasing
+};
+
+class RequestQueue {
+ public:
+  explicit RequestQueue(std::size_t capacity);
+
+  RequestQueue(const RequestQueue&) = delete;
+  RequestQueue& operator=(const RequestQueue&) = delete;
+
+  /// Blocks while full; true once enqueued. Fails (without consuming the
+  /// request) only when the queue is closed.
+  [[nodiscard]] bool push(Request&& request);
+
+  /// Non-blocking; fails when full or closed, leaving `request` untouched.
+  [[nodiscard]] bool try_push(Request&& request);
+
+  /// Blocks until an item is available; false when closed and drained.
+  [[nodiscard]] bool pop(Request& out);
+
+  /// Non-blocking; false when currently empty (or closed and drained).
+  [[nodiscard]] bool try_pop(Request& out);
+
+  /// Blocks up to `timeout_ns` (real time); false on timeout or when closed
+  /// and drained.
+  [[nodiscard]] bool pop_for(Request& out, std::int64_t timeout_ns);
+
+  /// Begins shutdown: wakes all waiters; pushes fail from now on, pops drain
+  /// the remaining items then fail. Idempotent.
+  void close();
+
+  [[nodiscard]] bool closed() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable Mutex mu_;
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::deque<Request> items_ FTPIM_GUARDED_BY(mu_);
+  bool closed_ FTPIM_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace ftpim::serve

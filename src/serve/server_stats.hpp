@@ -1,0 +1,50 @@
+// Point-in-time serving metrics snapshot.
+//
+// InferenceServer::stats() fills one of these under the server's stats mutex
+// and hands it out by value, so readers never hold a lock into the hot path.
+// The latency histogram is the merge (in replica-id order — exact and
+// associative, see LatencyHistogram) of the per-worker histograms, which are
+// only ever written by their owning worker thread.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/stats.hpp"
+#include "src/common/strformat.hpp"
+
+namespace ftpim::serve {
+
+struct ServerStats {
+  std::int64_t submitted = 0;  ///< accepted into the queue
+  std::int64_t rejected = 0;   ///< refused (full queue under kReject, or stopped)
+  std::int64_t served = 0;     ///< answered with a result
+  std::int64_t failed = 0;     ///< answered with an exception (forward threw)
+  std::int64_t batches = 0;    ///< batched forward passes executed
+  std::size_t queue_depth = 0; ///< requests waiting at snapshot time
+  std::int64_t in_flight = 0;  ///< accepted but not yet answered
+  std::vector<std::int64_t> per_replica_served;  ///< indexed by replica id
+  LatencyHistogram latency;    ///< submit -> answer, per the server clock
+
+  /// served / batches — how well dynamic batching is filling batches.
+  [[nodiscard]] double mean_batch_fill() const noexcept {
+    return batches == 0 ? 0.0
+                        : static_cast<double>(served) / static_cast<double>(batches);
+  }
+
+  /// One-line human-readable summary (callers print it; src/ never does).
+  [[nodiscard]] std::string summary_line() const {
+    return detail::format_msg(
+        "served %lld/%lld (rejected %lld, failed %lld) | batches %lld (fill %.2f) | "
+        "queue %zu | p50 %.3fms p95 %.3fms p99 %.3fms",
+        static_cast<long long>(served), static_cast<long long>(submitted),
+        static_cast<long long>(rejected), static_cast<long long>(failed),
+        static_cast<long long>(batches), mean_batch_fill(), queue_depth,
+        static_cast<double>(latency.p50_ns()) * 1e-6,
+        static_cast<double>(latency.p95_ns()) * 1e-6,
+        static_cast<double>(latency.p99_ns()) * 1e-6);
+  }
+};
+
+}  // namespace ftpim::serve

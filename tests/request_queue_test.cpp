@@ -1,0 +1,155 @@
+// Bounded MPMC RequestQueue: capacity, block/reject backpressure, close
+// semantics, and a TSan-visible multi-producer/multi-consumer stress run.
+// Suite names start with Serve* so scripts/ci.sh's TSan leg picks them up.
+#include "src/serve/request_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/common/check.hpp"
+
+namespace ftpim::serve {
+namespace {
+
+Request make_request(std::uint64_t id) {
+  Request r;
+  r.input = Tensor(Shape{1});
+  r.input[0] = static_cast<float>(id);
+  r.id = id;
+  return r;
+}
+
+TEST(ServeQueue, RejectsZeroCapacity) {
+  EXPECT_THROW(RequestQueue q(0), ContractViolation);
+}
+
+TEST(ServeQueue, TryPushFailsWhenFullAndRequestSurvives) {
+  RequestQueue q(2);
+  EXPECT_TRUE(q.try_push(make_request(0)));
+  EXPECT_TRUE(q.try_push(make_request(1)));
+  Request third = make_request(2);
+  EXPECT_FALSE(q.try_push(std::move(third)));
+  // A failed push must not consume the request (the server rejects it with
+  // an exception through the still-live promise).
+  EXPECT_EQ(third.id, 2u);
+  third.promise.set_value(InferenceResult{});
+
+  Request out;
+  ASSERT_TRUE(q.try_pop(out));
+  EXPECT_EQ(out.id, 0u);  // FIFO
+  EXPECT_TRUE(q.try_push(make_request(3)));
+  EXPECT_EQ(q.size(), std::size_t{2});
+}
+
+TEST(ServeQueue, FifoOrder) {
+  RequestQueue q(8);
+  for (std::uint64_t i = 0; i < 8; ++i) ASSERT_TRUE(q.try_push(make_request(i)));
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    Request out;
+    ASSERT_TRUE(q.pop(out));
+    EXPECT_EQ(out.id, i);
+  }
+  EXPECT_EQ(q.size(), std::size_t{0});
+}
+
+TEST(ServeQueue, BlockingPushUnblocksOnPop) {
+  RequestQueue q(1);
+  ASSERT_TRUE(q.try_push(make_request(0)));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(q.push(make_request(1)));
+    pushed.store(true);
+  });
+  Request out;
+  ASSERT_TRUE(q.pop(out));
+  EXPECT_EQ(out.id, 0u);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  ASSERT_TRUE(q.pop(out));
+  EXPECT_EQ(out.id, 1u);
+}
+
+TEST(ServeQueue, CloseDrainsThenFails) {
+  RequestQueue q(4);
+  ASSERT_TRUE(q.try_push(make_request(0)));
+  ASSERT_TRUE(q.try_push(make_request(1)));
+  q.close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_FALSE(q.try_push(make_request(2)));
+  Request blocked = make_request(3);
+  EXPECT_FALSE(q.push(std::move(blocked)));
+  blocked.promise.set_value(InferenceResult{});
+
+  Request out;
+  EXPECT_TRUE(q.pop(out));   // drains the two accepted items first
+  EXPECT_TRUE(q.pop(out));
+  EXPECT_FALSE(q.pop(out));  // then reports shutdown
+  EXPECT_FALSE(q.pop_for(out, 1'000'000));
+}
+
+TEST(ServeQueue, CloseWakesBlockedWaiters) {
+  RequestQueue q(1);
+  ASSERT_TRUE(q.try_push(make_request(0)));
+  std::thread blocked_producer([&] { EXPECT_FALSE(q.push(make_request(1))); });
+  RequestQueue empty_q(1);
+  std::thread blocked_consumer([&] {
+    Request out;
+    EXPECT_FALSE(empty_q.pop(out));
+  });
+  q.close();
+  empty_q.close();
+  blocked_producer.join();
+  blocked_consumer.join();
+}
+
+TEST(ServeQueue, PopForTimesOutOnEmpty) {
+  RequestQueue q(1);
+  Request out;
+  EXPECT_FALSE(q.pop_for(out, 1'000'000));  // 1ms
+}
+
+TEST(ServeQueue, MpmcStressAccountsForEveryItem) {
+  // 4 producers x 4 consumers over a tiny queue: every pushed id is popped
+  // exactly once. Runs under TSan via scripts/ci.sh (thread leg).
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr std::uint64_t kPerProducer = 200;
+  RequestQueue q(8);
+  std::vector<std::atomic<int>> seen(kProducers * kPerProducer);
+  for (auto& s : seen) s.store(0);
+  std::atomic<std::int64_t> popped{0};
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      Request out;
+      while (q.pop(out)) {
+        seen[static_cast<std::size_t>(out.id)].fetch_add(1);
+        out.promise.set_value(InferenceResult{});
+        popped.fetch_add(1);
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        EXPECT_TRUE(q.push(make_request(static_cast<std::uint64_t>(p) * kPerProducer + i)));
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.close();
+  for (auto& t : consumers) t.join();
+
+  EXPECT_EQ(popped.load(), static_cast<std::int64_t>(kProducers * kPerProducer));
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i].load(), 1) << "item " << i << " popped wrong number of times";
+  }
+}
+
+}  // namespace
+}  // namespace ftpim::serve
