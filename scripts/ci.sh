@@ -23,7 +23,7 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 # defect evaluation, fault-injection sessions, the serving layer's queue and
 # worker threads, and the contract layer they all guard. Kept as a regex so
 # newly added tests matching these names are picked up automatically.
-THREAD_SUBSET='Parallel|Clone|Defect|Session|Eval|Check|Logging|Serve'
+THREAD_SUBSET='Parallel|Clone|Defect|Session|Eval|Check|Logging|Serve|Aging'
 
 run_config() {
   local name="$1" cmake_args="$2" ctest_args="$3"

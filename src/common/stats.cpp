@@ -113,4 +113,28 @@ double LatencyHistogram::mean_ns() const noexcept {
   return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
 }
 
+OutcomeWindow::OutcomeWindow(int capacity) {
+  FTPIM_CHECK_GT(capacity, 0, "OutcomeWindow: capacity");
+  ring_.assign(static_cast<std::size_t>(capacity), 0);
+}
+
+void OutcomeWindow::record(bool success) noexcept {
+  const auto slot = static_cast<std::size_t>(head_);
+  if (size_ == capacity()) {
+    successes_ -= ring_[slot];  // evict the oldest outcome
+  } else {
+    ++size_;
+  }
+  ring_[slot] = success ? 1 : 0;
+  successes_ += ring_[slot];
+  head_ = (head_ + 1) % capacity();
+}
+
+void OutcomeWindow::reset() noexcept {
+  std::fill(ring_.begin(), ring_.end(), std::uint8_t{0});
+  head_ = 0;
+  size_ = 0;
+  successes_ = 0;
+}
+
 }  // namespace ftpim

@@ -55,6 +55,40 @@ template <typename T>
   return quantile(detail::to_doubles(values), q);
 }
 
+/// Fixed-capacity sliding window of boolean outcomes — the integer-exact
+/// health gauge behind the serving layer's per-replica HealthMonitor.
+///
+/// record() is O(1); the state (and therefore success_rate()) is a pure
+/// function of the recorded sequence, so health decisions driven by it are
+/// bit-reproducible across runs. An empty window reads as rate 1.0: absence
+/// of evidence is not evidence of ill health.
+class OutcomeWindow {
+ public:
+  explicit OutcomeWindow(int capacity = 64);
+
+  /// Records one outcome, evicting the oldest once the window is full.
+  void record(bool success) noexcept;
+
+  /// Forgets everything (e.g. after a replica repair).
+  void reset() noexcept;
+
+  [[nodiscard]] int capacity() const noexcept { return static_cast<int>(ring_.size()); }
+  [[nodiscard]] int size() const noexcept { return size_; }
+  [[nodiscard]] int successes() const noexcept { return successes_; }
+  [[nodiscard]] int failures() const noexcept { return size_ - successes_; }
+
+  /// successes/size; 1.0 while empty.
+  [[nodiscard]] double success_rate() const noexcept {
+    return size_ == 0 ? 1.0 : static_cast<double>(successes_) / static_cast<double>(size_);
+  }
+
+ private:
+  std::vector<std::uint8_t> ring_;
+  int head_ = 0;  ///< next slot to overwrite
+  int size_ = 0;
+  int successes_ = 0;
+};
+
 /// Fixed-bin log-spaced latency histogram (nanosecond samples).
 ///
 /// Bins are quarter-octave (4 sub-bins per power of two, ~19-25% relative

@@ -83,4 +83,56 @@ DefectEvalResult evaluate_under_defects(const Module& model, const Dataset& data
   return result;
 }
 
+CanarySet make_canary_set(const Module& clean_model, const Shape& sample_shape, int count,
+                          std::uint64_t seed) {
+  FTPIM_CHECK_GT(count, 0, "make_canary_set: count");
+  FTPIM_CHECK(!sample_shape.empty(), "make_canary_set: sample_shape must be non-empty");
+  Shape batched;
+  batched.reserve(sample_shape.size() + 1);
+  batched.push_back(count);
+  batched.insert(batched.end(), sample_shape.begin(), sample_shape.end());
+  CanarySet canary;
+  canary.inputs = Tensor(batched);
+  Rng rng(seed);
+  for (std::int64_t i = 0; i < canary.inputs.numel(); ++i) {
+    canary.inputs[i] = rng.uniform(-1.0f, 1.0f);
+  }
+  const std::unique_ptr<Module> probe = clean_model.clone();
+  canary.golden = probe->forward(canary.inputs, /*training=*/false);
+  FTPIM_CHECK_EQ(canary.golden.dim(0), static_cast<std::int64_t>(count),
+                 "make_canary_set: model returned %lld rows for %d inputs",
+                 static_cast<long long>(canary.golden.dim(0)), count);
+  canary.golden_pred.reserve(static_cast<std::size_t>(count));
+  for (std::int64_t r = 0; r < count; ++r) {
+    canary.golden_pred.push_back(argmax_row(canary.golden, r));
+  }
+  return canary;
+}
+
+int score_canary(const Tensor& logits, const CanarySet& canary, float max_abs_err) {
+  FTPIM_CHECK_EQ(logits.numel(), canary.golden.numel(),
+                 "score_canary: logits shape mismatch (%lld values vs golden %lld)",
+                 static_cast<long long>(logits.numel()),
+                 static_cast<long long>(canary.golden.numel()));
+  const std::int64_t rows = canary.count();
+  const std::int64_t cols = rows > 0 ? canary.golden.numel() / rows : 0;
+  int passed = 0;
+  for (std::int64_t r = 0; r < rows; ++r) {
+    bool ok;
+    if (max_abs_err >= 0.0f) {
+      ok = true;
+      for (std::int64_t c = 0; c < cols; ++c) {
+        if (std::abs(logits[r * cols + c] - canary.golden[r * cols + c]) > max_abs_err) {
+          ok = false;
+          break;
+        }
+      }
+    } else {
+      ok = argmax_row(logits, r) == canary.golden_pred[static_cast<std::size_t>(r)];
+    }
+    if (ok) ++passed;
+  }
+  return passed;
+}
+
 }  // namespace ftpim

@@ -49,4 +49,31 @@ struct DefectEvalResult {
 DefectEvalResult evaluate_under_defects(const Module& model, const Dataset& data, double p_sa,
                                         const DefectEvalConfig& config);
 
+/// Known-answer probe set for in-service health checks: fixed synthetic
+/// inputs plus the golden outputs a CLEAN model produces on them. The serve
+/// layer's HealthMonitor periodically runs these through a live (possibly
+/// defective, possibly aged) replica and compares against the golden answers.
+struct CanarySet {
+  Tensor inputs;  ///< [count, ...sample_shape]
+  Tensor golden;  ///< clean-model logits, [count, classes]
+  std::vector<std::int64_t> golden_pred;  ///< argmax of each golden row
+  [[nodiscard]] std::int64_t count() const noexcept {
+    return static_cast<std::int64_t>(golden_pred.size());
+  }
+};
+
+/// Builds a canary set of `count` samples shaped `sample_shape`, inputs drawn
+/// uniform in [-1, 1] from Rng(seed). Golden outputs come from a private
+/// clone of `clean_model` (the source is untouched — weights, BN buffers,
+/// and caches). Deterministic in (sample_shape, count, seed).
+[[nodiscard]] CanarySet make_canary_set(const Module& clean_model, const Shape& sample_shape,
+                                        int count, std::uint64_t seed);
+
+/// Scores replica logits against the canary's golden answers; returns how
+/// many of the `canary.count()` samples PASS. With max_abs_err >= 0 a sample
+/// passes when every logit is within max_abs_err of golden; otherwise
+/// (default) it passes when the argmax prediction matches.
+[[nodiscard]] int score_canary(const Tensor& logits, const CanarySet& canary,
+                               float max_abs_err = -1.0f);
+
 }  // namespace ftpim

@@ -1,5 +1,8 @@
 #include "src/reram/defect_map.hpp"
 
+#include "src/common/check.hpp"
+
+#include <algorithm>
 #include <cmath>
 
 namespace ftpim {
@@ -31,6 +34,43 @@ DefectMap DefectMap::sample_for_device(std::int64_t cell_count, const StuckAtFau
                                        std::uint64_t master_seed, std::uint64_t device_index) {
   Rng rng(derive_seed(master_seed, device_index + 0xdef));
   return sample(cell_count, model, rng);
+}
+
+DefectMap DefectMap::empty(std::int64_t cell_count) {
+  FTPIM_CHECK_GE(cell_count, std::int64_t{0}, "DefectMap::empty: cell_count");
+  DefectMap map;
+  map.cell_count_ = cell_count;
+  return map;
+}
+
+std::int64_t DefectMap::merge_from(const DefectMap& newer) {
+  FTPIM_CHECK_EQ(cell_count_, newer.cell_count_,
+                 "DefectMap::merge_from: maps describe different cell arrays");
+  if (newer.faults_.empty()) return 0;
+  std::vector<CellFault> merged;
+  merged.reserve(faults_.size() + newer.faults_.size());
+  std::int64_t added = 0;
+  std::size_t a = 0, b = 0;
+  while (a < faults_.size() || b < newer.faults_.size()) {
+    if (b >= newer.faults_.size() ||
+        (a < faults_.size() && faults_[a].cell_index <= newer.faults_[b].cell_index)) {
+      // Existing fault wins on ties: a stuck cell cannot re-fail.
+      if (b < newer.faults_.size() && faults_[a].cell_index == newer.faults_[b].cell_index) ++b;
+      merged.push_back(faults_[a++]);
+    } else {
+      merged.push_back(newer.faults_[b++]);
+      ++added;
+    }
+  }
+  faults_ = std::move(merged);
+  return added;
+}
+
+bool DefectMap::stuck(std::int64_t cell_index) const noexcept {
+  const auto it = std::lower_bound(
+      faults_.begin(), faults_.end(), cell_index,
+      [](const CellFault& f, std::int64_t cell) { return f.cell_index < cell; });
+  return it != faults_.end() && it->cell_index == cell_index;
 }
 
 std::int64_t DefectMap::count(FaultType type) const noexcept {

@@ -4,6 +4,12 @@
 // the persistent identity of one physical device instance: evaluation over
 // num_of_runs devices draws num_of_runs maps from per-device seeds.
 // Storage is sparse (fault rates of interest are <= 0.2).
+//
+// Maps are mutable through merge_from() — the in-service aging path
+// (src/reram/aging.hpp) grows a device's map over its served lifetime by
+// merging freshly sampled fault batches in. A cell that is already stuck
+// stays stuck with its original fault type: first fault wins, so evolution
+// is monotone and order-independent within an interval.
 #pragma once
 
 #include <cstdint>
@@ -29,6 +35,19 @@ class DefectMap {
   /// Convenience: per-device stream — device_index selects the sub-seed.
   static DefectMap sample_for_device(std::int64_t cell_count, const StuckAtFaultModel& model,
                                      std::uint64_t master_seed, std::uint64_t device_index);
+
+  /// A fault-free map over `cell_count` cells (the starting point of a
+  /// pristine device that will age in service).
+  static DefectMap empty(std::int64_t cell_count);
+
+  /// Merges `newer`'s faults into this map. Cells already stuck keep their
+  /// original fault type (a stuck cell cannot re-fail), so repeated merges
+  /// are monotone. Both maps must describe the same cell array. Returns the
+  /// number of faults actually added.
+  std::int64_t merge_from(const DefectMap& newer);
+
+  /// True when `cell_index` is recorded as stuck (binary search).
+  [[nodiscard]] bool stuck(std::int64_t cell_index) const noexcept;
 
   [[nodiscard]] const std::vector<CellFault>& faults() const noexcept { return faults_; }
   [[nodiscard]] std::int64_t cell_count() const noexcept { return cell_count_; }

@@ -117,6 +117,90 @@ InjectionStats inject_into_model(Module& model_root, const StuckAtFaultModel& mo
   return total;
 }
 
+std::int64_t crossbar_cell_count(Module& model_root) {
+  std::int64_t cells = 0;
+  for (Param* p : parameters_of(model_root)) {
+    if (p->kind == ParamKind::kCrossbarWeight) cells += 2 * p->value.numel();
+  }
+  return cells;
+}
+
+InjectionStats apply_defect_map_to_model(Module& model_root, const DefectMap& map,
+                                         const InjectorConfig& config) {
+  config.range.validate();
+  FTPIM_CHECK(config.quant_levels == 0 || config.quant_levels >= 2,
+              "InjectorConfig: quant_levels must be 0 (analog) or >= 2");
+  FTPIM_CHECK(config.per_tensor_wmax || config.fixed_wmax > 0.0f,
+              "InjectorConfig: fixed_wmax must be positive");
+  std::vector<Param*> params;
+  std::int64_t total_cells = 0;
+  for (Param* p : parameters_of(model_root)) {
+    if (p->kind != ParamKind::kCrossbarWeight) continue;
+    params.push_back(p);
+    total_cells += 2 * p->value.numel();
+  }
+  FTPIM_CHECK_EQ(map.cell_count(), total_cells,
+                 "apply_defect_map_to_model: map describes %lld cells, model has %lld",
+                 static_cast<long long>(map.cell_count()), static_cast<long long>(total_cells));
+
+  InjectionStats stats;
+  stats.cells = total_cells;
+  const std::vector<CellFault>& faults = map.faults();
+  const float g_min = config.range.g_min;
+  const float g_max = config.range.g_max;
+  std::size_t k = 0;
+  std::int64_t cell_off = 0;
+  std::vector<std::int64_t> faulted_weights;  // per-param, for the quantized clean path
+  for (Param* p : params) {
+    Tensor& w = p->value;
+    const std::int64_t n = w.numel();
+    const std::int64_t cell_hi = cell_off + 2 * n;
+    const DifferentialMapper mapper(config.range, tensor_wmax(w, config));
+    const ConductanceQuantizer quant(config.range, config.quant_levels);
+    faulted_weights.clear();
+    while (k < faults.size() && faults[k].cell_index < cell_hi) {
+      const std::int64_t i = (faults[k].cell_index - cell_off) / 2;
+      CellPair cells = mapper.to_cells(w[i]);
+      if (config.quant_levels >= 2) {
+        cells.g_pos = quant.quantize(cells.g_pos);
+        cells.g_neg = quant.quantize(cells.g_neg);
+      }
+      // Consume every fault landing on weight i (its positive and/or
+      // negative cell) before reading the pair back.
+      while (k < faults.size() && faults[k].cell_index < cell_hi &&
+             (faults[k].cell_index - cell_off) / 2 == i) {
+        const bool positive = ((faults[k].cell_index - cell_off) % 2) == 0;
+        const float pinned = faults[k].type == FaultType::kStuckOff ? g_min : g_max;
+        (positive ? cells.g_pos : cells.g_neg) = pinned;
+        ++stats.faulted_cells;
+        ++k;
+      }
+      const float new_w = mapper.to_weight(cells);
+      if (new_w != w[i]) ++stats.affected_weights;
+      w[i] = new_w;
+      if (config.quant_levels >= 2) faulted_weights.push_back(i);
+    }
+    if (config.quant_levels >= 2) {
+      // Parity with fault_kernel: the fault-free path still passes through
+      // programming quantization so map-based and RNG-based deployments see
+      // the same device resolution.
+      std::size_t fw = 0;
+      for (std::int64_t i = 0; i < n; ++i) {
+        if (fw < faulted_weights.size() && faulted_weights[fw] == i) {
+          ++fw;
+          continue;
+        }
+        CellPair cells = mapper.to_cells(w[i]);
+        cells.g_pos = quant.quantize(cells.g_pos);
+        cells.g_neg = quant.quantize(cells.g_neg);
+        w[i] = mapper.to_weight(cells);
+      }
+    }
+    cell_off = cell_hi;
+  }
+  return stats;
+}
+
 FaultInjectionSession::FaultInjectionSession(Module& model_root) {
   for (Param* p : parameters_of(model_root)) {
     if (p->kind == ParamKind::kCrossbarWeight) params_.push_back(p);

@@ -20,6 +20,7 @@
 #include "src/common/rng.hpp"
 #include "src/nn/module.hpp"
 #include "src/reram/conductance.hpp"
+#include "src/reram/defect_map.hpp"
 #include "src/reram/fault_model.hpp"
 #include "src/reram/quantizer.hpp"
 #include "src/tensor/tensor.hpp"
@@ -61,6 +62,23 @@ InjectionStats apply_stuck_at_faults(Tensor& weights, const StuckAtFaultModel& m
 /// Injects into every crossbar-weight parameter of `model_root`.
 InjectionStats inject_into_model(Module& model_root, const StuckAtFaultModel& model,
                                  const InjectorConfig& config, Rng& rng);
+
+/// Cells `model_root` occupies on its differential-pair deployment: 2 cells
+/// per crossbar weight, concatenated in parameters_of order. This is the
+/// cell_count a DefectMap for the model must carry.
+[[nodiscard]] std::int64_t crossbar_cell_count(Module& model_root);
+
+/// Applies a cell-level DefectMap to every crossbar weight of `model_root`.
+/// Weight i of the concatenated parameter walk owns cells 2i (positive) and
+/// 2i+1 (negative); stuck cells pin to Gmin/Gmax and the weight reads back
+/// through the differential readout equation, exactly like the RNG-driven
+/// fault_kernel. Weights must hold their CLEAN values — map application is
+/// defined against the clean programming of each pair, which is why the
+/// serving layer's aging path rebuilds replicas from the pristine source
+/// before re-applying a grown map. The map's cell_count must equal
+/// crossbar_cell_count(model_root).
+InjectionStats apply_defect_map_to_model(Module& model_root, const DefectMap& map,
+                                         const InjectorConfig& config);
 
 /// Reusable inject/restore workspace bound to one network.
 ///

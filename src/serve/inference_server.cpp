@@ -8,16 +8,38 @@
 #include <cstring>
 #include <exception>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 namespace ftpim::serve {
+namespace {
+
+/// Best-effort message extraction for wrapping a failed attempt's error.
+std::string describe(const std::exception_ptr& error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown error";
+  }
+}
+
+}  // namespace
 
 InferenceServer::InferenceServer(const Module& model, const ServerConfig& config)
     : config_(config),
       pool_(model, config.pool),
       clock_(config.clock != nullptr ? config.clock : &default_clock_),
-      queue_(config.queue_capacity) {
+      queue_(config.queue_capacity),
+      health_(pool_.size(), config.health),
+      aging_(config.aging) {
   config_.batching.validate();
+  FTPIM_CHECK_GE(config.max_attempts, 1, "ServerConfig: max_attempts");
+  FTPIM_CHECK_GE(config.default_deadline_ns, std::int64_t{0}, "ServerConfig: default_deadline_ns");
+  FTPIM_CHECK_GE(config.shed_ns_per_queued, std::int64_t{0}, "ServerConfig: shed_ns_per_queued");
+  FTPIM_CHECK(!(config.aging.enabled() && config.pool.use_redundancy),
+              "ServerConfig: in-service aging is not modeled for redundant deployments");
   MutexLock lock(mu_);
   per_replica_served_.assign(static_cast<std::size_t>(pool_.size()), 0);
   per_worker_latency_.assign(static_cast<std::size_t>(pool_.size()), LatencyHistogram{});
@@ -25,29 +47,55 @@ InferenceServer::InferenceServer(const Module& model, const ServerConfig& config
 
 InferenceServer::~InferenceServer() { stop(); }
 
-void InferenceServer::reject(Request&& request, const char* why) {
-  request.promise.set_exception(std::make_exception_ptr(std::runtime_error(why)));
+void InferenceServer::reject(Request&& request, ServeError::Kind kind, const char* why) {
+  (void)answer_error(request, std::make_exception_ptr(ServeError(kind, why)));
   MutexLock lock(mu_);
-  ++rejected_;
+  switch (kind) {
+    case ServeError::kQueueFull: ++rejected_queue_full_; break;
+    case ServeError::kStopped: ++rejected_stopped_; break;
+    default: ++rejected_shed_; break;
+  }
   --submitted_;
   --in_flight_;
   if (in_flight_ == 0) drained_.notify_all();
 }
 
+void InferenceServer::finish_with_error(Request& request, ServeError::Kind kind,
+                                        const std::string& why) {
+  const bool delivered = answer_error(request, std::make_exception_ptr(ServeError(kind, why)));
+  MutexLock lock(mu_);
+  ++failed_;
+  if (kind == ServeError::kDeadlineExceeded) ++expired_;
+  if (!delivered) ++poisoned_;
+  --in_flight_;
+  if (in_flight_ == 0) drained_.notify_all();
+}
+
 std::future<InferenceResult> InferenceServer::submit(Tensor input) {
+  return submit(std::move(input), SubmitOptions{});
+}
+
+std::future<InferenceResult> InferenceServer::submit(Tensor input, const SubmitOptions& options) {
   FTPIM_CHECK_EQ(input.rank(), std::size_t{3}, "InferenceServer::submit: input must be [C,H,W]");
+  FTPIM_CHECK_GE(options.deadline_ns, std::int64_t{0}, "SubmitOptions: deadline_ns");
+  FTPIM_CHECK_GE(options.max_attempts, 0, "SubmitOptions: max_attempts");
   Request req;
   req.input = std::move(input);
   req.enqueue_ns = clock_->now_ns();
+  const std::int64_t relative_deadline =
+      options.deadline_ns > 0 ? options.deadline_ns : config_.default_deadline_ns;
+  req.deadline_ns = relative_deadline > 0 ? req.enqueue_ns + relative_deadline : kNoDeadlineNs;
+  req.attempts_left = options.max_attempts > 0 ? options.max_attempts : config_.max_attempts;
   std::future<InferenceResult> fut = req.promise.get_future();
 
   {
     MutexLock lock(mu_);
     if (state_ == State::kStopped) {
       // Reject inline (under the same lock as the counter) — queue is closed.
-      req.promise.set_exception(
-          std::make_exception_ptr(std::runtime_error("InferenceServer: stopped")));
-      ++rejected_;
+      (void)answer_error(req,
+                         std::make_exception_ptr(ServeError(ServeError::kStopped,
+                                                            "InferenceServer: stopped")));
+      ++rejected_stopped_;
       return fut;
     }
     if (input_shape_.empty()) {
@@ -57,6 +105,22 @@ std::future<InferenceResult> InferenceServer::submit(Tensor input) {
                   "InferenceServer::submit: input shape %s differs from the server's %s",
                   shape_to_string(req.input.shape()).c_str(),
                   shape_to_string(input_shape_).c_str());
+    }
+    if (config_.shed_ns_per_queued > 0 && req.deadline_ns != kNoDeadlineNs) {
+      // Admission control: with `depth` requests ahead of it, the newcomer's
+      // predicted completion is enqueue + (depth+1)*service estimate. If that
+      // already misses the deadline, failing NOW is cheaper than failing
+      // after burning a queue slot and a forward pass.
+      const auto depth = static_cast<std::int64_t>(queue_.size());
+      const std::int64_t predicted = req.enqueue_ns + (depth + 1) * config_.shed_ns_per_queued;
+      if (predicted > req.deadline_ns) {
+        (void)answer_error(
+            req, std::make_exception_ptr(ServeError(
+                     ServeError::kDeadlineShed,
+                     "InferenceServer: deadline unmeetable at current queue depth")));
+        ++rejected_shed_;
+        return fut;
+      }
     }
     req.id = next_id_++;
     // Count before the push so drain() never observes an accepted-but-
@@ -71,10 +135,13 @@ std::future<InferenceResult> InferenceServer::submit(Tensor input) {
                             ? queue_.push(std::move(req))
                             : queue_.try_push(std::move(req));
   if (!accepted) {
-    // push/try_push leave the request intact on failure.
-    reject(std::move(req), config_.overflow == OverflowPolicy::kBlock
-                               ? "InferenceServer: stopped"
-                               : "InferenceServer: queue full");
+    // push/try_push leave the request intact on failure. A blocking push
+    // only fails when the queue closed underneath it.
+    if (config_.overflow == OverflowPolicy::kBlock || queue_.closed()) {
+      reject(std::move(req), ServeError::kStopped, "InferenceServer: stopped");
+    } else {
+      reject(std::move(req), ServeError::kQueueFull, "InferenceServer: queue full");
+    }
   }
   return fut;
 }
@@ -114,10 +181,12 @@ void InferenceServer::stop() {
   // no future is left dangling with a broken promise.
   Request leftover;
   while (queue_.try_pop(leftover)) {
-    leftover.promise.set_exception(
-        std::make_exception_ptr(std::runtime_error("InferenceServer: stopped before serving")));
+    const bool delivered = answer_error(
+        leftover, std::make_exception_ptr(
+                      ServeError(ServeError::kStopped, "InferenceServer: stopped before serving")));
     MutexLock lock(mu_);
-    ++rejected_;
+    ++rejected_stopped_;
+    if (!delivered) ++poisoned_;
     --in_flight_;
     if (in_flight_ == 0) drained_.notify_all();
   }
@@ -131,24 +200,65 @@ bool InferenceServer::running() const {
 ServerStats InferenceServer::stats() const {
   ServerStats out;
   out.queue_depth = queue_.size();
+  const std::vector<HealthMonitor::Snapshot> health = health_.snapshot();
+  out.per_replica_health.reserve(health.size());
+  out.per_replica_state.reserve(health.size());
+  out.per_replica_repairs.reserve(health.size());
+  for (const HealthMonitor::Snapshot& s : health) {
+    out.per_replica_health.push_back(s.score);
+    out.per_replica_state.push_back(s.state);
+    out.per_replica_repairs.push_back(s.repairs);
+  }
   MutexLock lock(mu_);
   out.submitted = submitted_;
-  out.rejected = rejected_;
+  out.rejected_queue_full = rejected_queue_full_;
+  out.rejected_stopped = rejected_stopped_;
+  out.rejected_shed = rejected_shed_;
   out.served = served_;
   out.failed = failed_;
+  out.retried = retried_;
+  out.expired = expired_;
+  out.poisoned = poisoned_;
   out.batches = batches_;
+  out.canary_batches = canary_batches_;
+  out.canary_failures = canary_failures_;
+  out.quarantines = quarantines_;
+  out.repairs = repairs_;
+  out.aged_cells = aged_cells_;
   out.in_flight = in_flight_;
   out.per_replica_served = per_replica_served_;
   for (const LatencyHistogram& h : per_worker_latency_) out.latency.merge(h);
   return out;
 }
 
+bool InferenceServer::triage(int replica_id, Request& request) {
+  if (request.deadline_ns <= clock_->now_ns()) {
+    finish_with_error(request, ServeError::kDeadlineExceeded,
+                      "InferenceServer: deadline passed while queued");
+    return false;
+  }
+  if (!request.excludes(replica_id)) return true;
+  // This replica already failed the request — hand it to a different one.
+  // try_push (never a blocking push): a worker that blocks on its own queue
+  // can deadlock the fleet. The residual spin — this worker re-popping a
+  // request only others may serve — is bounded by their forward-pass time.
+  if (static_cast<int>(request.excluded.size()) < pool_.size() &&
+      queue_.try_push(std::move(request))) {
+    return false;
+  }
+  finish_with_error(request, ServeError::kExhausted,
+                    "InferenceServer: no replica left to fail over to");
+  return false;
+}
+
 void InferenceServer::worker_loop(int replica_id) {
+  WorkerTick tick;
   std::vector<Request> batch;
   batch.reserve(static_cast<std::size_t>(config_.batching.max_batch_size));
   while (true) {
     Request first;
     if (!queue_.pop(first)) break;  // closed and drained -> exit
+    if (!triage(replica_id, first)) continue;
     batch.clear();
     batch.push_back(std::move(first));
     const std::int64_t open_ns = clock_->now_ns();
@@ -159,20 +269,22 @@ void InferenceServer::worker_loop(int replica_id) {
     while (!config_.batching.full(static_cast<std::int64_t>(batch.size()))) {
       Request more;
       if (queue_.try_pop(more)) {
-        batch.push_back(std::move(more));
+        if (triage(replica_id, more)) batch.push_back(std::move(more));
         continue;
       }
       const std::int64_t remaining =
           config_.batching.remaining_linger_ns(clock_->now_ns(), open_ns);
       if (remaining == 0) break;
-      if (!queue_.pop_for(more, remaining)) break;  // linger expired or closing
-      batch.push_back(std::move(more));
+      if (queue_.pop_for(more, remaining) != PopResult::kItem) break;  // expired or closing
+      if (triage(replica_id, more)) batch.push_back(std::move(more));
     }
-    run_batch(replica_id, batch);
+    if (batch.empty()) continue;  // triage answered/re-routed everything
+    run_batch(replica_id, batch, tick);
+    maintain(replica_id, tick);
   }
 }
 
-void InferenceServer::run_batch(int replica_id, std::vector<Request>& batch) {
+void InferenceServer::run_batch(int replica_id, std::vector<Request>& batch, WorkerTick& tick) {
   const auto batch_size = static_cast<std::int64_t>(batch.size());
   const Shape& sample_shape = batch.front().input.shape();
   Shape batched_shape;
@@ -189,20 +301,25 @@ void InferenceServer::run_batch(int replica_id, std::vector<Request>& batch) {
   }
 
   bool ok = true;
+  std::exception_ptr error;
   Tensor logits;
   try {
+    if (config_.batch_hook) config_.batch_hook(replica_id, batch);
     logits = pool_.replica(replica_id).forward(inputs, /*training=*/false);
     FTPIM_CHECK_EQ(logits.rank(), std::size_t{2}, "serve: model output must be [N, classes]");
     FTPIM_CHECK_EQ(logits.dim(0), batch_size, "serve: model output batch mismatch");
   } catch (...) {
     ok = false;
-    const std::exception_ptr error = std::current_exception();
-    for (Request& req : batch) req.promise.set_exception(error);
+    error = std::current_exception();
   }
+  ++tick.batches_since_repair;
+  health_.record(replica_id, ok);
 
   const std::int64_t done_ns = clock_->now_ns();
   if (ok) {
     const std::int64_t classes = logits.dim(1);
+    std::int64_t answered = 0;
+    std::int64_t dead = 0;
     for (std::int64_t i = 0; i < batch_size; ++i) {
       Request& req = batch[static_cast<std::size_t>(i)];
       InferenceResult res;
@@ -213,24 +330,122 @@ void InferenceServer::run_batch(int replica_id, std::vector<Request>& batch) {
       res.replica_id = replica_id;
       res.batch_size = batch_size;
       res.latency_ns = std::max<std::int64_t>(std::int64_t{0}, done_ns - req.enqueue_ns);
-      req.promise.set_value(std::move(res));
+      // A poisoned promise (already satisfied/abandoned) must not take down
+      // its batchmates; the slot is counted, not thrown.
+      if (answer(req, std::move(res))) {
+        ++answered;
+      } else {
+        ++dead;
+      }
     }
-  }
-
-  MutexLock lock(mu_);
-  ++batches_;
-  if (ok) {
-    served_ += batch_size;
-    per_replica_served_[static_cast<std::size_t>(replica_id)] += batch_size;
+    MutexLock lock(mu_);
+    ++batches_;
+    served_ += answered;
+    poisoned_ += dead;
+    per_replica_served_[static_cast<std::size_t>(replica_id)] += answered;
     LatencyHistogram& hist = per_worker_latency_[static_cast<std::size_t>(replica_id)];
     for (const Request& req : batch) {
       hist.record(std::max<std::int64_t>(std::int64_t{0}, done_ns - req.enqueue_ns));
     }
-  } else {
-    failed_ += batch_size;
+    in_flight_ -= batch_size;
+    if (in_flight_ == 0) drained_.notify_all();
+    return;
   }
-  in_flight_ -= batch_size;
-  if (in_flight_ == 0) drained_.notify_all();
+
+  // Failed attempt: every request burns one attempt and excludes this
+  // replica; those with budget, time, and an alternative replica left go
+  // back into the queue for failover, the rest fail with a typed error.
+  const std::string cause = describe(error);
+  std::int64_t requeued = 0;
+  {
+    MutexLock lock(mu_);
+    ++batches_;
+  }
+  for (std::int64_t i = 0; i < batch_size; ++i) {
+    Request& req = batch[static_cast<std::size_t>(i)];
+    req.excluded.push_back(replica_id);
+    --req.attempts_left;
+    const bool time_left = req.deadline_ns > done_ns;
+    const bool has_alternative = static_cast<int>(req.excluded.size()) < pool_.size();
+    if (req.attempts_left > 0 && time_left && has_alternative &&
+        queue_.try_push(std::move(req))) {
+      ++requeued;  // still in flight; another worker owns it now
+      continue;
+    }
+    if (!time_left) {
+      finish_with_error(req, ServeError::kDeadlineExceeded,
+                        "InferenceServer: deadline passed during retry (last error: " + cause +
+                            ")");
+    } else {
+      finish_with_error(req, ServeError::kExhausted,
+                        "InferenceServer: attempts exhausted (last error: " + cause + ")");
+    }
+  }
+  MutexLock lock(mu_);
+  retried_ += requeued;
+}
+
+void InferenceServer::ensure_canary() {
+  std::call_once(canary_once_, [this] {
+    Shape sample_shape;
+    {
+      MutexLock lock(mu_);
+      sample_shape = input_shape_;  // non-empty: a batch was already served
+    }
+    canary_ = make_canary_set(pool_.source(), sample_shape, config_.health.canary_samples,
+                              config_.health.canary_seed);
+  });
+}
+
+void InferenceServer::maintain(int replica_id, WorkerTick& tick) {
+  // 1. Aging: the replica's defect map grows with its served-batch count.
+  if (config_.aging.enabled()) {
+    const std::int64_t added = pool_.advance_aging(
+        replica_id, aging_, aging_.intervals_at(tick.batches_since_repair));
+    if (added > 0) {
+      MutexLock lock(mu_);
+      aged_cells_ += added;
+    }
+  }
+
+  // 2. Canary: every canary_every_batches served batches, run the known-
+  // answer probes and score against the pristine model's golden outputs.
+  if (config_.health.canary_every_batches > 0 &&
+      ++tick.batches_since_canary >= config_.health.canary_every_batches) {
+    tick.batches_since_canary = 0;
+    ensure_canary();
+    int passed = 0;
+    try {
+      const Tensor logits = pool_.replica(replica_id).forward(canary_.inputs, /*training=*/false);
+      passed = score_canary(logits, canary_, config_.health.canary_max_abs_err);
+    } catch (...) {
+      passed = 0;  // a canary forward that throws fails every probe
+    }
+    const int missed = config_.health.canary_samples - passed;
+    if (passed > 0) health_.record(replica_id, true, passed);
+    if (missed > 0) health_.record(replica_id, false, missed);
+    MutexLock lock(mu_);
+    ++canary_batches_;
+    canary_failures_ += missed;
+  }
+
+  // 3. Quarantine detection and (optional) in-place repair.
+  const ReplicaHealth state = health_.state(replica_id);
+  if (state == ReplicaHealth::kQuarantined) {
+    if (tick.last_state != ReplicaHealth::kQuarantined) {
+      MutexLock lock(mu_);
+      ++quarantines_;
+    }
+    if (config_.health.repair_on_quarantine) {
+      pool_.repair(replica_id);  // fresh clone of the pristine source + fresh map
+      health_.mark_repaired(replica_id);
+      tick = WorkerTick{};
+      MutexLock lock(mu_);
+      ++repairs_;
+      return;
+    }
+  }
+  tick.last_state = state;
 }
 
 }  // namespace ftpim::serve

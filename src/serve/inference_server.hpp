@@ -1,5 +1,6 @@
-// Asynchronous dynamically-batched inference over a fleet of defective
-// replicas — the serving layer (DESIGN.md "Serving layer").
+// Asynchronous dynamically-batched inference over a self-healing fleet of
+// defective replicas — the serving layer (DESIGN.md "Serving layer" and
+// "Failure handling & self-healing").
 //
 // Architecture: clients submit() single samples and get a std::future; the
 // requests land in one bounded FIFO RequestQueue; each replica of the
@@ -7,8 +8,27 @@
 // coalesces them into batches under the BatchingPolicy, runs one batched
 // forward pass on its (persistently faulted) clone, and fulfills the
 // promises. Because a worker is the sole driver of its replica, the model
-// hot path is lock-free; the only shared state is the queue and the stats
-// block, each behind its own annotated Mutex.
+// hot path is lock-free; the only shared state is the queue, the stats
+// block, and the HealthMonitor, each behind its own annotated Mutex.
+//
+// Robustness (this is what makes the fleet self-healing):
+//
+//   * Deadlines & shedding — a request may carry an absolute deadline.
+//     Admission control can refuse requests whose deadline is predicted
+//     unmeetable (shed_ns_per_queued), workers drop requests whose deadline
+//     already passed, and both outcomes surface as typed ServeError kinds.
+//   * Retry & failover — a failed forward pass burns one of the request's
+//     attempts and re-queues it with the failing replica excluded, so a
+//     different device gets the next try. When the budget, the deadline, or
+//     the fleet runs out, the future reports kDeadlineExceeded/kExhausted.
+//   * Health & repair — every batch and periodic known-answer canary probes
+//     (golden outputs from the pristine source model) feed a per-replica
+//     HealthMonitor; replicas scoring below threshold are quarantined and
+//     (by default) repaired in place: re-cloned from the pristine source
+//     with a fresh defect map.
+//   * In-service aging — an AgingModel deterministically grows each
+//     replica's defect map with served-batch count, so fleets degrade, get
+//     caught by canaries, and heal, all inside one process.
 //
 // Lifecycle: construct -> [submit()...] -> start() -> traffic -> stop().
 // submit() is legal before start() (requests queue up; this is what makes
@@ -20,22 +40,29 @@
 //
 // Determinism: with one worker, requests submitted in a fixed order before
 // start(), max_linger_ns = 0, and a ManualServeClock, batch composition,
-// outputs, and every stat (latency histogram included) are bit-identical
-// across runs — see tests/serve_server_test.cpp.
+// outputs, aging, quarantines, repairs, and every stat (latency histogram
+// included) are bit-identical across runs — see tests/serve_server_test.cpp
+// and tests/serve_health_test.cpp.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "src/common/thread_annotations.hpp"
+#include "src/core/evaluator.hpp"
 #include "src/nn/module.hpp"
+#include "src/reram/aging.hpp"
 #include "src/serve/batching_policy.hpp"
 #include "src/serve/clock.hpp"
+#include "src/serve/health_monitor.hpp"
 #include "src/serve/replica_pool.hpp"
 #include "src/serve/request_queue.hpp"
+#include "src/serve/serve_error.hpp"
 #include "src/serve/server_stats.hpp"
 
 namespace ftpim::serve {
@@ -43,7 +70,7 @@ namespace ftpim::serve {
 /// What submit() does when the queue is full.
 enum class OverflowPolicy {
   kBlock,   ///< backpressure: block the client until space frees up
-  kReject,  ///< fail fast: the returned future throws std::runtime_error
+  kReject,  ///< fail fast: the returned future throws ServeError(kQueueFull)
 };
 
 struct ServerConfig {
@@ -54,6 +81,31 @@ struct ServerConfig {
   /// Time source for linger decisions and latency stats; nullptr = monotonic
   /// wall clock. Non-owning — must outlive the server.
   ServeClock* clock = nullptr;
+  /// Deadline applied to submits that don't carry their own (relative to
+  /// enqueue time; 0 = no deadline).
+  std::int64_t default_deadline_ns = 0;
+  /// Forward passes a request may consume before its future fails (>= 1).
+  /// Each failed attempt excludes the failing replica and re-queues.
+  int max_attempts = 1;
+  /// Admission control: estimated service time per already-queued request.
+  /// A request whose deadline precedes enqueue_ns + (depth+1)*this is shed
+  /// at submit() with kDeadlineShed. 0 disables shedding.
+  std::int64_t shed_ns_per_queued = 0;
+  /// Replica health scoring, canary cadence, and repair policy.
+  HealthConfig health{};
+  /// In-service defect growth (incompatible with pool.use_redundancy).
+  AgingConfig aging{};
+  /// Test/chaos hook: runs just before each batch's forward pass on the
+  /// worker thread. May throw (treated exactly like a forward failure — the
+  /// retry/failover path) or tamper with the batch's promises (the poisoned-
+  /// request path). Leave empty in production.
+  std::function<void(int replica_id, std::vector<Request>& batch)> batch_hook;
+};
+
+/// Per-request overrides for submit().
+struct SubmitOptions {
+  std::int64_t deadline_ns = 0;  ///< relative to enqueue; 0 = config default
+  int max_attempts = 0;          ///< 0 = config default
 };
 
 class InferenceServer {
@@ -68,9 +120,10 @@ class InferenceServer {
   InferenceServer& operator=(const InferenceServer&) = delete;
 
   /// Enqueues one sample ([C,H,W], same shape for every request) and returns
-  /// the future answer. Rejections (full queue under kReject, or a stopped
-  /// server) are delivered through the future as std::runtime_error.
+  /// the future answer. All failure modes are delivered through the future
+  /// as ServeError (see serve_error.hpp for the kind taxonomy).
   [[nodiscard]] std::future<InferenceResult> submit(Tensor input);
+  [[nodiscard]] std::future<InferenceResult> submit(Tensor input, const SubmitOptions& options);
 
   /// Spawns one worker thread per replica. Call once.
   void start();
@@ -81,13 +134,16 @@ class InferenceServer {
 
   /// Graceful shutdown: stop intake, flush every accepted request, join the
   /// workers. Idempotent. Safe to call without start() (queued requests are
-  /// then answered with an exception — no worker ever existed to run them).
+  /// then answered with ServeError(kStopped) — no worker ever ran them).
   void stop();
 
   [[nodiscard]] bool running() const;
 
   /// Point-in-time metrics snapshot (see ServerStats).
   [[nodiscard]] ServerStats stats() const;
+
+  /// Replica health, scored from batch outcomes and canary probes.
+  [[nodiscard]] const HealthMonitor& health() const noexcept { return health_; }
 
   /// The underlying fleet — e.g. to measure per-replica accuracy offline.
   /// Do not drive replicas while the server is running.
@@ -97,15 +153,38 @@ class InferenceServer {
   [[nodiscard]] const ServerConfig& config() const noexcept { return config_; }
 
  private:
+  /// Per-worker maintenance counters; owned by the worker thread.
+  struct WorkerTick {
+    std::int64_t batches_since_repair = 0;
+    std::int64_t batches_since_canary = 0;
+    ReplicaHealth last_state = ReplicaHealth::kHealthy;
+  };
+
   void worker_loop(int replica_id);
-  void run_batch(int replica_id, std::vector<Request>& batch);
-  void reject(Request&& request, const char* why);
+  /// Deadline/exclusion triage for a freshly popped request. True = the
+  /// request belongs in this worker's batch; false = it was re-queued for
+  /// another replica or answered with a ServeError.
+  [[nodiscard]] bool triage(int replica_id, Request& request);
+  void run_batch(int replica_id, std::vector<Request>& batch, WorkerTick& tick);
+  /// Post-batch upkeep: aging, canary probes, quarantine detection, repair.
+  void maintain(int replica_id, WorkerTick& tick);
+  void ensure_canary();
+  /// Rejects a not-yet-accepted request (rolls back submit accounting).
+  void reject(Request&& request, ServeError::Kind kind, const char* why);
+  /// Answers an ACCEPTED request with a typed error and settles its
+  /// in-flight accounting.
+  void finish_with_error(Request& request, ServeError::Kind kind, const std::string& why);
 
   ServerConfig config_;
   ReplicaPool pool_;
   SteadyServeClock default_clock_;
   ServeClock* clock_;  ///< config_.clock or &default_clock_
   RequestQueue queue_;
+  HealthMonitor health_;
+  AgingModel aging_;
+
+  std::once_flag canary_once_;
+  CanarySet canary_;  ///< written once under canary_once_, then read-only
 
   enum class State { kIdle, kRunning, kStopped };
 
@@ -115,10 +194,20 @@ class InferenceServer {
   std::uint64_t next_id_ FTPIM_GUARDED_BY(mu_) = 0;
   std::int64_t in_flight_ FTPIM_GUARDED_BY(mu_) = 0;
   std::int64_t submitted_ FTPIM_GUARDED_BY(mu_) = 0;
-  std::int64_t rejected_ FTPIM_GUARDED_BY(mu_) = 0;
+  std::int64_t rejected_queue_full_ FTPIM_GUARDED_BY(mu_) = 0;
+  std::int64_t rejected_stopped_ FTPIM_GUARDED_BY(mu_) = 0;
+  std::int64_t rejected_shed_ FTPIM_GUARDED_BY(mu_) = 0;
   std::int64_t served_ FTPIM_GUARDED_BY(mu_) = 0;
   std::int64_t failed_ FTPIM_GUARDED_BY(mu_) = 0;
+  std::int64_t retried_ FTPIM_GUARDED_BY(mu_) = 0;
+  std::int64_t expired_ FTPIM_GUARDED_BY(mu_) = 0;
+  std::int64_t poisoned_ FTPIM_GUARDED_BY(mu_) = 0;
   std::int64_t batches_ FTPIM_GUARDED_BY(mu_) = 0;
+  std::int64_t canary_batches_ FTPIM_GUARDED_BY(mu_) = 0;
+  std::int64_t canary_failures_ FTPIM_GUARDED_BY(mu_) = 0;
+  std::int64_t quarantines_ FTPIM_GUARDED_BY(mu_) = 0;
+  std::int64_t repairs_ FTPIM_GUARDED_BY(mu_) = 0;
+  std::int64_t aged_cells_ FTPIM_GUARDED_BY(mu_) = 0;
   Shape input_shape_ FTPIM_GUARDED_BY(mu_);  ///< pinned by the first submit()
   std::vector<std::int64_t> per_replica_served_ FTPIM_GUARDED_BY(mu_);
   std::vector<LatencyHistogram> per_worker_latency_ FTPIM_GUARDED_BY(mu_);

@@ -14,41 +14,107 @@ ReplicaPool::ReplicaPool(const Module& source, const ReplicaPoolConfig& config)
               "ReplicaPool: sa0_fraction outside [0,1]");
   config.injector.range.validate();
 
-  replicas_.reserve(static_cast<std::size_t>(config.num_replicas));
+  source_ = source.clone();
+  replicas_.resize(static_cast<std::size_t>(config.num_replicas));
   for (int r = 0; r < config.num_replicas; ++r) {
-    Replica rep;
-    rep.model = source.clone();
-    if (config.p_sa > 0.0) {
-      const StuckAtFaultModel fault_model(config.p_sa, config.sa0_fraction);
-      Rng rng(replica_seed(r));
-      rep.stats = inject_into_model(*rep.model, fault_model, config.injector, rng);
-    }
-    replicas_.push_back(std::move(rep));
+    install(replicas_[static_cast<std::size_t>(r)], r);
   }
 }
 
-Module& ReplicaPool::replica(int index) {
-  FTPIM_CHECK_GE(index, 0, "ReplicaPool::replica");
-  FTPIM_CHECK_LT(index, size(), "ReplicaPool::replica");
-  return *replicas_[static_cast<std::size_t>(index)].model;
+std::uint64_t ReplicaPool::seed_for(int index, int generation) const {
+  // Generation 0 keeps the historical one-level stream (a fleet that never
+  // repairs reproduces pre-lifecycle pools bit-for-bit); repairs descend one
+  // more derive_seed level so every physical device gets its own stream.
+  const std::uint64_t base = derive_seed(config_.seed, static_cast<std::uint64_t>(index));
+  if (generation == 0) return base;
+  return derive_seed(base, static_cast<std::uint64_t>(generation));
 }
 
-const Module& ReplicaPool::replica(int index) const {
-  FTPIM_CHECK_GE(index, 0, "ReplicaPool::replica");
-  FTPIM_CHECK_LT(index, size(), "ReplicaPool::replica");
-  return *replicas_[static_cast<std::size_t>(index)].model;
+void ReplicaPool::install(Replica& rep, int index) {
+  rep.model = source_->clone();
+  rep.stats = InjectionStats{};
+  rep.aged_intervals = 0;
+  if (config_.use_redundancy) {
+    rep.map = DefectMap();
+    if (config_.p_sa > 0.0) {
+      const StuckAtFaultModel fault_model(config_.p_sa, config_.sa0_fraction);
+      Rng rng(seed_for(index, rep.generation));
+      const RedundantInjectionStats rs =
+          inject_model_with_redundancy(*rep.model, fault_model, config_.redundancy, rng);
+      rep.stats.cells = rs.cells;
+      rep.stats.faulted_cells = rs.faulted_cells;
+      rep.stats.affected_weights = rs.affected_weights;
+    }
+    return;
+  }
+  const std::int64_t cells = crossbar_cell_count(*rep.model);
+  if (config_.p_sa > 0.0) {
+    const StuckAtFaultModel fault_model(config_.p_sa, config_.sa0_fraction);
+    Rng rng(seed_for(index, rep.generation));
+    rep.map = DefectMap::sample(cells, fault_model, rng);
+    rep.stats = apply_defect_map_to_model(*rep.model, rep.map, config_.injector);
+  } else {
+    // Pristine deployment: keep the trained weights untouched (no map, no
+    // quantization pass) but carry an empty map so in-service aging has a
+    // cell array to grow into.
+    rep.map = DefectMap::empty(cells);
+    rep.stats.cells = cells;
+  }
 }
+
+const ReplicaPool::Replica& ReplicaPool::at(int index, const char* what) const {
+  FTPIM_CHECK(index >= 0 && index < size(), "ReplicaPool::%s: index %d outside [0,%d)", what,
+              index, size());
+  return replicas_[static_cast<std::size_t>(index)];
+}
+
+ReplicaPool::Replica& ReplicaPool::at(int index, const char* what) {
+  return const_cast<Replica&>(static_cast<const ReplicaPool*>(this)->at(index, what));
+}
+
+Module& ReplicaPool::replica(int index) { return *at(index, "replica").model; }
+
+const Module& ReplicaPool::replica(int index) const { return *at(index, "replica").model; }
 
 const InjectionStats& ReplicaPool::injection_stats(int index) const {
-  FTPIM_CHECK_GE(index, 0, "ReplicaPool::injection_stats");
-  FTPIM_CHECK_LT(index, size(), "ReplicaPool::injection_stats");
-  return replicas_[static_cast<std::size_t>(index)].stats;
+  return at(index, "injection_stats").stats;
+}
+
+const DefectMap& ReplicaPool::defect_map(int index) const { return at(index, "defect_map").map; }
+
+int ReplicaPool::generation(int index) const { return at(index, "generation").generation; }
+
+std::int64_t ReplicaPool::aged_intervals(int index) const {
+  return at(index, "aged_intervals").aged_intervals;
 }
 
 std::uint64_t ReplicaPool::replica_seed(int index) const {
-  FTPIM_CHECK_GE(index, 0, "ReplicaPool::replica_seed");
-  FTPIM_CHECK_LT(index, config_.num_replicas, "ReplicaPool::replica_seed");
-  return derive_seed(config_.seed, static_cast<std::uint64_t>(index));
+  const Replica& rep = at(index, "replica_seed");
+  return seed_for(index, rep.generation);
+}
+
+void ReplicaPool::repair(int index) {
+  Replica& rep = at(index, "repair");
+  ++rep.generation;
+  install(rep, index);
+}
+
+std::int64_t ReplicaPool::advance_aging(int index, const AgingModel& aging,
+                                        std::int64_t target_intervals) {
+  FTPIM_CHECK(!config_.use_redundancy,
+              "ReplicaPool::advance_aging: aging is not modeled for redundant deployments");
+  Replica& rep = at(index, "advance_aging");
+  if (target_intervals <= rep.aged_intervals) return 0;
+  const std::int64_t added =
+      aging.evolve(rep.map, seed_for(index, rep.generation), rep.aged_intervals, target_intervals);
+  rep.aged_intervals = target_intervals;
+  if (added > 0) {
+    // Stuck-cell readback is lossy, so the grown map cannot be layered onto
+    // the already-faulted weights: re-deploy from the pristine source.
+    rep.model = source_->clone();
+    rep.stats = apply_defect_map_to_model(*rep.model, rep.map, config_.injector);
+  }
+  return added;
 }
 
 }  // namespace ftpim::serve

@@ -3,15 +3,33 @@
 // This is the paper's deployment story made executable: a single FT-trained
 // network is cloned once per simulated edge device, and each clone gets its
 // own persistent stuck-at defect map (drawn through the same Apply_Fault
-// machinery as the offline evaluator) that stays applied for the replica's
-// lifetime — no per-device retraining, no fault refresh. Replica r's map is
-// seeded with derive_seed(config.seed, r), a function of the replica index
-// alone, so a fleet is bit-reproducible across runs and across pool
-// rebuilds.
+// machinery as the offline evaluator) that stays applied across the
+// replica's service life. Replica r's generation-0 map is seeded with
+// derive_seed(config.seed, r), a function of the replica index alone, so a
+// fleet is bit-reproducible across runs and across pool rebuilds.
 //
-// Thread-safety: replicas are disjoint deep clones (Module::clone()), so
-// each may run forward() on its own thread concurrently; the pool itself is
-// immutable after construction.
+// Unlike the original immutable fleet, replicas now have a LIFECYCLE:
+//
+//   * advance_aging() grows a replica's defect map in service (new cells
+//     fail as the device wears — src/reram/aging.hpp) and re-deploys the
+//     model: pristine-source re-clone + full accumulated map re-applied.
+//     Rebuilding from clean weights is load-bearing — stuck-cell readback is
+//     not invertible, so aged faults cannot be layered onto already-faulted
+//     weights.
+//   * repair() simulates swapping the device: a fresh clone of the pristine
+//     source gets a FRESH defect map from the next seed generation
+//     (derive_seed(derive_seed(seed, r), generation)), modeling a new
+//     physical device with its own manufacturing defects.
+//
+// With use_redundancy the fleet deploys each clone through R-modular
+// redundancy (median-of-R readout, src/reram/redundancy.hpp) instead of a
+// bare defect map; aging is not modeled for redundant deployments.
+//
+// Thread-safety: replicas are disjoint deep clones (Module::clone()).
+// Construction is exclusive; afterwards each replica — model, map, and the
+// repair()/advance_aging() mutators — is single-owner state driven only by
+// its worker thread, while size()/config()/source() stay safe to read from
+// anywhere.
 #pragma once
 
 #include <cstdint>
@@ -19,8 +37,11 @@
 #include <vector>
 
 #include "src/nn/module.hpp"
+#include "src/reram/aging.hpp"
+#include "src/reram/defect_map.hpp"
 #include "src/reram/fault_injector.hpp"
 #include "src/reram/fault_model.hpp"
+#include "src/reram/redundancy.hpp"
 
 namespace ftpim::serve {
 
@@ -30,12 +51,15 @@ struct ReplicaPoolConfig {
   double sa0_fraction = kPaperSa0Fraction;
   InjectorConfig injector{};
   std::uint64_t seed = 99;  ///< master seed; replica r uses derive_seed(seed, r)
+  bool use_redundancy = false;  ///< deploy via median-of-R instead of a defect map
+  RedundancyConfig redundancy{};
 };
 
 class ReplicaPool {
  public:
   /// Clones `source` num_replicas times and injects each clone's persistent
-  /// defect map. `source` is never mutated.
+  /// defect map. `source` is never mutated; a pristine clone is retained for
+  /// repairs and aging rebuilds.
   ReplicaPool(const Module& source, const ReplicaPoolConfig& config);
 
   ReplicaPool(const ReplicaPool&) = delete;
@@ -48,11 +72,38 @@ class ReplicaPool {
   [[nodiscard]] Module& replica(int index);
   [[nodiscard]] const Module& replica(int index) const;
 
+  /// The pristine source model (clean weights, never faulted). Canary golden
+  /// outputs are computed from a clone of this.
+  [[nodiscard]] const Module& source() const noexcept { return *source_; }
+
   /// Injection outcome of replica `index` (fault counts, affected weights).
+  /// After aging rebuilds this reflects the full accumulated map.
   [[nodiscard]] const InjectionStats& injection_stats(int index) const;
 
-  /// The seed replica `index`'s defect map was drawn with.
+  /// The replica's persistent defect map (empty under use_redundancy).
+  [[nodiscard]] const DefectMap& defect_map(int index) const;
+
+  /// How many times replica `index` has been repaired (generation 0 = the
+  /// original device).
+  [[nodiscard]] int generation(int index) const;
+
+  /// The seed replica `index`'s CURRENT defect map was drawn with; generation
+  /// 0 keeps the historical derive_seed(seed, index) stream.
   [[nodiscard]] std::uint64_t replica_seed(int index) const;
+
+  /// Replaces replica `index` with a new device: fresh clone of the pristine
+  /// source, fresh defect map from the next seed generation. Single-owner
+  /// mutator — only the replica's worker may call this.
+  void repair(int index);
+
+  /// Ages replica `index` to `target_intervals` (monotone; no-op when already
+  /// there): grows its map via `aging` and, if anything changed, re-deploys
+  /// from the pristine source with the accumulated map. Returns the number of
+  /// cell faults added. Single-owner mutator. Requires !use_redundancy.
+  std::int64_t advance_aging(int index, const AgingModel& aging, std::int64_t target_intervals);
+
+  /// Intervals replica `index` has been aged through so far.
+  [[nodiscard]] std::int64_t aged_intervals(int index) const;
 
   [[nodiscard]] const ReplicaPoolConfig& config() const noexcept { return config_; }
 
@@ -60,9 +111,18 @@ class ReplicaPool {
   struct Replica {
     std::unique_ptr<Module> model;
     InjectionStats stats;
+    DefectMap map;
+    int generation = 0;
+    std::int64_t aged_intervals = 0;
   };
 
+  [[nodiscard]] std::uint64_t seed_for(int index, int generation) const;
+  void install(Replica& rep, int index);  ///< clone source + apply the map for its seed
+  [[nodiscard]] const Replica& at(int index, const char* what) const;
+  [[nodiscard]] Replica& at(int index, const char* what);
+
   ReplicaPoolConfig config_;
+  std::unique_ptr<Module> source_;  ///< pristine clone; never faulted
   std::vector<Replica> replicas_;
 };
 

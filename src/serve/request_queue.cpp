@@ -8,6 +8,24 @@
 
 namespace ftpim::serve {
 
+bool answer(Request& request, InferenceResult&& result) noexcept {
+  try {
+    request.promise.set_value(std::move(result));
+    return true;
+  } catch (const std::future_error&) {
+    return false;  // promise already satisfied or abandoned
+  }
+}
+
+bool answer_error(Request& request, std::exception_ptr error) noexcept {
+  try {
+    request.promise.set_exception(std::move(error));
+    return true;
+  } catch (const std::future_error&) {
+    return false;
+  }
+}
+
 RequestQueue::RequestQueue(std::size_t capacity) : capacity_(capacity) {
   FTPIM_CHECK_GT(capacity, std::size_t{0}, "RequestQueue: capacity");
 }
@@ -48,20 +66,20 @@ bool RequestQueue::try_pop(Request& out) {
   return true;
 }
 
-bool RequestQueue::pop_for(Request& out, std::int64_t timeout_ns) {
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::nanoseconds(std::max<std::int64_t>(timeout_ns, 0));
+PopResult RequestQueue::pop_for(Request& out, std::int64_t timeout_ns) {
   MutexLock lock(mu_);
-  while (!closed_ && items_.empty()) {
-    const auto now = std::chrono::steady_clock::now();
-    if (now >= deadline) break;
-    (void)not_empty_.wait_for(lock, deadline - now);
-  }
-  if (items_.empty()) return false;  // timeout, or closed and drained
+  // The predicate overload owns the timeout bookkeeping (spurious wakeups
+  // included) — no wall-clock read here, which keeps src/serve's "all time
+  // flows through ServeClock" lint rule honest outside clock.hpp.
+  (void)not_empty_.wait_for(lock, std::chrono::nanoseconds(std::max<std::int64_t>(timeout_ns, 0)),
+                            [this]() FTPIM_NO_THREAD_SAFETY_ANALYSIS {
+                              return closed_ || !items_.empty();
+                            });
+  if (items_.empty()) return closed_ ? PopResult::kClosed : PopResult::kTimeout;
   out = std::move(items_.front());
   items_.pop_front();
   not_full_.notify_one();
-  return true;
+  return PopResult::kItem;
 }
 
 void RequestQueue::close() {

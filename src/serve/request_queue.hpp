@@ -16,9 +16,12 @@
 // nothing).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <limits>
+#include <vector>
 
 #include "src/common/thread_annotations.hpp"
 #include "src/tensor/tensor.hpp"
@@ -34,12 +37,42 @@ struct InferenceResult {
   std::int64_t latency_ns = 0;   ///< enqueue -> answer, per the server's clock
 };
 
+/// deadline_ns value meaning "no deadline" (never reached by a ServeClock).
+inline constexpr std::int64_t kNoDeadlineNs = std::numeric_limits<std::int64_t>::max();
+
 /// In-flight request: payload + the promise the worker answers.
+///
+/// deadline/attempt/excluded fields carry the retry-and-failover state a
+/// request accumulates as it bounces between replicas: every failed attempt
+/// adds the failing replica to `excluded` and burns one of `attempts_left`,
+/// and a worker that pops a request excluding its own replica re-queues it
+/// for someone else (see InferenceServer).
 struct Request {
   Tensor input;                  ///< single sample [C,H,W]
   std::promise<InferenceResult> promise;
   std::int64_t enqueue_ns = 0;
   std::uint64_t id = 0;          ///< server-assigned, monotonically increasing
+  std::int64_t deadline_ns = kNoDeadlineNs;  ///< absolute, per the server's clock
+  int attempts_left = 1;         ///< forward passes this request may still consume
+  std::vector<int> excluded;     ///< replicas that already failed this request
+
+  [[nodiscard]] bool excludes(int replica_id) const noexcept {
+    return std::find(excluded.begin(), excluded.end(), replica_id) != excluded.end();
+  }
+};
+
+/// Fulfills the request's promise; false when the promise was already
+/// satisfied or abandoned (a poisoned request must not take down the worker
+/// or its batchmates — the failure is reported, not thrown).
+bool answer(Request& request, InferenceResult&& result) noexcept;
+bool answer_error(Request& request, std::exception_ptr error) noexcept;
+
+/// Outcome of a bounded pop: consumers must tell "nothing yet" apart from
+/// "nothing ever again" to exit their drain loops correctly.
+enum class PopResult {
+  kItem,     ///< `out` holds a request
+  kTimeout,  ///< queue open but empty for the whole wait
+  kClosed,   ///< closed and fully drained — no item will ever arrive
 };
 
 class RequestQueue {
@@ -62,9 +95,9 @@ class RequestQueue {
   /// Non-blocking; false when currently empty (or closed and drained).
   [[nodiscard]] bool try_pop(Request& out);
 
-  /// Blocks up to `timeout_ns` (real time); false on timeout or when closed
-  /// and drained.
-  [[nodiscard]] bool pop_for(Request& out, std::int64_t timeout_ns);
+  /// Blocks up to `timeout_ns` (real time). kItem fills `out`; kTimeout and
+  /// kClosed distinguish a transient empty queue from shutdown-and-drained.
+  [[nodiscard]] PopResult pop_for(Request& out, std::int64_t timeout_ns);
 
   /// Begins shutdown: wakes all waiters; pushes fail from now on, pops drain
   /// the remaining items then fail. Idempotent.

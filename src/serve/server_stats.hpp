@@ -4,7 +4,9 @@
 // and hands it out by value, so readers never hold a lock into the hot path.
 // The latency histogram is the merge (in replica-id order — exact and
 // associative, see LatencyHistogram) of the per-worker histograms, which are
-// only ever written by their owning worker thread.
+// only ever written by their owning worker thread. Everything here is
+// integer-or-derived, so deterministic serving mode reproduces the whole
+// snapshot bit-identically.
 #pragma once
 
 #include <cstdint>
@@ -13,19 +15,40 @@
 
 #include "src/common/stats.hpp"
 #include "src/common/strformat.hpp"
+#include "src/serve/health_monitor.hpp"
 
 namespace ftpim::serve {
 
 struct ServerStats {
   std::int64_t submitted = 0;  ///< accepted into the queue
-  std::int64_t rejected = 0;   ///< refused (full queue under kReject, or stopped)
+  // Rejections by reason: the future carried a ServeError of the matching
+  // kind and the request never reached a forward pass.
+  std::int64_t rejected_queue_full = 0;  ///< kReject policy, queue at capacity
+  std::int64_t rejected_stopped = 0;     ///< server stopped before it ran
+  std::int64_t rejected_shed = 0;        ///< admission control: deadline unmeetable
   std::int64_t served = 0;     ///< answered with a result
-  std::int64_t failed = 0;     ///< answered with an exception (forward threw)
+  std::int64_t failed = 0;     ///< answered with an exception, all retries spent
+  std::int64_t retried = 0;    ///< failed attempts re-queued onto another replica
+  std::int64_t expired = 0;    ///< failed specifically with kDeadlineExceeded
+  std::int64_t poisoned = 0;   ///< promises already satisfied when answered
   std::int64_t batches = 0;    ///< batched forward passes executed
+  std::int64_t canary_batches = 0;   ///< known-answer probe batches run
+  std::int64_t canary_failures = 0;  ///< probe samples that missed golden
+  std::int64_t quarantines = 0;      ///< healthy/suspect -> quarantined transitions
+  std::int64_t repairs = 0;          ///< replicas re-cloned + re-injected
+  std::int64_t aged_cells = 0;       ///< cell faults grown in service (all replicas)
   std::size_t queue_depth = 0; ///< requests waiting at snapshot time
   std::int64_t in_flight = 0;  ///< accepted but not yet answered
-  std::vector<std::int64_t> per_replica_served;  ///< indexed by replica id
+  std::vector<std::int64_t> per_replica_served;   ///< indexed by replica id
+  std::vector<double> per_replica_health;         ///< health score in [0,1]
+  std::vector<ReplicaHealth> per_replica_state;   ///< health state machine
+  std::vector<int> per_replica_repairs;           ///< repairs per replica
   LatencyHistogram latency;    ///< submit -> answer, per the server clock
+
+  /// Total rejections across all reasons.
+  [[nodiscard]] std::int64_t rejected() const noexcept {
+    return rejected_queue_full + rejected_stopped + rejected_shed;
+  }
 
   /// served / batches — how well dynamic batching is filling batches.
   [[nodiscard]] double mean_batch_fill() const noexcept {
@@ -36,14 +59,33 @@ struct ServerStats {
   /// One-line human-readable summary (callers print it; src/ never does).
   [[nodiscard]] std::string summary_line() const {
     return detail::format_msg(
-        "served %lld/%lld (rejected %lld, failed %lld) | batches %lld (fill %.2f) | "
+        "served %lld/%lld (rejected %lld=full:%lld+stop:%lld+shed:%lld, failed %lld, "
+        "retried %lld, expired %lld) | batches %lld (fill %.2f) | "
         "queue %zu | p50 %.3fms p95 %.3fms p99 %.3fms",
         static_cast<long long>(served), static_cast<long long>(submitted),
-        static_cast<long long>(rejected), static_cast<long long>(failed),
-        static_cast<long long>(batches), mean_batch_fill(), queue_depth,
-        static_cast<double>(latency.p50_ns()) * 1e-6,
+        static_cast<long long>(rejected()), static_cast<long long>(rejected_queue_full),
+        static_cast<long long>(rejected_stopped), static_cast<long long>(rejected_shed),
+        static_cast<long long>(failed), static_cast<long long>(retried),
+        static_cast<long long>(expired), static_cast<long long>(batches), mean_batch_fill(),
+        queue_depth, static_cast<double>(latency.p50_ns()) * 1e-6,
         static_cast<double>(latency.p95_ns()) * 1e-6,
         static_cast<double>(latency.p99_ns()) * 1e-6);
+  }
+
+  /// One-line fleet-health summary: canary outcomes, lifecycle counters, and
+  /// each replica's "state:score" gauge.
+  [[nodiscard]] std::string health_line() const {
+    std::string per;
+    for (std::size_t r = 0; r < per_replica_state.size(); ++r) {
+      per += detail::format_msg("%s[%zu]=%s:%.2f", r == 0 ? "" : " ", r,
+                                to_string(per_replica_state[r]), per_replica_health[r]);
+    }
+    return detail::format_msg(
+        "canary %lld batches (%lld misses) | quarantines %lld repairs %lld | "
+        "aged_cells %lld | %s",
+        static_cast<long long>(canary_batches), static_cast<long long>(canary_failures),
+        static_cast<long long>(quarantines), static_cast<long long>(repairs),
+        static_cast<long long>(aged_cells), per.empty() ? "no replicas" : per.c_str());
   }
 };
 

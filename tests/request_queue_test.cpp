@@ -87,7 +87,7 @@ TEST(ServeQueue, CloseDrainsThenFails) {
   EXPECT_TRUE(q.pop(out));   // drains the two accepted items first
   EXPECT_TRUE(q.pop(out));
   EXPECT_FALSE(q.pop(out));  // then reports shutdown
-  EXPECT_FALSE(q.pop_for(out, 1'000'000));
+  EXPECT_EQ(q.pop_for(out, 1'000'000), PopResult::kClosed);
 }
 
 TEST(ServeQueue, CloseWakesBlockedWaiters) {
@@ -108,7 +108,66 @@ TEST(ServeQueue, CloseWakesBlockedWaiters) {
 TEST(ServeQueue, PopForTimesOutOnEmpty) {
   RequestQueue q(1);
   Request out;
-  EXPECT_FALSE(q.pop_for(out, 1'000'000));  // 1ms
+  EXPECT_EQ(q.pop_for(out, 1'000'000), PopResult::kTimeout);  // 1ms
+}
+
+TEST(ServeQueue, PopForDistinguishesTimeoutFromClosed) {
+  // The same empty-handed return means two different things to a worker:
+  // kTimeout = keep serving (linger expired), kClosed = shut down. The enum
+  // must tell them apart in every combination.
+  RequestQueue q(2);
+  Request out;
+  EXPECT_EQ(q.pop_for(out, 0), PopResult::kTimeout);  // open, empty, no wait
+  ASSERT_TRUE(q.try_push(make_request(7)));
+  EXPECT_EQ(q.pop_for(out, 0), PopResult::kItem);  // item available: no wait needed
+  EXPECT_EQ(out.id, 7u);
+  ASSERT_TRUE(q.try_push(make_request(8)));
+  q.close();
+  // Closed but not drained: accepted items still come out.
+  EXPECT_EQ(q.pop_for(out, 1'000'000), PopResult::kItem);
+  EXPECT_EQ(out.id, 8u);
+  // Closed and drained: immediately kClosed, no timeout wait.
+  EXPECT_EQ(q.pop_for(out, 1'000'000), PopResult::kClosed);
+}
+
+TEST(ServeQueue, PopForReturnsItemPushedDuringWait) {
+  RequestQueue q(1);
+  std::thread producer([&] { EXPECT_TRUE(q.push(make_request(3))); });
+  Request out;
+  // Generous bound: the producer races the wait, and a wake-up on push must
+  // yield kItem, never a spurious kTimeout.
+  EXPECT_EQ(q.pop_for(out, 5'000'000'000), PopResult::kItem);
+  EXPECT_EQ(out.id, 3u);
+  producer.join();
+}
+
+TEST(ServeQueue, AnswerHelpersReportPoisonedPromises) {
+  Request r = make_request(1);
+  auto fut = r.promise.get_future();
+  EXPECT_TRUE(answer(r, InferenceResult{}));
+  // Second settle attempts hit an already-satisfied promise: reported as
+  // false, never thrown.
+  EXPECT_FALSE(answer(r, InferenceResult{}));
+  EXPECT_FALSE(answer_error(r, std::make_exception_ptr(std::runtime_error("x"))));
+  EXPECT_EQ(fut.get().predicted, 0);
+
+  Request e = make_request(2);
+  auto efut = e.promise.get_future();
+  EXPECT_TRUE(answer_error(e, std::make_exception_ptr(std::runtime_error("boom"))));
+  EXPECT_FALSE(answer(e, InferenceResult{}));
+  EXPECT_THROW(efut.get(), std::runtime_error);
+}
+
+TEST(ServeQueue, RequestExcludes) {
+  Request r = make_request(0);
+  EXPECT_FALSE(r.excludes(0));
+  r.excluded.push_back(2);
+  r.excluded.push_back(0);
+  EXPECT_TRUE(r.excludes(0));
+  EXPECT_TRUE(r.excludes(2));
+  EXPECT_FALSE(r.excludes(1));
+  EXPECT_EQ(r.deadline_ns, kNoDeadlineNs);  // default: no deadline
+  EXPECT_EQ(r.attempts_left, 1);
 }
 
 TEST(ServeQueue, MpmcStressAccountsForEveryItem) {

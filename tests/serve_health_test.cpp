@@ -1,0 +1,489 @@
+// Self-healing serving: OutcomeWindow, HealthMonitor state machine, canary
+// scoring, deadline/retry/failover semantics, poisoned-batchmate isolation,
+// load shedding, and the deterministic degrade->quarantine->repair loop.
+// Suite names start with Serve* so scripts/ci.sh's TSan leg picks them up.
+#include "src/serve/health_monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/common/check.hpp"
+#include "src/core/evaluator.hpp"
+#include "src/models/small_cnn.hpp"
+#include "src/nn/module.hpp"
+#include "src/serve/inference_server.hpp"
+#include "src/serve/serve_error.hpp"
+#include "test_util.hpp"
+
+namespace ftpim::serve {
+namespace {
+
+std::unique_ptr<Module> make_model() {
+  SmallCnnConfig cfg;
+  cfg.image_size = 16;
+  cfg.seed = 5;
+  return make_small_cnn(cfg);
+}
+
+Tensor make_input(std::uint64_t seed) {
+  return testing::random_tensor(Shape{3, 16, 16}, seed, 0.5f);
+}
+
+/// Resolves a future expected to fail with a ServeError; reports its kind.
+ServeError::Kind kind_of(std::future<InferenceResult>& fut) {
+  try {
+    (void)fut.get();
+  } catch (const ServeError& e) {
+    return e.kind();
+  } catch (const std::exception& e) {
+    ADD_FAILURE() << "future failed with a non-ServeError: " << e.what();
+    return ServeError::kStopped;
+  }
+  ADD_FAILURE() << "future unexpectedly succeeded";
+  return ServeError::kStopped;
+}
+
+// --- OutcomeWindow -----------------------------------------------------------
+
+TEST(ServeHealthWindow, EmptyWindowReadsHealthy) {
+  OutcomeWindow w(4);
+  EXPECT_EQ(w.size(), 0);
+  EXPECT_DOUBLE_EQ(w.success_rate(), 1.0);
+  EXPECT_THROW(OutcomeWindow bad(0), ContractViolation);
+}
+
+TEST(ServeHealthWindow, SlidesAndEvictsOldest) {
+  OutcomeWindow w(3);
+  w.record(false);
+  w.record(false);
+  w.record(false);
+  EXPECT_DOUBLE_EQ(w.success_rate(), 0.0);
+  // Three successes push the three failures out one by one.
+  w.record(true);
+  EXPECT_EQ(w.successes(), 1);
+  EXPECT_EQ(w.failures(), 2);
+  w.record(true);
+  w.record(true);
+  EXPECT_DOUBLE_EQ(w.success_rate(), 1.0);
+  EXPECT_EQ(w.size(), 3);
+  EXPECT_EQ(w.capacity(), 3);
+}
+
+TEST(ServeHealthWindow, ResetForgetsEverything) {
+  OutcomeWindow w(8);
+  for (int i = 0; i < 8; ++i) w.record(i % 2 == 0);
+  EXPECT_EQ(w.size(), 8);
+  w.reset();
+  EXPECT_EQ(w.size(), 0);
+  EXPECT_EQ(w.successes(), 0);
+  EXPECT_DOUBLE_EQ(w.success_rate(), 1.0);
+}
+
+// --- HealthMonitor -----------------------------------------------------------
+
+HealthConfig tight_health() {
+  HealthConfig h;
+  h.window = 8;
+  h.min_samples = 4;
+  h.suspect_below = 0.95;
+  h.quarantine_below = 0.60;
+  return h;
+}
+
+TEST(ServeHealthMonitor, MinSamplesGateKeepsFreshReplicasHealthy) {
+  HealthMonitor mon(2, tight_health());
+  // Three straight failures — still below the evidence bar.
+  mon.record(0, false, 3);
+  EXPECT_EQ(mon.state(0), ReplicaHealth::kHealthy);
+  EXPECT_DOUBLE_EQ(mon.score(0), 0.0);
+  // Fourth failure crosses min_samples: now the score counts.
+  mon.record(0, false);
+  EXPECT_EQ(mon.state(0), ReplicaHealth::kQuarantined);
+  // Replica 1 never recorded anything — independent and healthy.
+  EXPECT_EQ(mon.state(1), ReplicaHealth::kHealthy);
+}
+
+TEST(ServeHealthMonitor, ThresholdsMapScoreToStates) {
+  HealthMonitor mon(1, tight_health());
+  // 7/8 = 0.875: below suspect_below, above quarantine_below.
+  mon.record(0, true, 7);
+  mon.record(0, false, 1);
+  EXPECT_EQ(mon.state(0), ReplicaHealth::kSuspect);
+  // Slide to 4/8 = 0.5 < 0.6: quarantined.
+  mon.record(0, false, 3);
+  EXPECT_EQ(mon.state(0), ReplicaHealth::kQuarantined);
+  EXPECT_STREQ(to_string(mon.state(0)), "quarantined");
+}
+
+TEST(ServeHealthMonitor, RepairResetsWindowAndCountsRepairs) {
+  HealthMonitor mon(1, tight_health());
+  mon.record(0, false, 8);
+  ASSERT_EQ(mon.state(0), ReplicaHealth::kQuarantined);
+  mon.mark_repaired(0);
+  EXPECT_EQ(mon.state(0), ReplicaHealth::kHealthy);
+  EXPECT_DOUBLE_EQ(mon.score(0), 1.0);
+  const auto snap = mon.snapshot();
+  ASSERT_EQ(snap.size(), std::size_t{1});
+  EXPECT_EQ(snap[0].repairs, 1);
+  EXPECT_EQ(snap[0].state, ReplicaHealth::kHealthy);
+}
+
+TEST(ServeHealthMonitor, ValidatesConfigAndBounds) {
+  HealthConfig bad = tight_health();
+  bad.quarantine_below = 0.99;  // above suspect_below
+  EXPECT_THROW(HealthMonitor(1, bad), ContractViolation);
+  HealthConfig bad2 = tight_health();
+  bad2.min_samples = 100;  // exceeds window
+  EXPECT_THROW(HealthMonitor(1, bad2), ContractViolation);
+  HealthMonitor mon(2, tight_health());
+  EXPECT_THROW(mon.record(2, true), ContractViolation);
+  EXPECT_THROW((void)mon.score(-1), ContractViolation);
+}
+
+// --- Canary set --------------------------------------------------------------
+
+TEST(ServeHealthCanary, GoldenOutputsAreDeterministicAndSourceUntouched) {
+  const auto model = make_model();
+  std::vector<std::vector<float>> before;
+  for (const Param* p : parameters_of(*model)) before.push_back(p->value.vec());
+
+  const CanarySet a = make_canary_set(*model, Shape{3, 16, 16}, 4, 99);
+  const CanarySet b = make_canary_set(*model, Shape{3, 16, 16}, 4, 99);
+  EXPECT_EQ(a.count(), 4);
+  EXPECT_EQ(a.inputs.shape(), (Shape{4, 3, 16, 16}));
+  EXPECT_EQ(a.inputs.vec(), b.inputs.vec());
+  EXPECT_EQ(a.golden.vec(), b.golden.vec());
+  EXPECT_EQ(a.golden_pred, b.golden_pred);
+
+  const CanarySet c = make_canary_set(*model, Shape{3, 16, 16}, 4, 100);
+  EXPECT_NE(a.inputs.vec(), c.inputs.vec()) << "different seeds must differ";
+
+  std::size_t k = 0;
+  for (const Param* p : parameters_of(*model)) EXPECT_EQ(p->value.vec(), before[k++]);
+}
+
+TEST(ServeHealthCanary, ScoreCountsArgmaxMatchesOrToleranceHits) {
+  const auto model = make_model();
+  const CanarySet canary = make_canary_set(*model, Shape{3, 16, 16}, 4, 7);
+  // The clean model scores perfectly against its own golden outputs.
+  EXPECT_EQ(score_canary(canary.golden, canary), 4);
+  EXPECT_EQ(score_canary(canary.golden, canary, /*max_abs_err=*/0.0f), 4);
+
+  // Nudge one logit: within a loose tolerance, outside a tight one; argmax
+  // comparison only cares if the prediction flips.
+  Tensor nudged = canary.golden;
+  nudged[0] += 0.5f;
+  EXPECT_EQ(score_canary(nudged, canary, /*max_abs_err=*/1.0f), 4);
+  EXPECT_EQ(score_canary(nudged, canary, /*max_abs_err=*/0.01f), 3);
+}
+
+// --- Deadlines, retry, failover ---------------------------------------------
+
+TEST(ServeHealthServer, RetryFailsOverToHealthyReplica) {
+  // Replica 0's device "breaks" on every batch (the hook throws); replica 1
+  // is healthy. With a 2-attempt budget no request may ever surface an
+  // error — every failure re-queues onto the healthy replica.
+  const auto model = make_model();
+  ServerConfig cfg;
+  cfg.queue_capacity = 64;
+  cfg.batching.max_batch_size = 4;
+  cfg.batching.max_linger_ns = 0;
+  cfg.pool.num_replicas = 2;
+  cfg.pool.p_sa = 0.01;
+  cfg.max_attempts = 2;
+  cfg.health.min_samples = 64;  // keep quarantine out of this test's way
+  cfg.batch_hook = [](int replica_id, std::vector<Request>&) {
+    if (replica_id == 0) throw std::runtime_error("chaos: replica 0 device fault");
+  };
+  InferenceServer server(*model, cfg);
+
+  constexpr int kRequests = 24;
+  std::vector<std::future<InferenceResult>> futures;
+  for (int i = 0; i < kRequests; ++i) futures.push_back(server.submit(make_input(i)));
+  server.start();
+  server.drain();
+  server.stop();
+
+  for (auto& f : futures) {
+    const InferenceResult res = f.get();  // throws if any request failed
+    EXPECT_EQ(res.replica_id, 1);
+  }
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.served, kRequests);
+  EXPECT_EQ(stats.failed, 0);
+  EXPECT_EQ(stats.per_replica_served[0], 0);
+  EXPECT_EQ(stats.per_replica_served[1], kRequests);
+  EXPECT_GT(stats.retried, 0);
+  // Replica 0's health window saw its batch failures.
+  EXPECT_LT(stats.per_replica_health[0], 1.0);
+  EXPECT_DOUBLE_EQ(stats.per_replica_health[1], 1.0);
+}
+
+TEST(ServeHealthServer, ExhaustedWhenNoAlternativeReplica) {
+  // Single replica, always-failing device: the attempt budget is useless
+  // because there is nobody to fail over to — typed kExhausted, no retries.
+  const auto model = make_model();
+  ServerConfig cfg;
+  cfg.batching.max_linger_ns = 0;
+  cfg.pool.num_replicas = 1;
+  cfg.max_attempts = 3;
+  cfg.batch_hook = [](int, std::vector<Request>&) {
+    throw std::runtime_error("chaos: device fault");
+  };
+  InferenceServer server(*model, cfg);
+  auto fut = server.submit(make_input(1));
+  server.start();
+  server.drain();
+  server.stop();
+
+  EXPECT_EQ(kind_of(fut), ServeError::kExhausted);
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.failed, 1);
+  EXPECT_EQ(stats.retried, 0);
+  EXPECT_EQ(stats.served, 0);
+}
+
+TEST(ServeHealthServer, AttemptBudgetSpentAcrossReplicas) {
+  // Both replicas fail: attempt 1 re-queues with the first replica excluded,
+  // attempt 2 exhausts the budget on the second.
+  const auto model = make_model();
+  ServerConfig cfg;
+  cfg.batching.max_linger_ns = 0;
+  cfg.pool.num_replicas = 2;
+  cfg.max_attempts = 2;
+  cfg.health.min_samples = 64;
+  cfg.batch_hook = [](int, std::vector<Request>&) {
+    throw std::runtime_error("chaos: fleet-wide fault");
+  };
+  InferenceServer server(*model, cfg);
+  auto fut = server.submit(make_input(2));
+  server.start();
+  server.drain();
+  server.stop();
+
+  EXPECT_EQ(kind_of(fut), ServeError::kExhausted);
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.failed, 1);
+  EXPECT_EQ(stats.retried, 1);
+}
+
+TEST(ServeHealthServer, DeadlineExpiredWhileQueuedFailsTyped) {
+  // The deadline passes while the request sits in the queue (manual clock
+  // advanced before the worker starts): typed kDeadlineExceeded through the
+  // future — catchable as ServeError, not just a generic runtime_error.
+  const auto model = make_model();
+  ManualServeClock clock(1'000'000);
+  ServerConfig cfg;
+  cfg.batching.max_linger_ns = 0;
+  cfg.pool.num_replicas = 1;
+  cfg.clock = &clock;
+  InferenceServer server(*model, cfg);
+
+  SubmitOptions opts;
+  opts.deadline_ns = 1000;  // relative: absolute deadline = now + 1us
+  auto doomed = server.submit(make_input(1), opts);
+  auto fine = server.submit(make_input(2));  // no deadline
+  clock.advance_ns(10'000);                  // sail past the first deadline
+  server.start();
+  server.drain();
+  server.stop();
+
+  EXPECT_EQ(kind_of(doomed), ServeError::kDeadlineExceeded);
+  EXPECT_NO_THROW((void)fine.get());
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.expired, 1);
+  EXPECT_EQ(stats.failed, 1);
+  EXPECT_EQ(stats.served, 1);
+}
+
+TEST(ServeHealthServer, ShedsRequestsWithUnmeetableDeadlines) {
+  // Admission control: with shed_ns_per_queued = 1us per queued request and
+  // a 2.5us default deadline, the third submission is predicted to finish at
+  // +3us and is shed at the door (no queue slot, no forward pass).
+  const auto model = make_model();
+  ManualServeClock clock(1'000'000);
+  ServerConfig cfg;
+  cfg.batching.max_linger_ns = 0;
+  cfg.pool.num_replicas = 1;
+  cfg.clock = &clock;
+  cfg.shed_ns_per_queued = 1'000;
+  cfg.default_deadline_ns = 2'500;
+  InferenceServer server(*model, cfg);
+
+  auto a = server.submit(make_input(1));  // depth 0: predicted +1us, fits
+  auto b = server.submit(make_input(2));  // depth 1: predicted +2us, fits
+  auto c = server.submit(make_input(3));  // depth 2: predicted +3us, shed
+  auto d = server.submit(make_input(4));  // still depth 2: shed too
+  server.start();
+  server.drain();
+  server.stop();
+
+  EXPECT_NO_THROW((void)a.get());
+  EXPECT_NO_THROW((void)b.get());
+  EXPECT_EQ(kind_of(c), ServeError::kDeadlineShed);
+  EXPECT_EQ(kind_of(d), ServeError::kDeadlineShed);
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.rejected_shed, 2);
+  EXPECT_EQ(stats.rejected(), 2);
+  EXPECT_EQ(stats.submitted, 2);  // shed requests never count as accepted
+  EXPECT_EQ(stats.served, 2);
+}
+
+TEST(ServeHealthServer, PoisonedRequestDoesNotTakeDownBatchmates) {
+  // A request whose promise is already satisfied (poisoned via the batch
+  // hook, standing in for a cancelled/duplicated client) must not prevent
+  // its batchmates from being answered.
+  const auto model = make_model();
+  ServerConfig cfg;
+  cfg.batching.max_batch_size = 3;
+  cfg.batching.max_linger_ns = 0;
+  cfg.pool.num_replicas = 1;
+  cfg.batch_hook = [](int, std::vector<Request>& batch) {
+    if (batch.size() == 3) {
+      InferenceResult hijacked;
+      hijacked.predicted = -1;
+      (void)answer(batch[1], std::move(hijacked));
+    }
+  };
+  InferenceServer server(*model, cfg);
+
+  std::vector<std::future<InferenceResult>> futures;
+  for (int i = 0; i < 3; ++i) futures.push_back(server.submit(make_input(i)));
+  server.start();
+  server.drain();
+  server.stop();
+
+  // Batchmates answered normally; the poisoned slot kept the hook's value.
+  EXPECT_GE(futures[0].get().predicted, 0);
+  EXPECT_EQ(futures[1].get().predicted, -1);
+  EXPECT_GE(futures[2].get().predicted, 0);
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.served, 2);
+  EXPECT_EQ(stats.poisoned, 1);
+  EXPECT_EQ(stats.failed, 0);
+  EXPECT_EQ(stats.in_flight, 0);
+}
+
+// --- Degrade -> quarantine -> repair, deterministically ----------------------
+
+struct DegradationRun {
+  std::vector<std::int64_t> predicted;
+  ServerStats stats;
+};
+
+DegradationRun run_degradation_once(int num_requests) {
+  const auto model = make_model();
+  ManualServeClock clock(1'000'000);
+  ServerConfig cfg;
+  cfg.queue_capacity = 128;
+  cfg.batching.max_batch_size = 1;  // every request is its own batch
+  cfg.batching.max_linger_ns = 0;   // deterministic mode: greedy batching
+  cfg.pool.num_replicas = 1;        // deterministic mode: single worker
+  cfg.pool.p_sa = 0.0;              // ships pristine; degradation comes from aging
+  cfg.pool.seed = 21;
+  cfg.clock = &clock;
+  // Aggressive wear: every served batch is an aging interval in which 20% of
+  // the surviving cells fail — the replica degrades within a handful of
+  // batches.
+  cfg.aging.p_new_per_interval = 0.2;
+  cfg.aging.interval_batches = 1;
+  cfg.aging.seed = 404;
+  // Canary after every batch; quarantine once the window dips below 0.6.
+  cfg.health.canary_every_batches = 1;
+  cfg.health.canary_samples = 4;
+  cfg.health.window = 8;
+  cfg.health.min_samples = 4;
+  cfg.health.suspect_below = 0.95;
+  cfg.health.quarantine_below = 0.60;
+  cfg.health.repair_on_quarantine = true;
+  InferenceServer server(*model, cfg);
+
+  std::vector<std::future<InferenceResult>> futures;
+  for (int i = 0; i < num_requests; ++i) {
+    futures.push_back(server.submit(make_input(500 + static_cast<std::uint64_t>(i))));
+  }
+  server.start();
+  server.drain();
+  server.stop();
+
+  DegradationRun out;
+  for (auto& f : futures) {
+    out.predicted.push_back(f.get().predicted);  // accepted => answered, no throws
+  }
+  out.stats = server.stats();
+  return out;
+}
+
+TEST(ServeHealthServer, DeterministicDegradationQuarantineRepairLoop) {
+  constexpr int kRequests = 40;
+  const DegradationRun a = run_degradation_once(kRequests);
+  const DegradationRun b = run_degradation_once(kRequests);
+
+  // The lifecycle actually happened: the replica aged, canaries caught the
+  // degradation, it was quarantined and repaired — at least once — and every
+  // accepted request was still answered with a result.
+  EXPECT_EQ(a.stats.served, kRequests);
+  EXPECT_EQ(a.stats.failed, 0);
+  EXPECT_GT(a.stats.aged_cells, 0);
+  EXPECT_EQ(a.stats.canary_batches, kRequests);
+  EXPECT_GT(a.stats.canary_failures, 0);
+  EXPECT_GE(a.stats.quarantines, 1);
+  EXPECT_GE(a.stats.repairs, 1);
+  ASSERT_EQ(a.stats.per_replica_repairs.size(), std::size_t{1});
+  EXPECT_EQ(static_cast<std::int64_t>(a.stats.per_replica_repairs[0]), a.stats.repairs);
+
+  // Bit-identical across runs: predictions, every counter, the latency
+  // histogram, and the rendered summary/health lines.
+  EXPECT_EQ(a.predicted, b.predicted);
+  EXPECT_EQ(a.stats.aged_cells, b.stats.aged_cells);
+  EXPECT_EQ(a.stats.canary_failures, b.stats.canary_failures);
+  EXPECT_EQ(a.stats.quarantines, b.stats.quarantines);
+  EXPECT_EQ(a.stats.repairs, b.stats.repairs);
+  EXPECT_EQ(a.stats.batches, b.stats.batches);
+  EXPECT_EQ(a.stats.per_replica_health, b.stats.per_replica_health);
+  EXPECT_EQ(a.stats.latency.bin_counts(), b.stats.latency.bin_counts());
+  EXPECT_EQ(a.stats.summary_line(), b.stats.summary_line());
+  EXPECT_EQ(a.stats.health_line(), b.stats.health_line());
+}
+
+// --- ServeError taxonomy -----------------------------------------------------
+
+TEST(ServeHealthError, KindsRoundTripThroughToString) {
+  EXPECT_STREQ(to_string(ServeError::kQueueFull), "queue_full");
+  EXPECT_STREQ(to_string(ServeError::kStopped), "stopped");
+  EXPECT_STREQ(to_string(ServeError::kDeadlineShed), "deadline_shed");
+  EXPECT_STREQ(to_string(ServeError::kDeadlineExceeded), "deadline_exceeded");
+  EXPECT_STREQ(to_string(ServeError::kExhausted), "exhausted");
+  const ServeError err(ServeError::kExhausted, "budget spent");
+  EXPECT_EQ(err.kind(), ServeError::kExhausted);
+  EXPECT_STREQ(err.what(), "budget spent");
+  // is-a runtime_error: legacy catch sites keep working.
+  EXPECT_THROW(throw ServeError(ServeError::kStopped, "x"), std::runtime_error);
+}
+
+TEST(ServeHealthStats, SummaryAndHealthLinesRenderBreakdown) {
+  ServerStats s;
+  s.submitted = 10;
+  s.rejected_queue_full = 1;
+  s.rejected_stopped = 2;
+  s.rejected_shed = 3;
+  s.served = 4;
+  s.per_replica_health = {0.5};
+  s.per_replica_state = {ReplicaHealth::kSuspect};
+  s.per_replica_repairs = {2};
+  s.quarantines = 1;
+  s.repairs = 2;
+  EXPECT_EQ(s.rejected(), 6);
+  const std::string line = s.summary_line();
+  EXPECT_NE(line.find("rejected 6=full:1+stop:2+shed:3"), std::string::npos) << line;
+  const std::string health = s.health_line();
+  EXPECT_NE(health.find("suspect:0.50"), std::string::npos) << health;
+  EXPECT_NE(health.find("quarantines 1 repairs 2"), std::string::npos) << health;
+}
+
+}  // namespace
+}  // namespace ftpim::serve

@@ -171,10 +171,23 @@ TEST(ServeServer, DeterministicSingleWorkerBitIdenticalRuns) {
   // Stats: counters and the full latency histogram agree exactly.
   EXPECT_EQ(a.stats.submitted, kRequests);
   EXPECT_EQ(a.stats.served, kRequests);
-  EXPECT_EQ(a.stats.rejected, 0);
+  EXPECT_EQ(a.stats.rejected(), 0);
   EXPECT_EQ(a.stats.failed, 0);
   EXPECT_EQ(a.stats.batches, 3);
   EXPECT_EQ(a.stats.in_flight, 0);
+  // Robustness counters all stay zero on a healthy, deadline-free run — and
+  // stay bit-identical across runs like everything else.
+  EXPECT_EQ(a.stats.retried, 0);
+  EXPECT_EQ(a.stats.expired, 0);
+  EXPECT_EQ(a.stats.poisoned, 0);
+  EXPECT_EQ(a.stats.canary_batches, 0);
+  EXPECT_EQ(a.stats.quarantines, 0);
+  EXPECT_EQ(a.stats.repairs, 0);
+  EXPECT_EQ(a.stats.aged_cells, 0);
+  EXPECT_EQ(a.stats.retried, b.stats.retried);
+  EXPECT_EQ(a.stats.per_replica_health, b.stats.per_replica_health);
+  EXPECT_EQ(a.stats.summary_line(), b.stats.summary_line());
+  EXPECT_EQ(a.stats.health_line(), b.stats.health_line());
   EXPECT_EQ(a.stats.batches, b.stats.batches);
   EXPECT_EQ(a.stats.per_replica_served, b.stats.per_replica_served);
   EXPECT_EQ(a.stats.latency.count(), b.stats.latency.count());
@@ -255,7 +268,7 @@ TEST(ServeServer, StressMultiClientMultiWorkerDrainLosesNothing) {
   const ServerStats stats = server.stats();
   EXPECT_EQ(stats.submitted, kTotal);
   EXPECT_EQ(stats.served, kTotal);
-  EXPECT_EQ(stats.rejected, 0);
+  EXPECT_EQ(stats.rejected(), 0);
   EXPECT_EQ(stats.failed, 0);
   EXPECT_EQ(stats.in_flight, 0);
   EXPECT_EQ(stats.queue_depth, std::size_t{0});
@@ -295,7 +308,10 @@ TEST(ServeServer, RejectPolicyFailsFastWhenFull) {
   EXPECT_EQ(rejected, 3);
   const ServerStats stats = server.stats();
   EXPECT_EQ(stats.submitted, 2);
-  EXPECT_EQ(stats.rejected, 3);
+  EXPECT_EQ(stats.rejected(), 3);
+  EXPECT_EQ(stats.rejected_queue_full, 3);  // every rejection was a full queue
+  EXPECT_EQ(stats.rejected_stopped, 0);
+  EXPECT_EQ(stats.rejected_shed, 0);
   EXPECT_EQ(stats.served, 2);
   EXPECT_EQ(stats.in_flight, 0);
 }
@@ -330,7 +346,9 @@ TEST(ServeServer, StopWithoutStartAnswersQueuedRequests) {
   std::future<InferenceResult> late = server.submit(make_input(99));
   EXPECT_THROW((void)late.get(), std::runtime_error);
   const ServerStats stats = server.stats();
-  EXPECT_EQ(stats.rejected, 4);
+  EXPECT_EQ(stats.rejected(), 4);
+  EXPECT_EQ(stats.rejected_stopped, 4);  // all four died to shutdown, not overflow
+  EXPECT_EQ(stats.rejected_queue_full, 0);
   EXPECT_EQ(stats.in_flight, 0);
 }
 

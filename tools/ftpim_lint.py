@@ -20,6 +20,10 @@ statistics reproducible (see DESIGN.md "Invariants & determinism rules"):
   assert-in-header      raw assert()/<cassert> is banned in headers — use
                         FTPIM_CHECK* / FTPIM_DCHECK* (src/common/check.hpp),
                         which throw a typed, testable ContractViolation.
+  serve-wall-clock      std::chrono::*_clock::now() is banned in src/serve/
+                        outside clock.hpp — serving code reads time through
+                        the injectable ServeClock so deadline/linger tests
+                        can drive a ManualServeClock deterministically.
 
 Usage:
   ftpim_lint.py --root <repo>      lint the tree (exit 1 on any finding)
@@ -116,6 +120,17 @@ RULES = [
         "src/common/check.hpp (typed, testable, Release-aware)",
         applies=lambda rel: in_src(rel) and is_header(rel),
     ),
+    Rule(
+        name="serve-wall-clock",
+        pattern=re.compile(
+            r"\bstd::chrono::(?:steady_clock|system_clock|high_resolution_clock)::now\s*\("
+        ),
+        message="direct wall-clock read in the serving layer; go through the "
+        "injectable ServeClock (src/serve/clock.hpp) so deadline and linger "
+        "behavior stays testable with ManualServeClock",
+        applies=lambda rel: rel.startswith("src/serve/"),
+        allowed=lambda rel: rel == "src/serve/clock.hpp",
+    ),
 ]
 
 PRAGMA_ONCE_RULE = "pragma-once"
@@ -174,6 +189,7 @@ def self_test(fixture_root: str) -> int:
         "src/bad/determinism_violations.cpp": {"rng-source", "raw-stdout"},
         "src/bad/bad_contract.hpp": {"assert-in-header", PRAGMA_ONCE_RULE},
         "src/common/serialize.cpp": {"unordered-output"},
+        "src/serve/bad_wall_clock.cpp": {"serve-wall-clock"},
     }
     good = "src/good/clean_module.hpp"
 

@@ -1,0 +1,13 @@
+// Known-bad fixture for the serve-wall-clock rule: serving code must read
+// time through the injectable ServeClock, never the chrono clocks directly.
+#include <chrono>
+
+namespace ftpim::serve {
+
+long long bad_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace ftpim::serve
