@@ -1,16 +1,21 @@
 // Quickstart: train a small CNN, watch it break under stuck-at faults, then
-// fix it with one-shot stochastic fault-tolerant training.
+// fix it with one-shot stochastic fault-tolerant training — checkpointed, so
+// a kill at any point resumes instead of restarting.
 //
 //   $ ./quickstart
 //
 // Walks the full public API surface: dataset -> model -> Trainer ->
-// evaluate_under_defects -> FaultTolerantTrainer -> StabilityScore.
+// evaluate_under_defects -> FaultTolerantTrainer (+ crash-safe checkpoints
+// and exact resume) -> StabilityScore.
 #include <cstdio>
+#include <filesystem>
 
 #include "src/common/config.hpp"
+#include "src/common/serialize.hpp"
 #include "src/core/evaluator.hpp"
 #include "src/core/ft_trainer.hpp"
 #include "src/core/stability.hpp"
+#include "src/core/train_checkpoint.hpp"
 #include "src/core/trainer.hpp"
 #include "src/data/synthetic.hpp"
 #include "src/models/small_cnn.hpp"
@@ -44,13 +49,40 @@ int main() {
   std::printf("accuracy on devices with P_sa=%.3f: %.2f%% (+/- %.2f)\n", p_sa,
               broken.mean_acc * 100.0, broken.std_acc * 100.0);
 
-  // 4. One-shot stochastic fault-tolerant retraining at the target rate.
+  // 4. One-shot stochastic fault-tolerant retraining at the target rate,
+  // checkpointed every epoch. Kill the process at any instant and rerun:
+  // resume() continues from the newest checkpoint and lands on the exact
+  // same weights the uninterrupted run would have produced.
+  const std::string ckpt_dir =
+      (std::filesystem::temp_directory_path() / "ftpim_quickstart_ckpt").string();
   FtTrainConfig ft;
   ft.base = tc;
   ft.base.verbose = false;
   ft.scheme = FtScheme::kOneShot;
   ft.target_p_sa = p_sa;
-  FaultTolerantTrainer(*model, *train, ft).run();
+  ft.checkpoint.dir = ckpt_dir;
+  ft.checkpoint.every_epochs = 1;
+  ft.checkpoint.keep_last = 2;
+  FaultTolerantTrainer ft_trainer(*model, *train, ft);
+  if (const std::string resume_from = latest_checkpoint(ckpt_dir); !resume_from.empty()) {
+    std::printf("resuming FT training from %s\n", resume_from.c_str());
+    ft_trainer.resume(resume_from);
+  } else {
+    ft_trainer.run();
+  }
+
+  // The final checkpoint doubles as the deployable artifact: reload it into
+  // a fresh model and verify the weights round-tripped bit-exactly.
+  auto reloaded = make_small_cnn(SmallCnnConfig{.image_size = 16, .width = 8, .classes = 10});
+  const TrainingCheckpoint final_ckpt = load_training_checkpoint(latest_checkpoint(ckpt_dir));
+  load_state_dict_into(*reloaded, final_ckpt.model);
+  if (encode_state_dict(state_dict_of(*reloaded)) !=
+      encode_state_dict(state_dict_of(*model))) {
+    std::printf("checkpoint reload mismatch!\n");
+    return 1;
+  }
+  std::printf("checkpoint round-trip verified: reloaded weights are bit-identical\n");
+  std::filesystem::remove_all(ckpt_dir);  // keep reruns starting fresh
 
   const double acc_retrain = evaluate_accuracy(*model, *test);
   const DefectEvalResult hardened = evaluate_under_defects(*model, *test, p_sa, eval_cfg);

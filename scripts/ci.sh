@@ -6,6 +6,10 @@
 #   address    ASan/LSan, full suite
 #   undefined  UBSan (non-recovering), full suite
 #   thread     TSan, concurrency-sensitive subset with FTPIM_THREADS=4
+#   crash      debug-tier contracts ON, checkpoint/resume subset: the seeded
+#              crash-injection sweep (every truncation offset and bit flip of
+#              a checkpoint must be rejected with a typed CheckpointError)
+#              plus kill/resume bit-equivalence at 1 and 4 threads
 #
 # Usage:
 #   scripts/ci.sh             # run the whole matrix
@@ -24,6 +28,12 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 # worker threads, and the contract layer they all guard. Kept as a regex so
 # newly added tests matching these names are picked up automatically.
 THREAD_SUBSET='Parallel|Clone|Defect|Session|Eval|Check|Logging|Serve|Aging'
+
+# Crash-safety subset: the container/CRC primitives, the seeded corruption
+# sweep (CheckpointCrashInjection: truncation at every framing boundary plus
+# deterministic bit flips, all of which must surface as typed CheckpointError),
+# the Python inspector agreement tests, and kill/resume equivalence.
+CRASH_SUBSET='Crc32c|AtomicFile|Checkpoint|ByteCodec|ReramCodec|CkptTool|FtResume|Serialize'
 
 run_config() {
   local name="$1" cmake_args="$2" ctest_args="$3"
@@ -44,15 +54,17 @@ declare -A CMAKE_ARGS=(
   [address]="-DFTPIM_SANITIZE=address"
   [undefined]="-DFTPIM_SANITIZE=undefined"
   [thread]="-DFTPIM_SANITIZE=thread"
+  [crash]="-DFTPIM_WERROR=ON -DFTPIM_DCHECKS=ON"
 )
 declare -A CTEST_ARGS=(
   [default]=""
   [address]="-E ^lint"
   [undefined]="-E ^lint"
   [thread]="-R ${THREAD_SUBSET}"
+  [crash]="-R ${CRASH_SUBSET}"
 )
 
-ORDER=(default address undefined thread)
+ORDER=(default address undefined thread crash)
 if [[ $# -gt 0 ]]; then
   ORDER=("$@")
 fi

@@ -1,0 +1,81 @@
+#include "src/common/atomic_file.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <unistd.h>
+
+#include "src/common/checkpoint_error.hpp"
+
+namespace ftpim {
+namespace {
+
+[[noreturn]] void throw_io(const std::string& detail) {
+  throw CheckpointError(CheckpointErrorKind::kIo, "",
+                        detail + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+AtomicFileWriter::AtomicFileWriter(std::string path)
+    : path_(std::move(path)), temp_path_(path_ + ".tmp") {
+  file_ = std::fopen(temp_path_.c_str(), "wb");
+  if (file_ == nullptr) throw_io("AtomicFileWriter: cannot open " + temp_path_);
+}
+
+AtomicFileWriter::~AtomicFileWriter() {
+  if (!committed_) discard();
+}
+
+void AtomicFileWriter::discard() noexcept {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  std::remove(temp_path_.c_str());
+}
+
+void AtomicFileWriter::write(const void* data, std::size_t size) {
+  if (file_ == nullptr) {
+    throw CheckpointError(CheckpointErrorKind::kIo, "",
+                          "AtomicFileWriter: write after commit on " + path_);
+  }
+  if (std::fwrite(data, 1, size, file_) != size) {
+    const int saved = errno;
+    discard();
+    errno = saved;
+    throw_io("AtomicFileWriter: short write to " + temp_path_);
+  }
+}
+
+void AtomicFileWriter::commit() {
+  if (file_ == nullptr) {
+    throw CheckpointError(CheckpointErrorKind::kIo, "",
+                          "AtomicFileWriter: double commit on " + path_);
+  }
+  if (std::fflush(file_) != 0) {
+    discard();
+    throw_io("AtomicFileWriter: flush failed for " + temp_path_);
+  }
+  // fsync before rename: the rename must not become durable before the data.
+  if (::fsync(::fileno(file_)) != 0) {
+    discard();
+    throw_io("AtomicFileWriter: fsync failed for " + temp_path_);
+  }
+  if (std::fclose(file_) != 0) {
+    file_ = nullptr;
+    std::remove(temp_path_.c_str());
+    throw_io("AtomicFileWriter: close failed for " + temp_path_);
+  }
+  file_ = nullptr;
+  if (std::rename(temp_path_.c_str(), path_.c_str()) != 0) {
+    const int saved = errno;
+    std::remove(temp_path_.c_str());
+    errno = saved;
+    throw_io("AtomicFileWriter: rename to " + path_ + " failed");
+  }
+  committed_ = true;
+}
+
+}  // namespace ftpim

@@ -1,0 +1,61 @@
+// Torn-write-safe file creation: write to a temp sibling, fsync, rename.
+//
+// POSIX rename(2) within one directory is atomic: readers either see the old
+// file or the complete new one, never a partial write. Every durable artifact
+// in ftpim (state dicts, training checkpoints) goes through this class — the
+// determinism linter's `raw-file-write` rule bans std::ofstream / fopen-for-
+// write everywhere else in src/ (the log sink excepted), so a crash or kill
+// at any instant cannot leave a torn checkpoint under the final name.
+//
+// Usage:
+//   AtomicFileWriter w(path);
+//   w.write(bytes, size);          // any number of times
+//   w.commit();                    // flush + fsync + rename; throws on error
+// Destruction without commit() removes the temp file (abort semantics).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace ftpim {
+
+class AtomicFileWriter {
+ public:
+  /// Opens `<path>.tmp` for writing; throws CheckpointError (kind kIo) when
+  /// the temp file cannot be created.
+  explicit AtomicFileWriter(std::string path);
+
+  /// Removes the temp file when commit() was never reached.
+  ~AtomicFileWriter();
+
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  /// Appends `size` bytes; throws CheckpointError (kIo) on a short write.
+  void write(const void* data, std::size_t size);
+  void write(const std::vector<std::uint8_t>& bytes) {
+    if (!bytes.empty()) write(bytes.data(), bytes.size());
+  }
+
+  /// Flushes, fsyncs, closes, and atomically renames the temp file onto the
+  /// final path. Throws CheckpointError (kIo) on any failure (the temp file
+  /// is removed); at most one commit per writer.
+  void commit();
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  [[nodiscard]] const std::string& temp_path() const noexcept { return temp_path_; }
+  [[nodiscard]] bool committed() const noexcept { return committed_; }
+
+ private:
+  void discard() noexcept;  ///< close + unlink the temp file
+
+  std::string path_;
+  std::string temp_path_;
+  std::FILE* file_ = nullptr;
+  bool committed_ = false;
+};
+
+}  // namespace ftpim

@@ -1,0 +1,298 @@
+#include "src/common/checkpoint.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "src/common/atomic_file.hpp"
+#include "src/common/check.hpp"
+#include "src/common/crc32c.hpp"
+
+namespace ftpim {
+namespace {
+
+constexpr char kMagic[4] = {'F', 'T', 'C', 'K'};
+constexpr char kSentinelTag[5] = "FEND";
+
+std::uint32_t le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) | (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t le64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+void push_le32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void push_le64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+}  // namespace
+
+const char* to_string(CheckpointErrorKind kind) noexcept {
+  switch (kind) {
+    case CheckpointErrorKind::kMissing: return "missing";
+    case CheckpointErrorKind::kBadMagic: return "bad-magic";
+    case CheckpointErrorKind::kVersionSkew: return "version-skew";
+    case CheckpointErrorKind::kTruncated: return "truncated";
+    case CheckpointErrorKind::kChecksumMismatch: return "checksum-mismatch";
+    case CheckpointErrorKind::kMissingChunk: return "missing-chunk";
+    case CheckpointErrorKind::kFormat: return "format";
+    case CheckpointErrorKind::kStateMismatch: return "state-mismatch";
+    case CheckpointErrorKind::kIo: return "io";
+  }
+  return "unknown";
+}
+
+CheckpointError::CheckpointError(CheckpointErrorKind kind, std::string chunk,
+                                 const std::string& detail)
+    : std::runtime_error(std::string("checkpoint [") + to_string(kind) + "]" +
+                         (chunk.empty() ? "" : " chunk '" + chunk + "'") + ": " + detail),
+      kind_(kind),
+      chunk_(std::move(chunk)) {}
+
+// --- ByteWriter / ByteReader -------------------------------------------------
+
+void ByteWriter::f32(float v) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  u32(bits);
+}
+
+void ByteWriter::f64(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void ByteWriter::str(const std::string& s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  raw(s.data(), s.size());
+}
+
+void ByteWriter::raw(const void* data, std::size_t size) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  bytes_.insert(bytes_.end(), p, p + size);
+}
+
+float ByteReader::f32() {
+  const std::uint32_t bits = u32();
+  float v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+double ByteReader::f64() {
+  const std::uint64_t bits = u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string ByteReader::str() {
+  const std::uint32_t len = u32();
+  const std::uint8_t* p = take_bytes(len);
+  return std::string(reinterpret_cast<const char*>(p), len);
+}
+
+const std::uint8_t* ByteReader::take_bytes(std::size_t size) {
+  if (size > size_ - pos_) {
+    throw CheckpointError(CheckpointErrorKind::kTruncated, context_,
+                          "payload ends after " + std::to_string(size_) + " bytes, need " +
+                              std::to_string(pos_) + "+" + std::to_string(size));
+  }
+  const std::uint8_t* p = data_ + pos_;
+  pos_ += size;
+  return p;
+}
+
+void ByteReader::expect_done() const {
+  if (!done()) {
+    throw CheckpointError(CheckpointErrorKind::kFormat, context_,
+                          std::to_string(remaining()) + " unexpected trailing payload byte(s)");
+  }
+}
+
+// --- CheckpointWriter --------------------------------------------------------
+
+void CheckpointWriter::add_chunk(const std::string& tag, std::vector<std::uint8_t> payload) {
+  FTPIM_CHECK_EQ(tag.size(), std::size_t{4}, "checkpoint chunk tag must be 4 chars");
+  FTPIM_CHECK(tag != kSentinelTag, "checkpoint chunk tag FEND is reserved");
+  for (const CheckpointChunk& c : chunks_) {
+    FTPIM_CHECK(c.tag != tag, "duplicate checkpoint chunk tag '%s'", tag.c_str());
+  }
+  chunks_.push_back(CheckpointChunk{tag, std::move(payload)});
+}
+
+std::vector<std::uint8_t> CheckpointWriter::serialize() const {
+  std::vector<std::uint8_t> out;
+  std::size_t total = 8 + 16;  // header + empty sentinel frame
+  for (const CheckpointChunk& c : chunks_) total += 16 + c.payload.size();
+  out.reserve(total);
+  // Byte-wise appends (not char-range inserts): GCC 12's -Wstringop-overflow
+  // misfires on const char* range-inserts into a byte vector.
+  for (const char c : kMagic) out.push_back(static_cast<std::uint8_t>(c));
+  push_le32(out, kCheckpointFormatVersion);
+  auto frame = [&out](const std::string& tag, const std::vector<std::uint8_t>& payload) {
+    for (const char c : tag) out.push_back(static_cast<std::uint8_t>(c));
+    push_le64(out, payload.size());
+    out.insert(out.end(), payload.begin(), payload.end());
+    // The CRC covers tag + payload (as in PNG): a bit flip that renames a
+    // chunk — which would otherwise parse as a valid unknown chunk and
+    // silently drop state — fails the checksum instead.
+    std::uint32_t crc = crc32c_update(crc32c_init(), tag.data(), tag.size());
+    crc = crc32c_update(crc, payload.data(), payload.size());
+    push_le32(out, crc32c_finish(crc));
+  };
+  for (const CheckpointChunk& c : chunks_) frame(c.tag, c.payload);
+  frame(kSentinelTag, {});
+  return out;
+}
+
+void CheckpointWriter::write(const std::string& path) const {
+  const std::vector<std::uint8_t> image = serialize();
+  AtomicFileWriter file(path);
+  file.write(image);
+  file.commit();
+}
+
+// --- CheckpointReader --------------------------------------------------------
+
+namespace {
+struct FileCloser {
+  void operator()(std::FILE* f) const noexcept {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+}  // namespace
+
+CheckpointReader::CheckpointReader(const std::string& path) {
+  std::unique_ptr<std::FILE, FileCloser> f(std::fopen(path.c_str(), "rb"));
+  if (!f) {
+    throw CheckpointError(CheckpointErrorKind::kMissing, "", "cannot open " + path);
+  }
+  std::vector<std::uint8_t> image;
+  std::uint8_t buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f.get())) > 0) {
+    image.insert(image.end(), buf, buf + n);
+  }
+  if (std::ferror(f.get()) != 0) {
+    throw CheckpointError(CheckpointErrorKind::kIo, "", "read error on " + path);
+  }
+  parse(image, path);
+}
+
+CheckpointReader::CheckpointReader(const std::vector<std::uint8_t>& image,
+                                   const std::string& origin) {
+  parse(image, origin);
+}
+
+void CheckpointReader::parse(const std::vector<std::uint8_t>& image, const std::string& origin) {
+  if (image.size() < 8) {
+    throw CheckpointError(CheckpointErrorKind::kTruncated, "",
+                          origin + " is only " + std::to_string(image.size()) +
+                              " byte(s), shorter than the header");
+  }
+  if (std::memcmp(image.data(), kMagic, 4) != 0) {
+    throw CheckpointError(CheckpointErrorKind::kBadMagic, "",
+                          origin + " does not start with FTCK");
+  }
+  version_ = le32(image.data() + 4);
+  if (version_ > kCheckpointFormatVersion) {
+    throw CheckpointError(CheckpointErrorKind::kVersionSkew, "",
+                          origin + " has format version " + std::to_string(version_) +
+                              ", this reader understands <= " +
+                              std::to_string(kCheckpointFormatVersion));
+  }
+  if (version_ == 0) {
+    throw CheckpointError(CheckpointErrorKind::kFormat, "",
+                          origin + " has format version 0");
+  }
+
+  std::size_t pos = 8;
+  bool saw_sentinel = false;
+  while (!saw_sentinel) {
+    if (image.size() - pos < 12) {
+      throw CheckpointError(CheckpointErrorKind::kTruncated, "",
+                            origin + " ends mid-chunk-header at byte " + std::to_string(pos));
+    }
+    std::string tag(reinterpret_cast<const char*>(image.data() + pos), 4);
+    for (const char c : tag) {
+      if (c < 0x20 || c > 0x7e) {
+        throw CheckpointError(CheckpointErrorKind::kFormat, "",
+                              origin + " has a non-printable chunk tag at byte " +
+                                  std::to_string(pos));
+      }
+    }
+    const std::uint64_t len = le64(image.data() + pos + 4);
+    pos += 12;
+    if (len > image.size() - pos) {
+      throw CheckpointError(CheckpointErrorKind::kTruncated, tag,
+                            origin + " declares a " + std::to_string(len) +
+                                "-byte payload but only " +
+                                std::to_string(image.size() - pos) + " byte(s) remain");
+    }
+    const std::uint8_t* payload = image.data() + pos;
+    pos += static_cast<std::size_t>(len);
+    if (image.size() - pos < 4) {
+      throw CheckpointError(CheckpointErrorKind::kTruncated, tag,
+                            origin + " ends before the chunk checksum");
+    }
+    const std::uint32_t stored = le32(image.data() + pos);
+    pos += 4;
+    std::uint32_t crc = crc32c_update(crc32c_init(), tag.data(), tag.size());
+    crc = crc32c_update(crc, payload, static_cast<std::size_t>(len));
+    const std::uint32_t actual = crc32c_finish(crc);
+    if (stored != actual) {
+      throw CheckpointError(CheckpointErrorKind::kChecksumMismatch, tag,
+                            origin + " chunk CRC32C " + std::to_string(actual) +
+                                " != stored " + std::to_string(stored));
+    }
+    if (tag == kSentinelTag) {
+      if (len != 0) {
+        throw CheckpointError(CheckpointErrorKind::kFormat, tag,
+                              origin + " end sentinel carries a payload");
+      }
+      saw_sentinel = true;
+    } else {
+      if (has_chunk(tag)) {
+        throw CheckpointError(CheckpointErrorKind::kFormat, tag,
+                              origin + " contains the chunk twice");
+      }
+      chunks_.push_back(CheckpointChunk{tag, {payload, payload + len}});
+    }
+  }
+  if (pos != image.size()) {
+    throw CheckpointError(CheckpointErrorKind::kFormat, "",
+                          origin + " has " + std::to_string(image.size() - pos) +
+                              " trailing byte(s) after the end sentinel");
+  }
+}
+
+bool CheckpointReader::has_chunk(const std::string& tag) const noexcept {
+  for (const CheckpointChunk& c : chunks_) {
+    if (c.tag == tag) return true;
+  }
+  return false;
+}
+
+const std::vector<std::uint8_t>& CheckpointReader::chunk(const std::string& tag) const {
+  for (const CheckpointChunk& c : chunks_) {
+    if (c.tag == tag) return c.payload;
+  }
+  throw CheckpointError(CheckpointErrorKind::kMissingChunk, tag, "required chunk not present");
+}
+
+ByteReader CheckpointReader::reader(const std::string& tag) const {
+  const std::vector<std::uint8_t>& payload = chunk(tag);
+  return ByteReader(payload.data(), payload.size(), tag);
+}
+
+}  // namespace ftpim

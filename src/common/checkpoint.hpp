@@ -1,0 +1,160 @@
+// CRC32C-framed chunked checkpoint container (DESIGN.md §10).
+//
+// File layout (little-endian):
+//   u32 magic "FTCK" | u32 format_version |
+//   chunk*: u32 tag | u64 payload_len | payload bytes | u32 crc32c(tag+payload)
+//   sentinel: tag "FEND" | u64 0 | u32 crc32c("FEND")
+//
+// Properties the framing buys:
+//   * torn/truncated files are detected structurally (missing sentinel or a
+//     short chunk) before any payload is trusted;
+//   * a bit flip anywhere in a tag or payload fails that chunk's CRC32C
+//     (the CRC covers tag + payload, as in PNG, so a flipped tag cannot
+//     masquerade as a valid unknown chunk), naming the chunk; flips in the
+//     header fail magic/version checks; flips in framing fields surface as
+//     truncation/format errors — every corruption mode maps to a typed
+//     CheckpointError, never a crash or a silent garbage load
+//     (tests/checkpoint_test.cpp sweeps them);
+//   * unknown chunk tags are skipped after CRC validation, so older readers
+//     tolerate additive extensions (removing or reinterpreting a chunk bumps
+//     kFormatVersion, which readers reject as kVersionSkew).
+//
+// Writing always goes through AtomicFileWriter, so a crash mid-save never
+// replaces the previous good checkpoint with a partial one.
+//
+// ByteWriter/ByteReader are the bounds-checked scalar codecs used for chunk
+// payloads here and by the reram/optim/core state-capture layers; the Python
+// inspector (tools/ftpim_ckpt.py) mirrors both the framing and the codecs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/checkpoint_error.hpp"
+
+namespace ftpim {
+
+/// Current container format version. Readers reject anything newer.
+inline constexpr std::uint32_t kCheckpointFormatVersion = 1;
+
+// --- scalar byte codecs ------------------------------------------------------
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(v); }
+  void u32(std::uint32_t v) { append_le(v); }
+  void u64(std::uint64_t v) { append_le(v); }
+  void i64(std::int64_t v) { append_le(static_cast<std::uint64_t>(v)); }
+  void f32(float v);
+  void f64(double v);
+  /// Length-prefixed (u32) byte string.
+  void str(const std::string& s);
+  void raw(const void* data, std::size_t size);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept { return bytes_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() noexcept { return std::move(bytes_); }
+
+ private:
+  template <typename T>
+  void append_le(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Reads back what ByteWriter wrote. Out-of-bounds reads throw
+/// CheckpointError(kTruncated) carrying `context` (typically the chunk tag).
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t size, std::string context)
+      : data_(data), size_(size), context_(std::move(context)) {}
+  ByteReader(const std::vector<std::uint8_t>& bytes, std::string context)
+      : ByteReader(bytes.data(), bytes.size(), std::move(context)) {}
+
+  [[nodiscard]] std::uint8_t u8() { return take_bytes(1)[0]; }
+  [[nodiscard]] std::uint32_t u32() { return read_le<std::uint32_t>(); }
+  [[nodiscard]] std::uint64_t u64() { return read_le<std::uint64_t>(); }
+  [[nodiscard]] std::int64_t i64() { return static_cast<std::int64_t>(read_le<std::uint64_t>()); }
+  [[nodiscard]] float f32();
+  [[nodiscard]] double f64();
+  [[nodiscard]] std::string str();
+  /// Borrow `size` raw bytes (valid while the underlying buffer lives).
+  [[nodiscard]] const std::uint8_t* take_bytes(std::size_t size);
+
+  [[nodiscard]] std::size_t remaining() const noexcept { return size_ - pos_; }
+  [[nodiscard]] bool done() const noexcept { return pos_ == size_; }
+  /// Throws CheckpointError(kFormat) unless the payload was fully consumed.
+  void expect_done() const;
+
+ private:
+  template <typename T>
+  T read_le() {
+    const std::uint8_t* p = take_bytes(sizeof(T));
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) v |= static_cast<T>(p[i]) << (8 * i);
+    return v;
+  }
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  std::string context_;
+};
+
+// --- chunked container -------------------------------------------------------
+
+struct CheckpointChunk {
+  std::string tag;  ///< exactly 4 printable characters
+  std::vector<std::uint8_t> payload;
+};
+
+/// Accumulates chunks and writes the framed file atomically.
+class CheckpointWriter {
+ public:
+  /// Tags must be unique, 4 chars. Payload is moved in.
+  void add_chunk(const std::string& tag, std::vector<std::uint8_t> payload);
+
+  /// Frames all chunks (in insertion order) + sentinel and writes the file
+  /// through AtomicFileWriter. Throws CheckpointError(kIo) on IO failure.
+  void write(const std::string& path) const;
+
+  /// In-memory image of the file (exposed for format tests).
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+
+ private:
+  std::vector<CheckpointChunk> chunks_;
+};
+
+/// Fully validates a checkpoint file on open: magic, version, every chunk's
+/// framing and CRC32C, and the end sentinel. After construction, chunk
+/// payloads are trustworthy bytes.
+class CheckpointReader {
+ public:
+  /// Throws CheckpointError (kMissing/kBadMagic/kVersionSkew/kTruncated/
+  /// kChecksumMismatch/kFormat) on any defect.
+  explicit CheckpointReader(const std::string& path);
+
+  /// Parses an in-memory image (same validation; `origin` names the source
+  /// in error messages).
+  CheckpointReader(const std::vector<std::uint8_t>& image, const std::string& origin);
+
+  [[nodiscard]] std::uint32_t version() const noexcept { return version_; }
+  [[nodiscard]] const std::vector<CheckpointChunk>& chunks() const noexcept { return chunks_; }
+  [[nodiscard]] bool has_chunk(const std::string& tag) const noexcept;
+
+  /// Payload of chunk `tag`; throws CheckpointError(kMissingChunk) when absent.
+  [[nodiscard]] const std::vector<std::uint8_t>& chunk(const std::string& tag) const;
+
+  /// ByteReader over chunk `tag` (context pre-set to the tag).
+  [[nodiscard]] ByteReader reader(const std::string& tag) const;
+
+ private:
+  void parse(const std::vector<std::uint8_t>& image, const std::string& origin);
+
+  std::uint32_t version_ = 0;
+  std::vector<CheckpointChunk> chunks_;
+};
+
+}  // namespace ftpim

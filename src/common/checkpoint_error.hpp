@@ -1,0 +1,47 @@
+// Typed failure surface of the durable-checkpoint subsystem.
+//
+// Every way a checkpoint can fail to load (or be written) maps to exactly one
+// CheckpointErrorKind, so callers — the trainer's resume path, the
+// crash-injection CI leg, tools/ftpim_ckpt.py's C++ agreement tests — can
+// assert on the failure mode instead of string-matching what(). A corrupted
+// file must NEVER surface as a crash or a silently garbage state dict: the
+// reader (src/common/checkpoint.hpp) validates framing and per-chunk CRC32C
+// before any payload is decoded.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ftpim {
+
+enum class CheckpointErrorKind {
+  kMissing,           ///< file does not exist / cannot be opened for reading
+  kBadMagic,          ///< leading magic is not "FTCK" (not a checkpoint)
+  kVersionSkew,       ///< written by a newer format version than this reader
+  kTruncated,         ///< file ends mid-header, mid-chunk, or before the sentinel
+  kChecksumMismatch,  ///< a chunk's CRC32C does not match its payload
+  kMissingChunk,      ///< framing is valid but a required chunk is absent
+  kFormat,            ///< framing/payload is malformed (duplicate chunk, bad field...)
+  kStateMismatch,     ///< checkpoint is valid but incompatible with the resuming run
+  kIo,                ///< write-side failure (open/short write/fsync/rename)
+};
+
+/// Human-readable kind name ("truncated", "checksum-mismatch", ...).
+[[nodiscard]] const char* to_string(CheckpointErrorKind kind) noexcept;
+
+/// IS-A std::runtime_error; what() carries kind, failing chunk (when the
+/// error is chunk-scoped) and detail text.
+class CheckpointError : public std::runtime_error {
+ public:
+  CheckpointError(CheckpointErrorKind kind, std::string chunk, const std::string& detail);
+
+  [[nodiscard]] CheckpointErrorKind kind() const noexcept { return kind_; }
+  /// Four-character tag of the failing chunk, or "" for file-level errors.
+  [[nodiscard]] const std::string& chunk() const noexcept { return chunk_; }
+
+ private:
+  CheckpointErrorKind kind_;
+  std::string chunk_;
+};
+
+}  // namespace ftpim

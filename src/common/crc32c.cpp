@@ -1,0 +1,43 @@
+#include "src/common/crc32c.hpp"
+
+#include <array>
+
+namespace ftpim {
+namespace {
+
+// Reflected Castagnoli polynomial.
+constexpr std::uint32_t kPoly = 0x82F63B78u;
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t n = 0; n < 256; ++n) {
+    std::uint32_t c = n;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? (kPoly ^ (c >> 1)) : (c >> 1);
+    }
+    table[n] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32c_init() noexcept { return 0xFFFFFFFFu; }
+
+std::uint32_t crc32c_update(std::uint32_t crc, const void* data, std::size_t size) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = kTable[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+std::uint32_t crc32c_finish(std::uint32_t crc) noexcept { return crc ^ 0xFFFFFFFFu; }
+
+std::uint32_t crc32c(const void* data, std::size_t size) noexcept {
+  return crc32c_finish(crc32c_update(crc32c_init(), data, size));
+}
+
+}  // namespace ftpim

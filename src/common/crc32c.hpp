@@ -1,0 +1,27 @@
+// CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78) — the
+// checksum guarding every checkpoint chunk (src/common/checkpoint.hpp).
+//
+// Chosen over CRC32 (zlib polynomial) for its better error-detection
+// properties on short frames and because it is the checksum hardware
+// accelerates (SSE4.2 crc32, ARMv8 CRC) — this software table version keeps
+// the repo dependency-free while staying bit-compatible with accelerated
+// implementations and with tools/ftpim_ckpt.py's Python mirror.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ftpim {
+
+/// One-shot CRC32C of `size` bytes (the common case: one checkpoint chunk).
+[[nodiscard]] std::uint32_t crc32c(const void* data, std::size_t size) noexcept;
+
+/// Streaming form: feed `crc` from the previous call (start from
+/// crc32c_init()) and finalize with crc32c_finish(). crc32c() above is
+/// crc32c_finish(crc32c_update(crc32c_init(), data, size)).
+[[nodiscard]] std::uint32_t crc32c_init() noexcept;
+[[nodiscard]] std::uint32_t crc32c_update(std::uint32_t crc, const void* data,
+                                          std::size_t size) noexcept;
+[[nodiscard]] std::uint32_t crc32c_finish(std::uint32_t crc) noexcept;
+
+}  // namespace ftpim

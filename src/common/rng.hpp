@@ -33,6 +33,22 @@ namespace ftpim {
   return splitmix64(s);
 }
 
+/// Complete serializable state of an Rng: the four xoshiro256** words plus
+/// the Box-Muller cache. Capturing and restoring it resumes the stream
+/// bit-exactly — the checkpoint subsystem (DESIGN.md §10) persists the
+/// long-lived streams (e.g. the DataLoader's augmentation Rng) this way.
+struct RngState {
+  std::uint64_t words[4]{};
+  float cached = 0.0f;
+  bool has_cached = false;
+
+  friend bool operator==(const RngState& a, const RngState& b) noexcept {
+    return a.words[0] == b.words[0] && a.words[1] == b.words[1] && a.words[2] == b.words[2] &&
+           a.words[3] == b.words[3] && a.has_cached == b.has_cached &&
+           (!a.has_cached || a.cached == b.cached);
+  }
+};
+
 /// xoshiro256** — small, fast, high-quality PRNG (Blackman & Vigna).
 /// Satisfies the UniformRandomBitGenerator requirements.
 class Rng {
@@ -44,6 +60,23 @@ class Rng {
   void reseed(std::uint64_t seed) noexcept {
     std::uint64_t sm = seed;
     for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  /// Snapshot of the full generator state (see RngState).
+  [[nodiscard]] RngState state() const noexcept {
+    RngState s;
+    for (int i = 0; i < 4; ++i) s.words[i] = state_[i];
+    s.cached = cached_;
+    s.has_cached = has_cached_;
+    return s;
+  }
+
+  /// Restores a snapshot: the stream continues exactly where state() was
+  /// taken, including a pending Box-Muller second value.
+  void set_state(const RngState& s) noexcept {
+    for (int i = 0; i < 4; ++i) state_[i] = s.words[i];
+    cached_ = s.cached;
+    has_cached_ = s.has_cached;
   }
 
   static constexpr result_type min() noexcept { return 0; }

@@ -1,14 +1,24 @@
 #include "src/common/serialize.hpp"
 
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <stdexcept>
+
+#include "src/common/atomic_file.hpp"
+#include "src/common/checkpoint.hpp"
 
 namespace ftpim {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x4d505446;  // "FTPM" little-endian
 constexpr std::uint32_t kVersion = 1;
+
+// Tensor names/shapes are bounded in practice; a cap turns a corrupted length
+// field into a format error instead of a multi-GB allocation.
+constexpr std::uint64_t kMaxEntries = 1u << 24;
+constexpr std::uint32_t kMaxNameLen = 1u << 16;
+constexpr std::uint32_t kMaxRank = 16;
 
 struct FileCloser {
   void operator()(std::FILE* f) const noexcept {
@@ -17,73 +27,92 @@ struct FileCloser {
 };
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
-void write_bytes(std::FILE* f, const void* data, std::size_t size, const std::string& path) {
-  if (std::fwrite(data, 1, size, f) != size) {
-    throw std::runtime_error("serialize: short write to " + path);
-  }
-}
-
-void read_bytes(std::FILE* f, void* data, std::size_t size, const std::string& path) {
-  if (std::fread(data, 1, size, f) != size) {
-    throw std::runtime_error("serialize: short read from " + path);
-  }
-}
-
-template <typename T>
-void write_pod(std::FILE* f, T value, const std::string& path) {
-  write_bytes(f, &value, sizeof(T), path);
-}
-
-template <typename T>
-T read_pod(std::FILE* f, const std::string& path) {
-  T value{};
-  read_bytes(f, &value, sizeof(T), path);
-  return value;
-}
-
 }  // namespace
 
-void save_state_dict(const StateDict& state, const std::string& path) {
-  FilePtr f(std::fopen(path.c_str(), "wb"));
-  if (!f) throw std::runtime_error("serialize: cannot open " + path + " for writing");
-  write_pod<std::uint32_t>(f.get(), kMagic, path);
-  write_pod<std::uint32_t>(f.get(), kVersion, path);
-  write_pod<std::uint64_t>(f.get(), state.size(), path);
+void encode_state_dict(const StateDict& state, ByteWriter& out) {
+  out.u64(state.size());
   for (const auto& [name, tensor] : state) {
-    write_pod<std::uint32_t>(f.get(), static_cast<std::uint32_t>(name.size()), path);
-    write_bytes(f.get(), name.data(), name.size(), path);
-    write_pod<std::uint32_t>(f.get(), static_cast<std::uint32_t>(tensor.rank()), path);
-    for (const std::int64_t d : tensor.shape()) write_pod<std::int64_t>(f.get(), d, path);
-    write_bytes(f.get(), tensor.data(), static_cast<std::size_t>(tensor.numel()) * sizeof(float),
-                path);
+    out.str(name);
+    out.u32(static_cast<std::uint32_t>(tensor.rank()));
+    for (const std::int64_t d : tensor.shape()) out.i64(d);
+    out.raw(tensor.data(), static_cast<std::size_t>(tensor.numel()) * sizeof(float));
   }
-  if (std::fflush(f.get()) != 0) throw std::runtime_error("serialize: flush failed for " + path);
+}
+
+std::vector<std::uint8_t> encode_state_dict(const StateDict& state) {
+  ByteWriter out;
+  encode_state_dict(state, out);
+  return out.take();
+}
+
+StateDict decode_state_dict(ByteReader& in) {
+  const std::uint64_t count = in.u64();
+  if (count > kMaxEntries) {
+    throw CheckpointError(CheckpointErrorKind::kFormat, "",
+                          "state dict declares " + std::to_string(count) + " entries");
+  }
+  StateDict state;
+  for (std::uint64_t e = 0; e < count; ++e) {
+    const std::string name = in.str();
+    if (name.size() > kMaxNameLen) {
+      throw CheckpointError(CheckpointErrorKind::kFormat, "", "oversized tensor name");
+    }
+    const std::uint32_t rank = in.u32();
+    if (rank > kMaxRank) {
+      throw CheckpointError(CheckpointErrorKind::kFormat, "",
+                            "tensor '" + name + "' declares rank " + std::to_string(rank));
+    }
+    Shape shape(rank);
+    for (auto& d : shape) {
+      d = in.i64();
+      if (d < 0) {
+        throw CheckpointError(CheckpointErrorKind::kFormat, "",
+                              "tensor '" + name + "' has a negative dimension");
+      }
+    }
+    Tensor tensor(shape);
+    const std::size_t payload = static_cast<std::size_t>(tensor.numel()) * sizeof(float);
+    const std::uint8_t* bytes = in.take_bytes(payload);
+    if (payload > 0) std::memcpy(tensor.data(), bytes, payload);
+    if (!state.emplace(std::move(name), std::move(tensor)).second) {
+      throw CheckpointError(CheckpointErrorKind::kFormat, "", "duplicate state dict entry");
+    }
+  }
+  return state;
+}
+
+void save_state_dict(const StateDict& state, const std::string& path) {
+  ByteWriter out;
+  out.u32(kMagic);
+  out.u32(kVersion);
+  encode_state_dict(state, out);
+  AtomicFileWriter file(path);
+  file.write(out.bytes());
+  file.commit();
 }
 
 StateDict load_state_dict(const std::string& path) {
   FilePtr f(std::fopen(path.c_str(), "rb"));
   if (!f) throw std::runtime_error("serialize: cannot open " + path + " for reading");
-  if (read_pod<std::uint32_t>(f.get(), path) != kMagic) {
+  std::vector<std::uint8_t> image;
+  std::uint8_t buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f.get())) > 0) {
+    image.insert(image.end(), buf, buf + n);
+  }
+  if (std::ferror(f.get()) != 0) {
+    throw std::runtime_error("serialize: short read from " + path);
+  }
+  ByteReader in(image, path);
+  if (in.u32() != kMagic) {
     throw std::runtime_error("serialize: bad magic in " + path);
   }
-  const auto version = read_pod<std::uint32_t>(f.get(), path);
+  const auto version = in.u32();
   if (version != kVersion) {
     throw std::runtime_error("serialize: unsupported version in " + path);
   }
-  const auto count = read_pod<std::uint64_t>(f.get(), path);
-  StateDict state;
-  for (std::uint64_t e = 0; e < count; ++e) {
-    const auto name_len = read_pod<std::uint32_t>(f.get(), path);
-    std::string name(name_len, '\0');
-    read_bytes(f.get(), name.data(), name_len, path);
-    const auto rank = read_pod<std::uint32_t>(f.get(), path);
-    Shape shape(rank);
-    for (auto& d : shape) d = read_pod<std::int64_t>(f.get(), path);
-    Tensor tensor(shape);
-    read_bytes(f.get(), tensor.data(), static_cast<std::size_t>(tensor.numel()) * sizeof(float),
-               path);
-    state.emplace(std::move(name), std::move(tensor));
-  }
+  StateDict state = decode_state_dict(in);
+  in.expect_done();
   return state;
 }
 

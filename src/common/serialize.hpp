@@ -1,27 +1,48 @@
 // Binary serialization of tensors and named-tensor state dicts.
 //
-// Format (little-endian):
-//   magic "FTPM" u32 version | u64 entry_count |
+// In-memory entry encoding (little-endian, shared by the legacy FTPM file
+// format and the MODL/OPTM chunks of the FTCK checkpoint container):
+//   u64 entry_count |
 //   per entry: u32 name_len, bytes name, u32 rank, i64 dims..., f32 data...
-// Used for model checkpoints produced by the trainer and consumed by the
-// deployment examples.
+//
+// The file-level format prepends magic "FTPM" u32 | u32 version. Files are
+// written through AtomicFileWriter (write temp, fsync, rename), so a crash
+// mid-save never leaves a torn state dict under the final name.
+//
+// Float payloads are raw IEEE-754 bytes: a round trip is bit-exact, which the
+// exact-resume guarantee (DESIGN.md §10) depends on.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "src/tensor/tensor.hpp"
 
 namespace ftpim {
 
+class ByteWriter;
+class ByteReader;
+
 using StateDict = std::map<std::string, Tensor>;
 
-/// Writes a state dict to `path`; throws std::runtime_error on IO failure.
+/// Writes a state dict to `path` atomically; throws std::runtime_error
+/// (CheckpointError) on IO failure.
 void save_state_dict(const StateDict& state, const std::string& path);
 
 /// Reads a state dict from `path`; throws std::runtime_error on IO/format
 /// failure.
 StateDict load_state_dict(const std::string& path);
+
+/// Appends the headerless entry encoding of `state` to `out`.
+void encode_state_dict(const StateDict& state, ByteWriter& out);
+
+/// Convenience: encode into a fresh byte vector.
+[[nodiscard]] std::vector<std::uint8_t> encode_state_dict(const StateDict& state);
+
+/// Parses the entry encoding; throws CheckpointError (kTruncated/kFormat,
+/// tagged with the reader's context) on malformed input.
+[[nodiscard]] StateDict decode_state_dict(ByteReader& in);
 
 }  // namespace ftpim

@@ -21,6 +21,9 @@
 // comment and the bench_ablation_refresh study).
 #pragma once
 
+#include <cstdint>
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "src/core/trainer.hpp"
@@ -29,9 +32,29 @@
 
 namespace ftpim {
 
+struct TrainingCheckpoint;
+
 enum class FtScheme { kOneShot, kProgressive };
 enum class GradMode { kStraightThrough, kMasked };
 enum class FaultRefresh { kPerEpoch, kPerIteration };
+
+/// Crash-safe checkpointing of a fault-tolerant training run (DESIGN.md §10).
+/// With a non-empty `dir`, the trainer saves a TrainingCheckpoint every
+/// `every_epochs` global epochs (and always at the end of the run) through
+/// the atomic FTCK writer, then applies keep-last-K + keep-best retention.
+/// A killed run resumes via FaultTolerantTrainer::resume() and finishes with
+/// weights and stats bit-identical to the uninterrupted run.
+struct FtCheckpointConfig {
+  std::string dir;        ///< empty disables checkpointing
+  int every_epochs = 1;   ///< save cadence in global epochs (>= 1)
+  int keep_last = 3;      ///< retention window (>= 1)
+  bool keep_best = true;  ///< additionally pin the best-metric checkpoint
+  /// Retention metric, higher is better (e.g. held-out accuracy). Called
+  /// after each save with the current model; must not mutate weights or draw
+  /// from shared RNG streams, or the resume bit-identity guarantee breaks.
+  /// Default (null): negative training loss of the just-finished epoch.
+  std::function<double(Module&)> metric;
+};
 
 struct FtTrainConfig {
   TrainConfig base{};           ///< epochs = M_epoch (per stage for progressive)
@@ -50,6 +73,7 @@ struct FtTrainConfig {
   double sa0_fraction = kPaperSa0Fraction;
   InjectorConfig injector{};
   std::uint64_t fault_seed = 4242;
+  FtCheckpointConfig checkpoint{};  ///< crash-safe checkpointing (off by default)
 };
 
 struct FtTrainStats {
@@ -68,15 +92,32 @@ class FaultTolerantTrainer {
   /// fault-tolerant weights.
   FtTrainStats run();
 
+  /// Continues a killed run from the checkpoint at `path`: restores the
+  /// model, optimizer moments, RNG streams, stats accumulators, and schedule
+  /// cursor, then runs the remaining epochs. The final weights and stats are
+  /// bit-identical to the uninterrupted run() at any FTPIM_THREADS setting.
+  /// Throws CheckpointError on a corrupt checkpoint or when the checkpoint
+  /// was produced by a differently configured run (kStateMismatch).
+  FtTrainStats resume(const std::string& checkpoint_path);
+
   /// The stage rate list after defaulting (exposed for tests/logs).
   [[nodiscard]] const std::vector<double>& stage_rates() const noexcept { return stage_rates_; }
 
  private:
+  FtTrainStats run_internal(const TrainingCheckpoint* restore);
+
   Module& model_;
   const Dataset& train_data_;
   FtTrainConfig config_;
   std::vector<double> stage_rates_;
 };
+
+/// Canonical byte encoding of everything in `config` that determines the
+/// numerical trajectory of a run (resolved stage rates included; `verbose`
+/// and the checkpoint policy excluded). Stored in the CFG0 chunk and compared
+/// byte-for-byte on resume.
+[[nodiscard]] std::vector<std::uint8_t> encode_ft_config_echo(
+    const FtTrainConfig& config, const std::vector<double>& stage_rates);
 
 /// Builds the default progressive ramp for a target rate: {T/8, T/4, T/2, T}.
 std::vector<double> default_progressive_ramp(double target_p_sa);

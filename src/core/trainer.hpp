@@ -54,6 +54,9 @@ class Trainer {
 
   void set_hooks(TrainHooks hooks) { hooks_ = std::move(hooks); }
   [[nodiscard]] Sgd& optimizer() noexcept { return *optimizer_; }
+  /// Exposed for checkpoint/resume: the loader's augmentation Rng is part of
+  /// the training state a mid-run checkpoint must capture.
+  [[nodiscard]] DataLoader& loader() noexcept { return loader_; }
   [[nodiscard]] const TrainConfig& config() const noexcept { return config_; }
 
   /// Runs the full schedule. `epoch_offset`/`total_epochs` let multi-stage

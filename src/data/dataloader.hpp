@@ -34,6 +34,13 @@ class DataLoader {
   /// convenient for evaluation of small test sets.
   [[nodiscard]] static Batch full_batch(const Dataset& dataset);
 
+  /// The augmentation Rng is the loader's only state that advances across
+  /// epochs (shuffle order is re-derived per epoch from the seed). Capturing
+  /// and restoring it is what lets a resumed run replay the exact
+  /// augmentation stream of the uninterrupted one (DESIGN.md §10).
+  [[nodiscard]] RngState augment_rng_state() const noexcept { return augment_rng_.state(); }
+  void set_augment_rng_state(const RngState& state) noexcept { augment_rng_.set_state(state); }
+
  private:
   const Dataset& dataset_;
   std::int64_t batch_size_;

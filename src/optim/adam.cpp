@@ -3,6 +3,7 @@
 #include "src/common/check.hpp"
 
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 
 namespace ftpim {
@@ -28,6 +29,48 @@ void Adam::set_mask(const Param* param, Tensor mask) {
     throw ContractViolation("Adam::set_mask: mask shape mismatch for " + param->name);
   }
   masks_[param] = std::move(mask);
+}
+
+StateDict Adam::state_dict() const {
+  StateDict state;
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    state.emplace("adam_m/" + params_[k]->name, m_[k]);
+    state.emplace("adam_v/" + params_[k]->name, v_[k]);
+  }
+  // The step counter drives bias correction; its 64 bits are bit-cast into
+  // two float lanes so the whole optimizer state stays one StateDict and the
+  // round trip is exact at any step count.
+  Tensor t_bits(Shape{2});
+  const auto u = static_cast<std::uint64_t>(t_);
+  const std::uint32_t lo = static_cast<std::uint32_t>(u);
+  const std::uint32_t hi = static_cast<std::uint32_t>(u >> 32);
+  std::memcpy(t_bits.data(), &lo, sizeof(lo));
+  std::memcpy(t_bits.data() + 1, &hi, sizeof(hi));
+  state.emplace("adam_t", std::move(t_bits));
+  return state;
+}
+
+void Adam::load_state(const StateDict& state) {
+  auto fetch = [&state](const std::string& key) -> const Tensor& {
+    const auto it = state.find(key);
+    FTPIM_CHECK(it != state.end(), "Adam::load_state: missing entry '%s'", key.c_str());
+    return it->second;
+  };
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    const Tensor& m = fetch("adam_m/" + params_[k]->name);
+    const Tensor& v = fetch("adam_v/" + params_[k]->name);
+    FTPIM_CHECK(m.shape() == m_[k].shape() && v.shape() == v_[k].shape(),
+                "Adam::load_state: shape mismatch for '%s'", params_[k]->name.c_str());
+    m_[k] = m;
+    v_[k] = v;
+  }
+  const Tensor& t_bits = fetch("adam_t");
+  FTPIM_CHECK_EQ(t_bits.numel(), std::int64_t{2}, "Adam::load_state: adam_t must hold 2 lanes");
+  std::uint32_t lo = 0;
+  std::uint32_t hi = 0;
+  std::memcpy(&lo, t_bits.data(), sizeof(lo));
+  std::memcpy(&hi, t_bits.data() + 1, sizeof(hi));
+  t_ = static_cast<std::int64_t>((static_cast<std::uint64_t>(hi) << 32) | lo);
 }
 
 void Adam::step() {

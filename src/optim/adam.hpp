@@ -31,6 +31,14 @@ class Adam {
   /// 0/1 keep-mask; masked positions receive no update and stay zero.
   void set_mask(const Param* param, Tensor mask);
 
+  /// Moment buffers keyed "adam_m/<name>" / "adam_v/<name>" plus the step
+  /// counter as scalar "adam_t" — checkpointable, bit-exact round trip.
+  [[nodiscard]] StateDict state_dict() const;
+
+  /// Restores moments + step counter captured by state_dict(). Throws
+  /// ContractViolation on a missing entry or shape mismatch.
+  void load_state(const StateDict& state);
+
  private:
   std::vector<Param*> params_;
   std::vector<Tensor> m_;

@@ -22,6 +22,25 @@ void Sgd::set_mask(const Param* param, Tensor mask) {
   masks_[param] = std::move(mask);
 }
 
+StateDict Sgd::state_dict() const {
+  StateDict state;
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    state.emplace("velocity/" + params_[k]->name, velocity_[k]);
+  }
+  return state;
+}
+
+void Sgd::load_state(const StateDict& state) {
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    const std::string key = "velocity/" + params_[k]->name;
+    const auto it = state.find(key);
+    FTPIM_CHECK(it != state.end(), "Sgd::load_state: missing entry '%s'", key.c_str());
+    FTPIM_CHECK(it->second.shape() == velocity_[k].shape(),
+                "Sgd::load_state: shape mismatch for '%s'", key.c_str());
+    velocity_[k] = it->second;
+  }
+}
+
 void Sgd::step() {
   // Optional global-norm gradient clipping.
   float clip_scale = 1.0f;

@@ -36,6 +36,15 @@ class Sgd {
   void set_mask(const Param* param, Tensor mask);
   void clear_masks() { masks_.clear(); }
 
+  /// Momentum buffers keyed "velocity/<param name>" — the optimizer half of
+  /// a training checkpoint (pruning masks are reconstructed by the pruner,
+  /// not checkpointed). Round-trips bit-exactly through load_state().
+  [[nodiscard]] StateDict state_dict() const;
+
+  /// Restores momentum buffers captured by state_dict(). Throws
+  /// ContractViolation on a missing entry or shape mismatch.
+  void load_state(const StateDict& state);
+
  private:
   std::vector<Param*> params_;
   std::vector<Tensor> velocity_;

@@ -1,6 +1,7 @@
 #include "src/reram/defect_map.hpp"
 
 #include "src/common/check.hpp"
+#include "src/common/checkpoint.hpp"
 
 #include <algorithm>
 #include <cmath>
@@ -71,6 +72,48 @@ bool DefectMap::stuck(std::int64_t cell_index) const noexcept {
       faults_.begin(), faults_.end(), cell_index,
       [](const CellFault& f, std::int64_t cell) { return f.cell_index < cell; });
   return it != faults_.end() && it->cell_index == cell_index;
+}
+
+void DefectMap::encode(ByteWriter& out) const {
+  out.i64(cell_count_);
+  out.u64(faults_.size());
+  for (const CellFault& f : faults_) {
+    out.i64(f.cell_index);
+    out.u8(static_cast<std::uint8_t>(f.type));
+  }
+}
+
+DefectMap DefectMap::decode(ByteReader& in) {
+  DefectMap map;
+  map.cell_count_ = in.i64();
+  if (map.cell_count_ < 0) {
+    throw CheckpointError(CheckpointErrorKind::kFormat, "", "defect map: negative cell_count");
+  }
+  const std::uint64_t n = in.u64();
+  if (n > static_cast<std::uint64_t>(map.cell_count_)) {
+    throw CheckpointError(CheckpointErrorKind::kFormat, "",
+                          "defect map: more faults than cells");
+  }
+  map.faults_.reserve(static_cast<std::size_t>(n));
+  std::int64_t prev = -1;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    CellFault f;
+    f.cell_index = in.i64();
+    const std::uint8_t type = in.u8();
+    if (f.cell_index <= prev || f.cell_index >= map.cell_count_) {
+      throw CheckpointError(CheckpointErrorKind::kFormat, "",
+                            "defect map: fault list is unsorted or out of range");
+    }
+    if (type != static_cast<std::uint8_t>(FaultType::kStuckOff) &&
+        type != static_cast<std::uint8_t>(FaultType::kStuckOn)) {
+      throw CheckpointError(CheckpointErrorKind::kFormat, "",
+                            "defect map: unknown fault type " + std::to_string(type));
+    }
+    f.type = static_cast<FaultType>(type);
+    prev = f.cell_index;
+    map.faults_.push_back(f);
+  }
+  return map;
 }
 
 std::int64_t DefectMap::count(FaultType type) const noexcept {

@@ -20,6 +20,9 @@
 
 namespace ftpim {
 
+class ByteWriter;
+class ByteReader;
+
 struct CellFault {
   std::int64_t cell_index;  ///< flat index into the cell array
   FaultType type;
@@ -61,6 +64,15 @@ class DefectMap {
 
   /// Counts by type (index 1 = stuck-off, 2 = stuck-on).
   [[nodiscard]] std::int64_t count(FaultType type) const noexcept;
+
+  /// Appends the map's checkpoint encoding (cell_count, fault list) to `out`.
+  /// Round-trips exactly through decode(); the DMAP chunk of a training
+  /// checkpoint carries this encoding (DESIGN.md §10).
+  void encode(ByteWriter& out) const;
+
+  /// Parses an encode()d map; throws CheckpointError (kTruncated/kFormat) on
+  /// malformed input (unsorted faults, out-of-range cells, bad fault type).
+  [[nodiscard]] static DefectMap decode(ByteReader& in);
 
  private:
   std::int64_t cell_count_ = 0;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "src/common/check.hpp"
 #include "src/common/stats.hpp"
 #include "src/nn/dropout.hpp"
 #include "src/optim/adam.hpp"
@@ -60,6 +61,48 @@ TEST(Adam, DecoupledDecayOnlyOnCrossbarWeights) {
   opt.step();  // zero grads: only decay acts on w
   EXPECT_LT(w.value[0], 1.0f);
   EXPECT_FLOAT_EQ(b.value[0], 1.0f);
+}
+
+TEST(Adam, StateDictRoundTripContinuesExactly) {
+  // Moments + step counter captured mid-run and restored into a fresh Adam
+  // must continue the trajectory bit-exactly (the checkpoint/resume
+  // contract). The step counter matters: bias correction depends on t.
+  const AdamConfig cfg{.lr = 0.02f, .weight_decay = 0.1f};
+  Param live = make_param("w", {0.1f, -0.4f, 2.0f}, ParamKind::kCrossbarWeight);
+  Adam opt({&live}, cfg);
+  auto grad_at = [](const Param& p, int step) {
+    return Tensor::from_vector({p.value[0] + static_cast<float>(step) * 0.01f,
+                                -p.value[1], 0.5f * p.value[2]});
+  };
+  for (int i = 0; i < 5; ++i) {
+    live.grad = grad_at(live, i);
+    opt.step();
+  }
+
+  const StateDict saved = opt.state_dict();
+  Param resumed = make_param("w", {live.value[0], live.value[1], live.value[2]},
+                             ParamKind::kCrossbarWeight);
+  Adam opt2({&resumed}, cfg);
+  opt2.load_state(saved);
+
+  for (int i = 5; i < 10; ++i) {
+    live.grad = grad_at(live, i);
+    opt.step();
+    resumed.grad = grad_at(resumed, i);
+    opt2.step();
+  }
+  for (std::int64_t i = 0; i < live.value.numel(); ++i) {
+    EXPECT_EQ(live.value[i], resumed.value[i]) << i;  // bit-exact
+  }
+}
+
+TEST(Adam, LoadStateRejectsMissingOrMisshapen) {
+  Param p = make_param("w", {1.0f, 2.0f}, ParamKind::kCrossbarWeight);
+  Adam opt({&p}, AdamConfig{.lr = 0.01f});
+  EXPECT_THROW(opt.load_state({}), ContractViolation);
+  StateDict bad = opt.state_dict();
+  bad.insert_or_assign("adam_m/w", Tensor(Shape{3}));
+  EXPECT_THROW(opt.load_state(bad), ContractViolation);
 }
 
 TEST(Dropout, Validation) {

@@ -3,7 +3,9 @@
 #include <cstdio>
 #include <filesystem>
 #include <string>
+#include <vector>
 
+#include "src/common/checkpoint.hpp"
 #include "src/common/serialize.hpp"
 #include "test_util.hpp"
 
@@ -65,6 +67,45 @@ TEST(Serialize, TruncatedFileThrows) {
   std::filesystem::resize_file(path, std::filesystem::file_size(path) / 2);
   EXPECT_THROW(load_state_dict(path), std::runtime_error);
   std::filesystem::remove(path);
+}
+
+TEST(Serialize, ZeroElementTensorsRoundTrip) {
+  // A zero-length dimension is legal (e.g. an empty freeze-mask table):
+  // the entry keeps its shape through a round-trip and carries no payload.
+  StateDict state;
+  state.emplace("empty_vec", Tensor(Shape{0}));
+  state.emplace("empty_mat", Tensor(Shape{3, 0, 5}));
+  state.emplace("regular", testing::random_tensor(Shape{2, 2}, 8));
+  const std::string path = temp_path("ftpim_zeroelem.bin");
+  save_state_dict(state, path);
+  const StateDict loaded = load_state_dict(path);
+  ASSERT_EQ(loaded.size(), 3u);
+  EXPECT_EQ(loaded.at("empty_vec").shape(), (Shape{0}));
+  EXPECT_EQ(loaded.at("empty_vec").numel(), 0);
+  EXPECT_EQ(loaded.at("empty_mat").shape(), (Shape{3, 0, 5}));
+  EXPECT_EQ(loaded.at("empty_mat").numel(), 0);
+  EXPECT_TRUE(loaded.at("regular").allclose(state.at("regular"), 0.0f, 0.0f));
+  std::filesystem::remove(path);
+}
+
+TEST(Serialize, EncodeDecodeBytesMatchFileFormat) {
+  // encode_state_dict is the chunk-payload form of the on-disk format:
+  // decoding the encoded bytes must reproduce the dict bit-exactly.
+  StateDict state;
+  state.emplace("a", testing::random_tensor(Shape{5}, 6));
+  state.emplace("b", Tensor(Shape{0, 2}));
+  const std::vector<std::uint8_t> bytes = encode_state_dict(state);
+  ByteReader in(bytes, "test");
+  const StateDict decoded = decode_state_dict(in);
+  in.expect_done();
+  EXPECT_EQ(encode_state_dict(decoded), bytes);
+}
+
+TEST(Serialize, EmptyDictEncodesToCountOnly) {
+  const std::vector<std::uint8_t> bytes = encode_state_dict({});
+  EXPECT_EQ(bytes.size(), 8u);  // just the u64 entry count
+  ByteReader in(bytes, "test");
+  EXPECT_TRUE(decode_state_dict(in).empty());
 }
 
 TEST(Serialize, PreservesRank0AndHighRank) {

@@ -24,6 +24,11 @@ statistics reproducible (see DESIGN.md "Invariants & determinism rules"):
                         outside clock.hpp — serving code reads time through
                         the injectable ServeClock so deadline/linger tests
                         can drive a ManualServeClock deterministically.
+  raw-file-write        std::ofstream / fopen-for-write are banned in src/
+                        outside AtomicFileWriter and the log sink — a direct
+                        write can be killed mid-file and leave a torn
+                        artifact; durable files go through AtomicFileWriter
+                        (src/common/atomic_file.hpp: temp + fsync + rename).
 
 Usage:
   ftpim_lint.py --root <repo>      lint the tree (exit 1 on any finding)
@@ -131,6 +136,19 @@ RULES = [
         applies=lambda rel: rel.startswith("src/serve/"),
         allowed=lambda rel: rel == "src/serve/clock.hpp",
     ),
+    Rule(
+        name="raw-file-write",
+        pattern=re.compile(
+            r"\bstd::ofstream\b|\bstd::fstream\b|(?<![\w:])ofstream\b|"
+            r"\bfopen\s*\([^)\n]*\"[wa][b+t]*\""
+        ),
+        message="direct file write in library code; a crash mid-write leaves "
+        "a torn file — write durable artifacts through AtomicFileWriter "
+        "(src/common/atomic_file.hpp)",
+        applies=in_src,
+        allowed=lambda rel: rel == "src/common/atomic_file.cpp"
+        or rel.startswith("src/common/logging."),
+    ),
 ]
 
 PRAGMA_ONCE_RULE = "pragma-once"
@@ -190,6 +208,7 @@ def self_test(fixture_root: str) -> int:
         "src/bad/bad_contract.hpp": {"assert-in-header", PRAGMA_ONCE_RULE},
         "src/common/serialize.cpp": {"unordered-output"},
         "src/serve/bad_wall_clock.cpp": {"serve-wall-clock"},
+        "src/bad/raw_file_write.cpp": {"raw-file-write"},
     }
     good = "src/good/clean_module.hpp"
 

@@ -1,0 +1,20 @@
+// Fixture: every line below must trip the raw-file-write rule — durable
+// files in library code go through AtomicFileWriter, never a bare stream.
+#include <cstdio>
+#include <fstream>
+
+void bad_stream_write(const char* path) {
+  std::ofstream out(path);  // torn file if the process dies mid-write
+  out << 42;
+}
+
+void bad_cstdio_write(const char* path) {
+  std::FILE* f = std::fopen(path, "wb");
+  if (f != nullptr) std::fclose(f);
+}
+
+void fine_cstdio_read(const char* path) {
+  // Reading is allowed; only write modes are flagged.
+  std::FILE* f = std::fopen(path, "rb");
+  if (f != nullptr) std::fclose(f);
+}
