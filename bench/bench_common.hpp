@@ -9,6 +9,7 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/config.hpp"
@@ -18,6 +19,85 @@
 #include "src/core/table_printer.hpp"
 
 namespace ftpim::bench {
+
+/// Machine-readable bench artifact writer. Produces a flat JSON document
+///
+///   { "bench": "<name>", "<meta>": ..., "points": [ {...}, ... ] }
+///
+/// so perf trajectories can be diffed across commits (BENCH_gemm.json,
+/// BENCH_serve.json are committed artifacts — see DESIGN.md §11). Values are
+/// either numbers or strings; no nesting beyond the points array.
+class BenchJsonWriter {
+ public:
+  class Record {
+   public:
+    Record& num(const std::string& key, double value) {
+      char buf[64];
+      // %.17g round-trips doubles; integral values print without exponent.
+      if (value == static_cast<double>(static_cast<long long>(value))) {
+        std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+      } else {
+        std::snprintf(buf, sizeof(buf), "%.17g", value);
+      }
+      fields_.emplace_back(key, buf);
+      return *this;
+    }
+    Record& str(const std::string& key, const std::string& value) {
+      fields_.emplace_back(key, "\"" + value + "\"");
+      return *this;
+    }
+
+   private:
+    friend class BenchJsonWriter;
+    std::vector<std::pair<std::string, std::string>> fields_;
+
+    void render(std::string& out, const char* indent) const {
+      out += indent;
+      out += "{";
+      for (std::size_t i = 0; i < fields_.size(); ++i) {
+        if (i != 0) out += ", ";
+        out += "\"" + fields_[i].first + "\": " + fields_[i].second;
+      }
+      out += "}";
+    }
+  };
+
+  explicit BenchJsonWriter(std::string bench_name) { meta_.str("bench", std::move(bench_name)); }
+
+  /// Top-level metadata (threads, dispatch level, host knobs, ...).
+  Record& meta() { return meta_; }
+
+  /// Appends one data point; fill it via the returned record.
+  Record& point() { return points_.emplace_back(); }
+
+  /// Writes the document; returns false (and warns on stderr) on I/O error.
+  bool write(const std::string& path) const {
+    std::string out = "{\n";
+    for (const auto& [key, value] : meta_.fields_) {
+      out += "  \"" + key + "\": " + value + ",\n";
+    }
+    out += "  \"points\": [\n";
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+      points_[i].render(out, "    ");
+      if (i + 1 != points_.size()) out += ",";
+      out += "\n";
+    }
+    out += "  ]\n}\n";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "BenchJsonWriter: cannot open %s\n", path.c_str());
+      return false;
+    }
+    const bool ok = std::fwrite(out.data(), 1, out.size(), f) == out.size();
+    std::fclose(f);
+    if (ok) std::printf("wrote %s (%zu points)\n", path.c_str(), points_.size());
+    return ok;
+  }
+
+ private:
+  Record meta_;
+  std::vector<Record> points_;
+};
 
 /// Testing failure-rate grid trimmed to the active scale.
 inline std::vector<double> test_rates_for(const RunScale& scale) {

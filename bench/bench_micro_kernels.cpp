@@ -1,14 +1,26 @@
-// Substrate micro-benchmarks (google-benchmark): GEMM, im2col+conv forward,
-// weight-space fault injection, defect-map sampling, crossbar MVM, and the
-// parallel Monte-Carlo defect evaluation. Engineering baseline, not a paper
-// artifact.
+// Substrate micro-benchmarks: GEMM, conv forward, weight-space fault
+// injection, defect-map sampling, crossbar MVM, and the parallel Monte-Carlo
+// defect evaluation. Engineering baseline, not a paper artifact.
+//
+// Running the binary always performs the kernel-backend sweep and writes
+// BENCH_gemm.json (override path with FTPIM_BENCH_JSON): GFLOP/s per shape
+// for the seed scalar kernel (the pre-backend blocked loop, kept here as the
+// perf-trajectory baseline) and for each runnable dispatch level of the
+// packed backend. The google-benchmark suite additionally runs when any
+// command-line flag is passed (e.g. --benchmark_filter=.) or
+// FTPIM_MICROBENCH=1 is set.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstring>
 #include <memory>
 #include <vector>
 
+#include "bench/bench_common.hpp"
+#include "src/common/config.hpp"
 #include "src/common/parallel.hpp"
 #include "src/common/rng.hpp"
+#include "src/common/timer.hpp"
 #include "src/core/evaluator.hpp"
 #include "src/data/synthetic.hpp"
 #include "src/models/small_cnn.hpp"
@@ -16,6 +28,7 @@
 #include "src/reram/defect_map.hpp"
 #include "src/reram/fault_injector.hpp"
 #include "src/tensor/gemm.hpp"
+#include "src/tensor/kernels/dispatch.hpp"
 #include "src/tensor/tensor.hpp"
 
 namespace {
@@ -28,6 +41,131 @@ Tensor random_tensor(Shape shape, std::uint64_t seed) {
   for (std::int64_t i = 0; i < t.numel(); ++i) t[i] = rng.normal();
   return t;
 }
+
+// ---------------------------------------------------------------------------
+// Seed baseline: the blocked triple loop that was ftpim::gemm before the
+// packed kernel backend (PR 6), verbatim minus threading. Kept so
+// BENCH_gemm.json records the speedup trajectory against a fixed reference.
+// ---------------------------------------------------------------------------
+void seed_gemm(std::int64_t m, std::int64_t n, std::int64_t k, float alpha, const float* a,
+               const float* b, float beta, float* c) {
+  constexpr std::int64_t kBlockK = 256;
+  constexpr std::int64_t kBlockN = 128;
+  if (beta == 0.0f) {
+    std::memset(c, 0, static_cast<std::size_t>(m * n) * sizeof(float));
+  } else if (beta != 1.0f) {
+    for (std::int64_t i = 0; i < m * n; ++i) c[i] *= beta;
+  }
+  for (std::int64_t kk = 0; kk < k; kk += kBlockK) {
+    const std::int64_t kend = std::min(k, kk + kBlockK);
+    for (std::int64_t nn = 0; nn < n; nn += kBlockN) {
+      const std::int64_t nend = std::min(n, nn + kBlockN);
+      for (std::int64_t i = 0; i < m; ++i) {
+        const float* arow = a + i * k;
+        float* crow = c + i * n;
+        for (std::int64_t p = kk; p < kend; ++p) {
+          const float av = alpha * arow[p];
+          if (av == 0.0f) continue;
+          const float* brow = b + p * n;
+          for (std::int64_t j = nn; j < nend; ++j) crow[j] += av * brow[j];
+        }
+      }
+    }
+  }
+}
+
+struct GemmShape {
+  std::int64_t m, n, k;
+};
+
+/// Best-of-3 GFLOP/s for fn(c) over enough repetitions to fill ~50ms.
+template <typename Fn>
+double time_gflops(const GemmShape& s, const Fn& fn) {
+  const double flops = 2.0 * static_cast<double>(s.m) * static_cast<double>(s.n) *
+                       static_cast<double>(s.k);
+  // Calibrate repetitions from one warm-up run (which also pages buffers in).
+  Timer warm;
+  fn();
+  const double once = std::max(warm.seconds(), 1e-7);
+  const int reps = std::max(1, static_cast<int>(0.05 / once));
+  double best = 1e30;
+  for (int trial = 0; trial < 3; ++trial) {
+    Timer t;
+    for (int r = 0; r < reps; ++r) fn();
+    best = std::min(best, t.seconds() / reps);
+  }
+  return flops / best * 1e-9;
+}
+
+/// Sweeps seed baseline + every runnable dispatch level over representative
+/// shapes and writes the committed BENCH_gemm.json artifact. Single-threaded
+/// (set_num_threads(1)) so the number measured is the micro-kernel + packing,
+/// not the parallel partitioning.
+void run_gemm_sweep(const std::string& path) {
+  // Square sizes, one conv-forward-like shape (out_c x pixels x patch), one
+  // Linear-like shape (batch x features x features), and a ragged edge case
+  // exercising partial tiles on every macro dimension.
+  const std::vector<GemmShape> shapes = {
+      {64, 64, 64},   {128, 128, 128}, {256, 256, 256}, {384, 384, 384},
+      {64, 1024, 576}, {32, 512, 512}, {147, 203, 101},
+  };
+
+  std::vector<kernels::KernelLevel> levels = {kernels::KernelLevel::kScalar};
+  if (kernels::avx2_available()) levels.push_back(kernels::KernelLevel::kAvx2);
+
+  bench::BenchJsonWriter json("gemm_kernels");
+  json.meta()
+      .num("threads", 1)
+      .str("default_level", kernels::kernel_level_name(kernels::active_kernel_level()))
+      .num("avx2_available", kernels::avx2_available() ? 1 : 0);
+
+  set_num_threads(1);
+  std::printf("=== packed GEMM sweep (single thread) ===\n");
+  std::printf("%18s %10s %12s %12s\n", "shape (m,n,k)", "kernel", "GFLOP/s", "vs seed");
+  for (const GemmShape& s : shapes) {
+    const Tensor a = random_tensor(Shape{s.m, s.k}, 1);
+    const Tensor b = random_tensor(Shape{s.k, s.n}, 2);
+    Tensor c(Shape{s.m, s.n});
+
+    const double seed_gf = time_gflops(
+        s, [&] { seed_gemm(s.m, s.n, s.k, 1.0f, a.data(), b.data(), 0.0f, c.data()); });
+    char shape_buf[48];
+    std::snprintf(shape_buf, sizeof(shape_buf), "%lldx%lldx%lld", static_cast<long long>(s.m),
+                  static_cast<long long>(s.n), static_cast<long long>(s.k));
+    std::printf("%18s %10s %12.2f %12s\n", shape_buf, "seed", seed_gf, "1.00x");
+    json.point()
+        .num("m", static_cast<double>(s.m))
+        .num("n", static_cast<double>(s.n))
+        .num("k", static_cast<double>(s.k))
+        .str("kernel", "seed")
+        .num("threads", 1)
+        .num("gflops", seed_gf)
+        .num("speedup_vs_seed", 1.0);
+
+    for (const kernels::KernelLevel level : levels) {
+      kernels::set_kernel_level(level);
+      const double gf = time_gflops(
+          s, [&] { gemm(s.m, s.n, s.k, 1.0f, a.data(), b.data(), 0.0f, c.data()); });
+      kernels::clear_kernel_level_override();
+      const char* name = kernels::kernel_level_name(level);
+      std::printf("%18s %10s %12.2f %11.2fx\n", shape_buf, name, gf, gf / seed_gf);
+      json.point()
+          .num("m", static_cast<double>(s.m))
+          .num("n", static_cast<double>(s.n))
+          .num("k", static_cast<double>(s.k))
+          .str("kernel", name)
+          .num("threads", 1)
+          .num("gflops", gf)
+          .num("speedup_vs_seed", gf / seed_gf);
+    }
+  }
+  set_num_threads(0);
+  json.write(path);
+}
+
+// ---------------------------------------------------------------------------
+// google-benchmark suite (opt-in: any CLI flag or FTPIM_MICROBENCH=1)
+// ---------------------------------------------------------------------------
 
 void BM_Gemm(benchmark::State& state) {
   const auto n = state.range(0);
@@ -93,6 +231,22 @@ void BM_CrossbarMvm(benchmark::State& state) {
 }
 BENCHMARK(BM_CrossbarMvm)->Arg(128)->Arg(256);
 
+// Batched MVM amortizes packing + tile traversal over the whole batch.
+void BM_CrossbarMvmBatch(benchmark::State& state) {
+  const std::int64_t dim = 128;
+  const auto batch = state.range(0);
+  const Tensor w = random_tensor(Shape{dim, dim}, 7);
+  CrossbarEngine engine(w, CrossbarEngineConfig{});
+  std::vector<float> x(static_cast<std::size_t>(batch * dim), 0.5f);
+  std::vector<float> y(static_cast<std::size_t>(batch * dim));
+  for (auto _ : state) {
+    engine.mvm_batch(x.data(), batch, y.data());
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * dim * dim * batch);
+}
+BENCHMARK(BM_CrossbarMvmBatch)->Arg(1)->Arg(8)->Arg(32);
+
 // End-to-end Monte-Carlo defect evaluation at a fixed worker count
 // (state.range(0) overrides FTPIM_THREADS). Run with Arg(1) vs Arg(2)/Arg(4)
 // to measure the run-level fan-out; run_accs are bit-identical across args.
@@ -130,4 +284,13 @@ BENCHMARK(BM_ModelClone);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  run_gemm_sweep(env_string("FTPIM_BENCH_JSON", "BENCH_gemm.json"));
+  const bool run_suite = argc > 1 || env_int("FTPIM_MICROBENCH", 0) != 0;
+  if (run_suite) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  return 0;
+}

@@ -11,12 +11,14 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_common.hpp"
 #include "src/common/config.hpp"
 #include "src/common/parallel.hpp"
 #include "src/common/timer.hpp"
 #include "src/data/synthetic.hpp"
 #include "src/models/small_cnn.hpp"
 #include "src/serve/inference_server.hpp"
+#include "src/tensor/kernels/dispatch.hpp"
 
 namespace {
 
@@ -102,6 +104,15 @@ int main() {
   const std::vector<std::int64_t> batch_sizes = {1, 4, 16};
   const std::vector<int> replica_counts = {1, 2, 4};
 
+  ftpim::bench::BenchJsonWriter json("serve_throughput");
+  json.meta()
+      .num("threads", ftpim::num_threads())
+      .str("dispatch",
+           ftpim::kernels::kernel_level_name(ftpim::kernels::active_kernel_level()))
+      .num("requests", total_requests)
+      .num("clients", clients)
+      .str("scale", scale.name);
+
   std::printf("%6s %9s %10s %6s %9s %9s %9s\n", "batch", "replicas", "req/s", "fill",
               "p50(ms)", "p95(ms)", "p99(ms)");
   for (const int replicas : replica_counts) {
@@ -111,7 +122,16 @@ int main() {
       std::printf("%6lld %9d %10.0f %6.2f %9.3f %9.3f %9.3f\n",
                   static_cast<long long>(p.batch), p.replicas, p.reqs_per_sec, p.fill,
                   p.p50_ms, p.p95_ms, p.p99_ms);
+      json.point()
+          .num("batch", static_cast<double>(p.batch))
+          .num("replicas", p.replicas)
+          .num("reqs_per_sec", p.reqs_per_sec)
+          .num("batch_fill", p.fill)
+          .num("p50_ms", p.p50_ms)
+          .num("p95_ms", p.p95_ms)
+          .num("p99_ms", p.p99_ms);
     }
   }
+  json.write(env_string("FTPIM_BENCH_JSON", "BENCH_serve.json"));
   return 0;
 }

@@ -3,6 +3,9 @@
 # examples) and runs ctest under each configuration:
 #
 #   default    plain Release build, full suite + determinism linter
+#   scalar     same build tree as default, full suite with FTPIM_KERNEL=scalar
+#              — keeps the portable micro-kernel (the fallback for non-AVX2
+#              hosts) fully tested on AVX2 machines
 #   address    ASan/LSan, full suite
 #   undefined  UBSan (non-recovering), full suite
 #   thread     TSan, concurrency-sensitive subset with FTPIM_THREADS=4
@@ -23,11 +26,13 @@ REPO_ROOT="$(cd -- "$(dirname -- "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_ROOT="${REPO_ROOT}/build-ci"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-# TSan-relevant subset: parallel_for machinery, module cloning, Monte-Carlo
-# defect evaluation, fault-injection sessions, the serving layer's queue and
-# worker threads, and the contract layer they all guard. Kept as a regex so
-# newly added tests matching these names are picked up automatically.
-THREAD_SUBSET='Parallel|Clone|Defect|Session|Eval|Check|Logging|Serve|Aging'
+# TSan-relevant subset: parallel_for machinery, the packed GEMM/conv kernel
+# backend (worker-partitioned macro loops + thread-local pack arenas), module
+# cloning, Monte-Carlo defect evaluation, fault-injection sessions, the
+# serving layer's queue and worker threads, and the contract layer they all
+# guard. Kept as a regex so newly added tests matching these names are picked
+# up automatically.
+THREAD_SUBSET='Parallel|Clone|Defect|Session|Eval|Check|Logging|Serve|Aging|Kernel|Gemm'
 
 # Crash-safety subset: the container/CRC primitives, the seeded corruption
 # sweep (CheckpointCrashInjection: truncation at every framing boundary plus
@@ -36,8 +41,10 @@ THREAD_SUBSET='Parallel|Clone|Defect|Session|Eval|Check|Logging|Serve|Aging'
 CRASH_SUBSET='Crc32c|AtomicFile|Checkpoint|ByteCodec|ReramCodec|CkptTool|FtResume|Serialize'
 
 run_config() {
+  # Optional 4th arg reuses another config's build tree (the scalar leg only
+  # flips the runtime FTPIM_KERNEL dispatch, so rebuilding would be waste).
   local name="$1" cmake_args="$2" ctest_args="$3"
-  local bdir="${BUILD_ROOT}/${name}"
+  local bdir="${BUILD_ROOT}/${4:-${name}}"
   echo "==> [${name}] configure"
   # shellcheck disable=SC2086  # cmake_args is a deliberate word list
   cmake -B "${bdir}" -S "${REPO_ROOT}" ${cmake_args}
@@ -51,6 +58,7 @@ run_config() {
 
 declare -A CMAKE_ARGS=(
   [default]="-DFTPIM_WERROR=ON"
+  [scalar]="-DFTPIM_WERROR=ON"
   [address]="-DFTPIM_SANITIZE=address"
   [undefined]="-DFTPIM_SANITIZE=undefined"
   [thread]="-DFTPIM_SANITIZE=thread"
@@ -58,13 +66,14 @@ declare -A CMAKE_ARGS=(
 )
 declare -A CTEST_ARGS=(
   [default]=""
+  [scalar]="-E ^lint"
   [address]="-E ^lint"
   [undefined]="-E ^lint"
   [thread]="-R ${THREAD_SUBSET}"
   [crash]="-R ${CRASH_SUBSET}"
 )
 
-ORDER=(default address undefined thread crash)
+ORDER=(default scalar address undefined thread crash)
 if [[ $# -gt 0 ]]; then
   ORDER=("$@")
 fi
@@ -76,6 +85,8 @@ for cfg in "${ORDER[@]}"; do
   fi
   if [[ "${cfg}" == "thread" ]]; then
     FTPIM_THREADS=4 run_config "${cfg}" "${CMAKE_ARGS[${cfg}]}" "${CTEST_ARGS[${cfg}]}"
+  elif [[ "${cfg}" == "scalar" ]]; then
+    FTPIM_KERNEL=scalar run_config "${cfg}" "${CMAKE_ARGS[${cfg}]}" "${CTEST_ARGS[${cfg}]}" default
   else
     run_config "${cfg}" "${CMAKE_ARGS[${cfg}]}" "${CTEST_ARGS[${cfg}]}"
   fi

@@ -2,14 +2,23 @@
 
 #include "src/common/check.hpp"
 
-#include <cstring>
+#include <algorithm>
 #include <stdexcept>
 
 #include "src/common/parallel.hpp"
 #include "src/nn/init.hpp"
-#include "src/tensor/gemm.hpp"
+#include "src/tensor/kernels/conv_kernels.hpp"
 
 namespace ftpim {
+namespace {
+
+// Fixed number of gradient-accumulation slots in backward. Deliberately
+// independent of num_threads(): each slot owns a fixed image range and is
+// processed by exactly one worker, and the slot partials are reduced in slot
+// order, so dW/db are bit-identical for any FTPIM_THREADS value.
+constexpr std::int64_t kReduceSlots = 16;
+
+}  // namespace
 
 Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels, std::int64_t kernel,
                std::int64_t stride, std::int64_t pad, Rng& rng, bool with_bias)
@@ -58,32 +67,23 @@ Tensor Conv2d::forward(const Tensor& input, bool training) {
   const std::int64_t oh = geom_.out_h();
   const std::int64_t ow = geom_.out_w();
   FTPIM_CHECK(!(oh <= 0 || ow <= 0), "Conv2d::forward: output would be empty");
-  const std::int64_t col_rows = geom_.col_rows();
-  const std::int64_t col_cols = geom_.col_cols();
   const std::int64_t in_plane = in_channels_ * geom_.in_h * geom_.in_w;
   const std::int64_t out_plane = out_channels_ * oh * ow;
 
   Tensor out(Shape{n, out_channels_, oh, ow});
   if (training) {
     cached_input_ = input;
-    cached_cols_.assign(static_cast<std::size_t>(n * col_rows * col_cols), 0.0f);
     cached_batch_ = n;
   }
 
+  // Patches are gathered inside the kernel backend's pack step (fused
+  // im2col), so no per-image column matrix exists — not even in training:
+  // backward re-gathers patches from cached_input_ the same way.
   const float* w = weight_.value.data();
   parallel_for(0, static_cast<std::size_t>(n), [&](std::size_t i) {
-    // Per-image scratch when not caching for backward.
-    std::vector<float> local_col;
-    float* col;
-    if (training) {
-      col = cached_cols_.data() + static_cast<std::int64_t>(i) * col_rows * col_cols;
-    } else {
-      local_col.assign(static_cast<std::size_t>(col_rows * col_cols), 0.0f);
-      col = local_col.data();
-    }
-    im2col(input.data() + static_cast<std::int64_t>(i) * in_plane, geom_, col);
     float* dst = out.data() + static_cast<std::int64_t>(i) * out_plane;
-    gemm(out_channels_, col_cols, col_rows, 1.0f, w, col, 0.0f, dst);
+    kernels::conv_forward_packed(geom_, w, out_channels_,
+                                 input.data() + static_cast<std::int64_t>(i) * in_plane, dst);
     if (with_bias_) {
       const float* pb = bias_.value.data();
       for (std::int64_t c = 0; c < out_channels_; ++c) {
@@ -100,8 +100,6 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
   const std::int64_t n = cached_batch_;
   const std::int64_t oh = geom_.out_h();
   const std::int64_t ow = geom_.out_w();
-  const std::int64_t col_rows = geom_.col_rows();
-  const std::int64_t col_cols = geom_.col_cols();
   const std::int64_t in_plane = in_channels_ * geom_.in_h * geom_.in_w;
   const std::int64_t out_plane = out_channels_ * oh * ow;
   if (grad_output.rank() != 4 || grad_output.dim(0) != n || grad_output.dim(1) != out_channels_ ||
@@ -111,43 +109,33 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
 
   Tensor grad_input(cached_input_.shape());
   const float* w = weight_.value.data();
+  const float* x = cached_input_.data();
 
-  // Parallel over images with per-thread dW accumulators to avoid races.
-  const int workers = num_threads();
-  std::vector<Tensor> dw_partial(static_cast<std::size_t>(workers),
-                                 Tensor(weight_.value.shape()));
-  std::vector<Tensor> db_partial(static_cast<std::size_t>(workers), Tensor(bias_.value.shape()));
+  const std::int64_t slots = std::min<std::int64_t>(kReduceSlots, n);
+  std::vector<Tensor> dw_partial(static_cast<std::size_t>(slots), Tensor(weight_.value.shape()));
+  std::vector<Tensor> db_partial(static_cast<std::size_t>(slots), Tensor(bias_.value.shape()));
 
-  parallel_for_chunks(
-      0, static_cast<std::size_t>(n),
-      [&](std::size_t lo, std::size_t hi) {
-        // Thread slot derived from chunk start; chunks are disjoint.
-        const std::size_t slot =
-            (lo * static_cast<std::size_t>(workers)) / static_cast<std::size_t>(n);
-        Tensor& dw = dw_partial[std::min(slot, dw_partial.size() - 1)];
-        Tensor& db = db_partial[std::min(slot, db_partial.size() - 1)];
-        std::vector<float> dcol(static_cast<std::size_t>(col_rows * col_cols));
-        for (std::size_t i = lo; i < hi; ++i) {
-          const float* dy = grad_output.data() + static_cast<std::int64_t>(i) * out_plane;
-          const float* col = cached_cols_.data() + static_cast<std::int64_t>(i) * col_rows * col_cols;
-          // dW[out_c, col_rows] += dY[out_c, col_cols] * col^T
-          gemm_bt(out_channels_, col_rows, col_cols, 1.0f, dy, col, 1.0f, dw.data());
-          if (with_bias_) {
-            float* pdb = db.data();
-            for (std::int64_t c = 0; c < out_channels_; ++c) {
-              const float* row = dy + c * oh * ow;
-              double acc = 0.0;
-              for (std::int64_t p = 0; p < oh * ow; ++p) acc += row[p];
-              pdb[c] += static_cast<float>(acc);
-            }
-          }
-          // dcol[col_rows, col_cols] = W^T[col_rows, out_c] * dY
-          gemm_at(col_rows, col_cols, out_channels_, 1.0f, w, dy, 0.0f, dcol.data());
-          float* dx = grad_input.data() + static_cast<std::int64_t>(i) * in_plane;
-          col2im(dcol.data(), geom_, dx);
+  parallel_for(0, static_cast<std::size_t>(slots), [&](std::size_t s) {
+    const std::int64_t lo = static_cast<std::int64_t>(s) * n / slots;
+    const std::int64_t hi = (static_cast<std::int64_t>(s) + 1) * n / slots;
+    Tensor& dw = dw_partial[s];
+    Tensor& db = db_partial[s];
+    for (std::int64_t i = lo; i < hi; ++i) {
+      const float* dy = grad_output.data() + i * out_plane;
+      const float* img = x + i * in_plane;
+      kernels::conv_grad_weight_packed(geom_, dy, out_channels_, img, dw.data());
+      if (with_bias_) {
+        float* pdb = db.data();
+        for (std::int64_t c = 0; c < out_channels_; ++c) {
+          const float* row = dy + c * oh * ow;
+          double acc = 0.0;
+          for (std::int64_t p = 0; p < oh * ow; ++p) acc += row[p];
+          pdb[c] += static_cast<float>(acc);
         }
-      },
-      /*min_parallel_trip=*/2);
+      }
+      kernels::conv_grad_input_packed(geom_, w, out_channels_, dy, grad_input.data() + i * in_plane);
+    }
+  });
 
   for (const Tensor& dw : dw_partial) {
     float* acc = weight_.grad.data();

@@ -1,4 +1,9 @@
-// 2-D convolution (NCHW) via im2col + GEMM.
+// 2-D convolution (NCHW) via fused-im2col packed GEMM.
+//
+// Patch gathering happens inside the kernel backend's pack step
+// (src/tensor/kernels/), so the [C*kh*kw, oh*ow] column matrix is never
+// materialized — forward, dW, and dX all stream KC x NR panels through the
+// per-thread pack arena instead.
 //
 // CIFAR-style ResNets use 3x3 stride-1/2 pad-1 convolutions without bias
 // (batch norm follows); bias is supported for standalone use.
@@ -37,8 +42,7 @@ class Conv2d final : public Module {
   Param weight_;  ///< [out_c, in_c * k * k] — already in crossbar matrix layout
   Param bias_;    ///< [out_c]
   ConvGeometry geom_;
-  Tensor cached_input_;
-  std::vector<float> cached_cols_;  ///< per-batch im2col buffers (training only)
+  Tensor cached_input_;  ///< training only; backward re-gathers patches from it
   std::int64_t cached_batch_ = 0;
 };
 

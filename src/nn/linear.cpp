@@ -37,7 +37,8 @@ Tensor Linear::forward(const Tensor& input, bool training) {
   if (training) cached_input_ = input;
   const std::int64_t n = input.dim(0);
   Tensor out(Shape{n, out_features_});
-  // out[N,out] = input[N,in] * W^T[in,out]
+  // out[N,out] = input[N,in] * W^T[in,out] — the transpose is absorbed into
+  // pack-B inside the kernel backend, not materialized.
   gemm_bt(n, out_features_, in_features_, 1.0f, input.data(), weight_.value.data(), 0.0f,
           out.data());
   if (with_bias_) {

@@ -47,6 +47,10 @@ class CrossbarArray {
   /// out cols() elements.
   void matvec(const float* in, float* out) const;
 
+  /// Raw row-major [rows, cols] conductance matrix (stuck values included).
+  /// Lets the tiled engine batch MVMs through the packed GEMM backend.
+  [[nodiscard]] const float* conductance_data() const noexcept { return g_.data(); }
+
   /// Number of currently stuck cells.
   [[nodiscard]] std::int64_t stuck_count() const noexcept;
 

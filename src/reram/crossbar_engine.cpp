@@ -6,6 +6,9 @@
 #include <stdexcept>
 #include <vector>
 
+#include "src/tensor/kernels/gemm_driver.hpp"
+#include "src/tensor/kernels/pack_arena.hpp"
+
 namespace ftpim {
 
 CrossbarEngine::CrossbarEngine(const Tensor& weights, const CrossbarEngineConfig& config,
@@ -67,25 +70,37 @@ void CrossbarEngine::clear_defects() {
   for (CrossbarArray& t : tiles_) t.clear_defects();
 }
 
-void CrossbarEngine::mvm(const float* x, float* y) const {
-  std::fill(y, y + out_, 0.0f);
-  std::vector<float> x_slice(static_cast<std::size_t>(config_.tile_rows), 0.0f);
-  std::vector<float> currents(static_cast<std::size_t>(config_.tile_cols));
+void CrossbarEngine::mvm(const float* x, float* y) const { mvm_batch(x, 1, y); }
+
+void CrossbarEngine::mvm_batch(const float* x, std::int64_t batch, float* y) const {
+  FTPIM_CHECK_GE(batch, 0);
+  if (batch == 0) return;
+  std::fill(y, y + batch * out_, 0.0f);
+  const std::int64_t tc = config_.tile_cols;
   const float g_to_w = w_max_ / config_.range.span();
+  // Column currents live in arena scratch (slot 2 — disjoint from the conv
+  // dX slab in slot 0), so steady-state serving allocates nothing here.
+  kernels::PackArena& arena = kernels::PackArena::local();
+  float* currents = arena.scratch_buffer(2, static_cast<std::size_t>(batch * tc));
 
   for (std::int64_t rt = 0; rt < row_tiles_; ++rt) {
     const std::int64_t base = rt * config_.tile_rows;
     const std::int64_t valid = std::min(config_.tile_rows, in_ - base);
-    std::fill(x_slice.begin(), x_slice.end(), 0.0f);
-    std::copy(x + base, x + base + valid, x_slice.begin());
     for (std::int64_t ct = 0; ct < col_tiles_; ++ct) {
-      tile(rt, ct).matvec(x_slice.data(), currents.data());
+      // currents[batch, tile_cols] = X[:, base:base+valid] * G[0:valid, :].
+      // Rows past `valid` carry zero drive in the analog model, so k = valid.
+      const kernels::PackASource a{x + base, in_, kernels::PackASource::Layout::kRowMajor};
+      const kernels::PackBSource b{tile(rt, ct).conductance_data(), tc, nullptr,
+                                   kernels::PackBSource::Layout::kRowMajor};
+      kernels::gemm_packed(batch, tc, valid, 1.0f, a, b, 0.0f, currents, tc);
       const std::int64_t out_base = ct * outs_per_tile_;
       const std::int64_t out_count = std::min(outs_per_tile_, out_ - out_base);
-      for (std::int64_t o = 0; o < out_count; ++o) {
-        y[out_base + o] +=
-            (currents[static_cast<std::size_t>(2 * o)] -
-             currents[static_cast<std::size_t>(2 * o + 1)]) * g_to_w;
+      for (std::int64_t bi = 0; bi < batch; ++bi) {
+        const float* cur = currents + bi * tc;
+        float* yrow = y + bi * out_;
+        for (std::int64_t o = 0; o < out_count; ++o) {
+          yrow[out_base + o] += (cur[2 * o] - cur[2 * o + 1]) * g_to_w;
+        }
       }
     }
   }

@@ -52,6 +52,11 @@ class CrossbarEngine {
   /// y[out] = W_effective * x[in] computed through the crossbar tiles.
   void mvm(const float* x, float* y) const;
 
+  /// Batched form: y[batch, out] = x[batch, in] * W_effective^T, computed
+  /// per tile through the packed GEMM backend (one GEMM per tile instead of
+  /// batch scalar matvecs). mvm() is the batch-of-one special case.
+  void mvm_batch(const float* x, std::int64_t batch, float* y) const;
+
   /// Reads the effective weight matrix (including fault distortions).
   [[nodiscard]] Tensor read_back() const;
 

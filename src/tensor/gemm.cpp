@@ -1,17 +1,13 @@
 #include "src/tensor/gemm.hpp"
 
-#include <algorithm>
-#include <cstring>
-#include <vector>
-
 #include "src/common/check.hpp"
-#include "src/common/parallel.hpp"
+#include "src/tensor/kernels/gemm_driver.hpp"
 
 namespace ftpim {
 namespace {
 
-// Kernel-entry preconditions (debug-only: gemm sits on the training hot
-// path). Null operand pointers are legal only for empty problems.
+// Entry preconditions (debug-only: gemm sits on the training hot path).
+// Null operand pointers are legal only for empty problems.
 void dcheck_gemm_args(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
                       const float* b, const float* c) {
   FTPIM_DCHECK_GE(m, 0);
@@ -22,115 +18,30 @@ void dcheck_gemm_args(std::int64_t m, std::int64_t n, std::int64_t k, const floa
   FTPIM_DCHECK(k == 0 || n == 0 || b != nullptr, "gemm: null B");
 }
 
-constexpr std::int64_t kBlockK = 256;
-constexpr std::int64_t kBlockN = 128;
-
-// Scales (or clears) a row range of C by beta before accumulation.
-void scale_c(std::int64_t rows, std::int64_t n, float beta, float* c) {
-  if (beta == 1.0f) return;
-  if (beta == 0.0f) {
-    std::memset(c, 0, static_cast<std::size_t>(rows * n) * sizeof(float));
-    return;
-  }
-  for (std::int64_t i = 0; i < rows * n; ++i) c[i] *= beta;
-}
-
-// Inner kernel: C[lo:hi, :] += alpha * A[lo:hi, :] * B, plain row-major.
-void gemm_rows(std::int64_t lo, std::int64_t hi, std::int64_t n, std::int64_t k, float alpha,
-               const float* a, const float* b, float* c) {
-  for (std::int64_t kk = 0; kk < k; kk += kBlockK) {
-    const std::int64_t kend = std::min(k, kk + kBlockK);
-    for (std::int64_t nn = 0; nn < n; nn += kBlockN) {
-      const std::int64_t nend = std::min(n, nn + kBlockN);
-      for (std::int64_t i = lo; i < hi; ++i) {
-        const float* arow = a + i * k;
-        float* crow = c + i * n;
-        for (std::int64_t p = kk; p < kend; ++p) {
-          const float av = alpha * arow[p];
-          if (av == 0.0f) continue;  // sparse models: skip pruned weights
-          const float* brow = b + p * n;
-          for (std::int64_t j = nn; j < nend; ++j) crow[j] += av * brow[j];
-        }
-      }
-    }
-  }
-}
-
 }  // namespace
 
 void gemm(std::int64_t m, std::int64_t n, std::int64_t k, float alpha, const float* a,
           const float* b, float beta, float* c) {
   dcheck_gemm_args(m, n, k, a, b, c);
-  if (m <= 0 || n <= 0) return;
-  scale_c(m, n, beta, c);
-  if (k <= 0 || alpha == 0.0f) return;
-  const std::int64_t min_rows_parallel = std::max<std::int64_t>(1, 16384 / std::max<std::int64_t>(1, n * k / 64));
-  if (m >= 2 && m >= min_rows_parallel) {
-    parallel_for_chunks(0, static_cast<std::size_t>(m),
-                        [&](std::size_t lo, std::size_t hi) {
-                          gemm_rows(static_cast<std::int64_t>(lo), static_cast<std::int64_t>(hi),
-                                    n, k, alpha, a, b, c);
-                        },
-                        /*min_parallel_trip=*/2);
-  } else {
-    gemm_rows(0, m, n, k, alpha, a, b, c);
-  }
+  const kernels::PackASource pa{a, k, kernels::PackASource::Layout::kRowMajor};
+  const kernels::PackBSource pb{b, n, nullptr, kernels::PackBSource::Layout::kRowMajor};
+  kernels::gemm_packed(m, n, k, alpha, pa, pb, beta, c, n);
 }
 
 void gemm_at(std::int64_t m, std::int64_t n, std::int64_t k, float alpha, const float* a,
              const float* b, float beta, float* c) {
   dcheck_gemm_args(m, n, k, a, b, c);
-  if (m <= 0 || n <= 0) return;
-  scale_c(m, n, beta, c);
-  if (k <= 0 || alpha == 0.0f) return;
-  // C[i,j] += alpha * sum_p A[p,i] * B[p,j]; stream over p for locality.
-  // Parallelize over row blocks of C to avoid write races.
-  const auto body = [&](std::size_t lo_sz, std::size_t hi_sz) {
-    const auto lo = static_cast<std::int64_t>(lo_sz);
-    const auto hi = static_cast<std::int64_t>(hi_sz);
-    for (std::int64_t p = 0; p < k; ++p) {
-      const float* arow = a + p * m;
-      const float* brow = b + p * n;
-      for (std::int64_t i = lo; i < hi; ++i) {
-        const float av = alpha * arow[i];
-        if (av == 0.0f) continue;
-        float* crow = c + i * n;
-        for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
-  };
-  if (m >= 8) {
-    parallel_for_chunks(0, static_cast<std::size_t>(m), body, /*min_parallel_trip=*/8);
-  } else {
-    body(0, static_cast<std::size_t>(m));
-  }
+  const kernels::PackASource pa{a, m, kernels::PackASource::Layout::kTransposed};
+  const kernels::PackBSource pb{b, n, nullptr, kernels::PackBSource::Layout::kRowMajor};
+  kernels::gemm_packed(m, n, k, alpha, pa, pb, beta, c, n);
 }
 
 void gemm_bt(std::int64_t m, std::int64_t n, std::int64_t k, float alpha, const float* a,
              const float* b, float beta, float* c) {
   dcheck_gemm_args(m, n, k, a, b, c);
-  if (m <= 0 || n <= 0) return;
-  scale_c(m, n, beta, c);
-  if (k <= 0 || alpha == 0.0f) return;
-  const auto body = [&](std::size_t lo_sz, std::size_t hi_sz) {
-    const auto lo = static_cast<std::int64_t>(lo_sz);
-    const auto hi = static_cast<std::int64_t>(hi_sz);
-    for (std::int64_t i = lo; i < hi; ++i) {
-      const float* arow = a + i * k;
-      float* crow = c + i * n;
-      for (std::int64_t j = 0; j < n; ++j) {
-        const float* brow = b + j * k;
-        double acc = 0.0;
-        for (std::int64_t p = 0; p < k; ++p) acc += static_cast<double>(arow[p]) * brow[p];
-        crow[j] += alpha * static_cast<float>(acc);
-      }
-    }
-  };
-  if (m >= 4) {
-    parallel_for_chunks(0, static_cast<std::size_t>(m), body, /*min_parallel_trip=*/4);
-  } else {
-    body(0, static_cast<std::size_t>(m));
-  }
+  const kernels::PackASource pa{a, k, kernels::PackASource::Layout::kRowMajor};
+  const kernels::PackBSource pb{b, k, nullptr, kernels::PackBSource::Layout::kTransposed};
+  kernels::gemm_packed(m, n, k, alpha, pa, pb, beta, c, n);
 }
 
 }  // namespace ftpim

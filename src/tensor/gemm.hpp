@@ -1,9 +1,15 @@
-// Blocked single-precision GEMM kernels.
+// Single-precision GEMM entry points.
 //
-// C[M,N] (+)= A[M,K] * B[K,N], with optional transposes. The inner kernel is
-// register-blocked and cache-tiled; rows of C are split across worker threads.
-// This is the compute backbone for both the Linear/Conv2d layers (via im2col)
-// and the ideal-arithmetic reference path of the crossbar engine.
+// C[M,N] (+)= A[M,K] * B[K,N], with optional transposes. These are thin
+// wrappers over the packed blocked backend in src/tensor/kernels/ (panel
+// packing + register-tiled micro-kernel, scalar or AVX2 chosen by runtime
+// dispatch — see kernels/dispatch.hpp and the FTPIM_KERNEL env var).
+// Transposes are absorbed into packing, so all three variants share one
+// driver. This is the compute backbone for the Linear/Conv2d layers and the
+// ideal-arithmetic reference path of the crossbar engine.
+//
+// Results are bit-identical across FTPIM_THREADS values at a fixed dispatch
+// level; see kernels/gemm_driver.hpp for the determinism contract.
 #pragma once
 
 #include <cstdint>
@@ -14,7 +20,7 @@ namespace ftpim {
 void gemm(std::int64_t m, std::int64_t n, std::int64_t k, float alpha, const float* a,
           const float* b, float beta, float* c);
 
-/// C = alpha * A^T(KxM stored as MxK? no: A is KxM stored row-major, used as MxK) * B + beta*C.
+/// C = alpha * A^T * B + beta * C with A stored [K,M] row-major.
 /// Concretely: C[i,j] += sum_k A[k,i] * B[k,j], A has leading dim M.
 void gemm_at(std::int64_t m, std::int64_t n, std::int64_t k, float alpha, const float* a,
              const float* b, float beta, float* c);

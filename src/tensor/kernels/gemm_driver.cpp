@@ -1,0 +1,104 @@
+#include "src/tensor/kernels/gemm_driver.hpp"
+
+#include <algorithm>
+
+#include "src/common/check.hpp"
+#include "src/common/parallel.hpp"
+#include "src/tensor/kernels/dispatch.hpp"
+#include "src/tensor/kernels/kernel_params.hpp"
+#include "src/tensor/kernels/microkernel.hpp"
+#include "src/tensor/kernels/pack_arena.hpp"
+
+namespace ftpim::kernels {
+namespace {
+
+void scale_rows(float* c, std::int64_t ldc, std::int64_t i_begin, std::int64_t i_end,
+                std::int64_t n, float beta) {
+  if (beta == 1.0f) return;
+  for (std::int64_t i = i_begin; i < i_end; ++i) {
+    float* row = c + i * ldc;
+    if (beta == 0.0f) {
+      std::fill(row, row + n, 0.0f);
+    } else {
+      for (std::int64_t j = 0; j < n; ++j) row[j] *= beta;
+    }
+  }
+}
+
+}  // namespace
+
+void gemm_packed(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+                 const PackASource& a, const PackBSource& b, float beta, float* c,
+                 std::int64_t ldc) {
+  FTPIM_CHECK_GE(m, 0);
+  FTPIM_CHECK_GE(n, 0);
+  FTPIM_CHECK_GE(k, 0);
+  FTPIM_CHECK_GE(ldc, n);
+  if (m == 0 || n == 0) return;
+  if (k == 0 || alpha == 0.0f) {
+    scale_rows(c, ldc, 0, m, n, beta);
+    return;
+  }
+
+  const MicroKernel uk = select_micro_kernel(active_kernel_level());
+  const std::int64_t kc_max = std::min<std::int64_t>(k, kKC);
+  const std::int64_t nc_max = std::min<std::int64_t>(n, kNC);
+  const std::int64_t mc_max = std::min<std::int64_t>(m, kMC);
+  const std::size_t b_elems =
+      static_cast<std::size_t>(ceil_div(nc_max, kNR) * kNR * kc_max);
+  const std::size_t a_elems =
+      static_cast<std::size_t>(ceil_div(mc_max, kMR) * kMR * kc_max);
+
+  // Each worker owns a contiguous range of absolute kMR-aligned micro-row
+  // panels of C and runs the full NC/KC loop nest over its rows, packing its
+  // own copy of B. Packing work for B is duplicated across workers; with a
+  // shared pack the slab would need a barrier per (jc, pc) and the splitter
+  // spawns threads per region, so per-worker packs are both simpler and
+  // cheaper at the core counts this repo targets.
+  const auto worker = [&](std::size_t panel_begin, std::size_t panel_end) {
+    const std::int64_t i_begin = static_cast<std::int64_t>(panel_begin) * kMR;
+    const std::int64_t i_end =
+        std::min<std::int64_t>(m, static_cast<std::int64_t>(panel_end) * kMR);
+    if (i_begin >= i_end) return;
+    scale_rows(c, ldc, i_begin, i_end, n, beta);
+
+    PackArena& arena = PackArena::local();
+    float* bbuf = arena.b_buffer(b_elems);
+    float* abuf = arena.a_buffer(a_elems);
+
+    for (std::int64_t jc = 0; jc < n; jc += kNC) {
+      const std::int64_t nc = std::min<std::int64_t>(kNC, n - jc);
+      for (std::int64_t pc = 0; pc < k; pc += kKC) {
+        const std::int64_t kc = std::min<std::int64_t>(kKC, k - pc);
+        pack_b_block(b, pc, kc, jc, nc, bbuf);
+        for (std::int64_t ic = i_begin; ic < i_end; ic += kMC) {
+          const std::int64_t mc = std::min<std::int64_t>(kMC, i_end - ic);
+          pack_a_block(a, ic, mc, pc, kc, alpha, abuf);
+          for (std::int64_t jr = 0; jr < nc; jr += kNR) {
+            const std::int64_t nr_eff = std::min<std::int64_t>(kNR, nc - jr);
+            const float* b_panel = bbuf + (jr / kNR) * kc * kNR;
+            for (std::int64_t ir = 0; ir < mc; ir += kMR) {
+              const std::int64_t mr_eff = std::min<std::int64_t>(kMR, mc - ir);
+              uk(kc, abuf + (ir / kMR) * kc * kMR, b_panel,
+                 c + (ic + ir) * ldc + jc + jr, ldc, mr_eff, nr_eff);
+            }
+          }
+        }
+      }
+    }
+  };
+
+  const std::int64_t row_panels = ceil_div(m, kMR);
+  const bool go_parallel =
+      row_panels >= 2 && 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+                                 static_cast<double>(k) >=
+                             kMinParallelFlops;
+  if (go_parallel) {
+    parallel_for_chunks(0, static_cast<std::size_t>(row_panels), worker,
+                        /*min_parallel_trip=*/2);
+  } else {
+    worker(0, static_cast<std::size_t>(row_panels));
+  }
+}
+
+}  // namespace ftpim::kernels

@@ -1,0 +1,36 @@
+// Packed blocked GEMM driver — the single compute entry point behind
+// ftpim::gemm / gemm_at / gemm_bt and the fused Conv2d path.
+//
+// Computes C = alpha * A * B + beta * C where A and B are *logical* operands
+// described by PackASource / PackBSource: transposes and im2col patch
+// gathering are absorbed into packing, so one macro-loop nest and one
+// micro-kernel (scalar or AVX2, chosen by runtime dispatch) serve every
+// caller.
+//
+// Structure is the classic GotoBLAS five-loop nest: NC -> KC slabs with B
+// packed into kNR-column panels, MC blocks of A packed into kMR-row panels
+// (alpha folded in), and an MR x NR register-tiled micro-kernel at the core.
+//
+// Determinism contract: results are bit-identical for any FTPIM_THREADS value
+// at a fixed dispatch level. Work is split over absolute kMR-aligned
+// micro-row panels of C, each owned by exactly one worker; for every C
+// element, beta scaling happens once up front and K-contributions accumulate
+// in ascending (pc, p) order with one read-modify-write per KC slab — a pure
+// function of the problem, not of the thread partition. Results are NOT
+// bit-identical *across* dispatch levels (the AVX2 kernel contracts
+// multiply+add into FMA).
+#pragma once
+
+#include <cstdint>
+
+#include "src/tensor/kernels/pack.hpp"
+
+namespace ftpim::kernels {
+
+/// C[m,n] = alpha * A[m,k] * B[k,n] + beta * C, C row-major with leading
+/// dimension ldc (>= n). A and B layouts per their sources.
+void gemm_packed(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+                 const PackASource& a, const PackBSource& b, float beta, float* c,
+                 std::int64_t ldc);
+
+}  // namespace ftpim::kernels

@@ -1,0 +1,37 @@
+// Blocking parameters shared by every kernel backend level.
+//
+// The packed GEMM follows the GotoBLAS/BLIS decomposition: C is computed in
+// kMR x kNR register tiles from panels packed so the micro-kernel streams
+// both operands contiguously. The pack layout is a function of kMR/kNR only,
+// so the scalar and AVX2 micro-kernels consume identical buffers and the
+// dispatch level can change without touching the packing or macro loops.
+//
+//   kMR x kNR   register tile  (6x16: 12 fp32 ymm accumulators on AVX2)
+//   kKC         K-block: one packed A panel of kMC*kKC floats stays L2-hot
+//   kMC         M-block per pack-A call (multiple of kMR)
+//   kNC         N-block: packed B panel of kKC*kNC floats (L3) (multiple of kNR)
+#pragma once
+
+#include <cstdint>
+
+namespace ftpim::kernels {
+
+inline constexpr std::int64_t kMR = 6;
+inline constexpr std::int64_t kNR = 16;
+inline constexpr std::int64_t kMC = 96;
+inline constexpr std::int64_t kKC = 256;
+inline constexpr std::int64_t kNC = 1024;
+
+static_assert(kMC % kMR == 0, "kMC must be a multiple of the micro-tile rows");
+static_assert(kNC % kNR == 0, "kNC must be a multiple of the micro-tile cols");
+
+/// ceil(a / b) for positive operands.
+[[nodiscard]] constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// Problems below this flop count run the macro loops on the calling thread:
+/// thread spawn costs more than the multiply (parallel.hpp has no pool).
+inline constexpr double kMinParallelFlops = 1.5e6;
+
+}  // namespace ftpim::kernels

@@ -1,0 +1,46 @@
+// Register-tiled micro-kernels consumed by the packed GEMM macro loops.
+//
+// Contract (identical for every level):
+//
+//   C[0:mr_eff, 0:nr_eff] += sum_p a_panel[p*kMR + r] * b_panel[p*kNR + j]
+//
+// a_panel/b_panel are kMR-row / kNR-column panels produced by pack.hpp,
+// zero-padded to the full micro-tile, with alpha already folded into A.
+// The kernel accumulates the whole K-slab in registers and performs one
+// read-modify-write per C element, so per-element floating-point order is a
+// pure function of the global (k-block, k) sequence — never of which thread
+// ran the tile or where the mc/nc block boundaries fell. That property is
+// what makes gemm results bit-identical at any FTPIM_THREADS.
+//
+// Edge tiles (mr_eff < kMR or nr_eff < kNR) compute the full padded tile and
+// write back only the valid region; padded lanes multiply zeros.
+#pragma once
+
+#include <cstdint>
+
+#include "src/tensor/kernels/dispatch.hpp"
+#include "src/tensor/kernels/kernel_params.hpp"
+
+namespace ftpim::kernels {
+
+using MicroKernel = void (*)(std::int64_t kc, const float* a_panel, const float* b_panel,
+                             float* c, std::int64_t ldc, std::int64_t mr_eff,
+                             std::int64_t nr_eff);
+
+/// Portable reference micro-kernel (the FTPIM_KERNEL=scalar path).
+void micro_kernel_scalar(std::int64_t kc, const float* a_panel, const float* b_panel, float* c,
+                         std::int64_t ldc, std::int64_t mr_eff, std::int64_t nr_eff);
+
+/// AVX2/FMA micro-kernel: 6x16 tile in 12 ymm accumulators. Falls back to
+/// the scalar kernel when the translation unit was built without AVX2
+/// support (non-x86 targets); the dispatcher never selects it there.
+void micro_kernel_avx2(std::int64_t kc, const float* a_panel, const float* b_panel, float* c,
+                       std::int64_t ldc, std::int64_t mr_eff, std::int64_t nr_eff);
+
+/// True when micro_kernel_avx2 was actually compiled with AVX2+FMA.
+[[nodiscard]] bool kernel_avx2_compiled() noexcept;
+
+/// Level -> function pointer.
+[[nodiscard]] MicroKernel select_micro_kernel(KernelLevel level) noexcept;
+
+}  // namespace ftpim::kernels

@@ -1,0 +1,111 @@
+// The ONLY translation unit in the tree allowed to use raw SIMD intrinsics
+// (enforced by the simd-intrinsics lint rule); built with -mavx2 -mfma on
+// x86 (see src/CMakeLists.txt). Everything else reaches vector code through
+// the dispatch in dispatch.hpp.
+#include "src/tensor/kernels/microkernel.hpp"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+namespace ftpim::kernels {
+
+bool kernel_avx2_compiled() noexcept { return true; }
+
+void micro_kernel_avx2(std::int64_t kc, const float* a_panel, const float* b_panel, float* c,
+                       std::int64_t ldc, std::int64_t mr_eff, std::int64_t nr_eff) {
+  // 6x16 tile: two ymm columns per row, 12 accumulators + 2 B loads + 1
+  // broadcast = 15 of the 16 ymm registers.
+  __m256 c0a = _mm256_setzero_ps(), c0b = _mm256_setzero_ps();
+  __m256 c1a = _mm256_setzero_ps(), c1b = _mm256_setzero_ps();
+  __m256 c2a = _mm256_setzero_ps(), c2b = _mm256_setzero_ps();
+  __m256 c3a = _mm256_setzero_ps(), c3b = _mm256_setzero_ps();
+  __m256 c4a = _mm256_setzero_ps(), c4b = _mm256_setzero_ps();
+  __m256 c5a = _mm256_setzero_ps(), c5b = _mm256_setzero_ps();
+
+  for (std::int64_t p = 0; p < kc; ++p) {
+    const float* a = a_panel + p * kMR;
+    const float* b = b_panel + p * kNR;
+    const __m256 b0 = _mm256_loadu_ps(b);
+    const __m256 b1 = _mm256_loadu_ps(b + 8);
+    __m256 av;
+    av = _mm256_broadcast_ss(a + 0);
+    c0a = _mm256_fmadd_ps(av, b0, c0a);
+    c0b = _mm256_fmadd_ps(av, b1, c0b);
+    av = _mm256_broadcast_ss(a + 1);
+    c1a = _mm256_fmadd_ps(av, b0, c1a);
+    c1b = _mm256_fmadd_ps(av, b1, c1b);
+    av = _mm256_broadcast_ss(a + 2);
+    c2a = _mm256_fmadd_ps(av, b0, c2a);
+    c2b = _mm256_fmadd_ps(av, b1, c2b);
+    av = _mm256_broadcast_ss(a + 3);
+    c3a = _mm256_fmadd_ps(av, b0, c3a);
+    c3b = _mm256_fmadd_ps(av, b1, c3b);
+    av = _mm256_broadcast_ss(a + 4);
+    c4a = _mm256_fmadd_ps(av, b0, c4a);
+    c4b = _mm256_fmadd_ps(av, b1, c4b);
+    av = _mm256_broadcast_ss(a + 5);
+    c5a = _mm256_fmadd_ps(av, b0, c5a);
+    c5b = _mm256_fmadd_ps(av, b1, c5b);
+  }
+
+  if (mr_eff == kMR && nr_eff == kNR) {
+    float* r0 = c;
+    float* r1 = c + ldc;
+    float* r2 = c + 2 * ldc;
+    float* r3 = c + 3 * ldc;
+    float* r4 = c + 4 * ldc;
+    float* r5 = c + 5 * ldc;
+    _mm256_storeu_ps(r0, _mm256_add_ps(_mm256_loadu_ps(r0), c0a));
+    _mm256_storeu_ps(r0 + 8, _mm256_add_ps(_mm256_loadu_ps(r0 + 8), c0b));
+    _mm256_storeu_ps(r1, _mm256_add_ps(_mm256_loadu_ps(r1), c1a));
+    _mm256_storeu_ps(r1 + 8, _mm256_add_ps(_mm256_loadu_ps(r1 + 8), c1b));
+    _mm256_storeu_ps(r2, _mm256_add_ps(_mm256_loadu_ps(r2), c2a));
+    _mm256_storeu_ps(r2 + 8, _mm256_add_ps(_mm256_loadu_ps(r2 + 8), c2b));
+    _mm256_storeu_ps(r3, _mm256_add_ps(_mm256_loadu_ps(r3), c3a));
+    _mm256_storeu_ps(r3 + 8, _mm256_add_ps(_mm256_loadu_ps(r3 + 8), c3b));
+    _mm256_storeu_ps(r4, _mm256_add_ps(_mm256_loadu_ps(r4), c4a));
+    _mm256_storeu_ps(r4 + 8, _mm256_add_ps(_mm256_loadu_ps(r4 + 8), c4b));
+    _mm256_storeu_ps(r5, _mm256_add_ps(_mm256_loadu_ps(r5), c5a));
+    _mm256_storeu_ps(r5 + 8, _mm256_add_ps(_mm256_loadu_ps(r5 + 8), c5b));
+    return;
+  }
+
+  // Edge tile: spill the padded tile, write back only the valid region.
+  // The accumulation arithmetic is identical to the full-tile path, so a
+  // C element's value never depends on whether it sat in an edge tile.
+  alignas(32) float buf[kMR * kNR];
+  _mm256_store_ps(buf + 0 * kNR, c0a);
+  _mm256_store_ps(buf + 0 * kNR + 8, c0b);
+  _mm256_store_ps(buf + 1 * kNR, c1a);
+  _mm256_store_ps(buf + 1 * kNR + 8, c1b);
+  _mm256_store_ps(buf + 2 * kNR, c2a);
+  _mm256_store_ps(buf + 2 * kNR + 8, c2b);
+  _mm256_store_ps(buf + 3 * kNR, c3a);
+  _mm256_store_ps(buf + 3 * kNR + 8, c3b);
+  _mm256_store_ps(buf + 4 * kNR, c4a);
+  _mm256_store_ps(buf + 4 * kNR + 8, c4b);
+  _mm256_store_ps(buf + 5 * kNR, c5a);
+  _mm256_store_ps(buf + 5 * kNR + 8, c5b);
+  for (std::int64_t r = 0; r < mr_eff; ++r) {
+    float* crow = c + r * ldc;
+    for (std::int64_t j = 0; j < nr_eff; ++j) crow[j] += buf[r * kNR + j];
+  }
+}
+
+}  // namespace ftpim::kernels
+
+#else  // portable fallback for builds without AVX2/FMA
+
+namespace ftpim::kernels {
+
+bool kernel_avx2_compiled() noexcept { return false; }
+
+void micro_kernel_avx2(std::int64_t kc, const float* a_panel, const float* b_panel, float* c,
+                       std::int64_t ldc, std::int64_t mr_eff, std::int64_t nr_eff) {
+  micro_kernel_scalar(kc, a_panel, b_panel, c, ldc, mr_eff, nr_eff);
+}
+
+}  // namespace ftpim::kernels
+
+#endif

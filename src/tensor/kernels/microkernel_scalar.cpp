@@ -1,0 +1,33 @@
+#include "src/tensor/kernels/microkernel.hpp"
+
+namespace ftpim::kernels {
+
+void micro_kernel_scalar(std::int64_t kc, const float* a_panel, const float* b_panel, float* c,
+                         std::int64_t ldc, std::int64_t mr_eff, std::int64_t nr_eff) {
+  float acc[kMR][kNR] = {};
+  for (std::int64_t p = 0; p < kc; ++p) {
+    const float* a = a_panel + p * kMR;
+    const float* b = b_panel + p * kNR;
+    for (std::int64_t r = 0; r < kMR; ++r) {
+      const float av = a[r];
+      for (std::int64_t j = 0; j < kNR; ++j) acc[r][j] += av * b[j];
+    }
+  }
+  if (mr_eff == kMR && nr_eff == kNR) {
+    for (std::int64_t r = 0; r < kMR; ++r) {
+      float* crow = c + r * ldc;
+      for (std::int64_t j = 0; j < kNR; ++j) crow[j] += acc[r][j];
+    }
+  } else {
+    for (std::int64_t r = 0; r < mr_eff; ++r) {
+      float* crow = c + r * ldc;
+      for (std::int64_t j = 0; j < nr_eff; ++j) crow[j] += acc[r][j];
+    }
+  }
+}
+
+MicroKernel select_micro_kernel(KernelLevel level) noexcept {
+  return level == KernelLevel::kAvx2 ? micro_kernel_avx2 : micro_kernel_scalar;
+}
+
+}  // namespace ftpim::kernels

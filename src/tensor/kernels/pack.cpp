@@ -1,0 +1,160 @@
+#include "src/tensor/kernels/pack.hpp"
+
+#include "src/common/check.hpp"
+#include "src/tensor/kernels/kernel_params.hpp"
+
+namespace ftpim::kernels {
+namespace {
+
+void pack_b_matrix(const PackBSource& src, std::int64_t p0, std::int64_t kc, std::int64_t j0,
+                   std::int64_t nc, float* dst) {
+  const std::int64_t panels = ceil_div(nc, kNR);
+  for (std::int64_t jp = 0; jp < panels; ++jp) {
+    const std::int64_t cols = std::min<std::int64_t>(kNR, nc - jp * kNR);
+    float* out = dst + jp * kc * kNR;
+    if (src.layout == PackBSource::Layout::kRowMajor) {
+      const float* base = src.data + p0 * src.ld + j0 + jp * kNR;
+      for (std::int64_t p = 0; p < kc; ++p) {
+        const float* row = base + p * src.ld;
+        float* o = out + p * kNR;
+        for (std::int64_t j = 0; j < cols; ++j) o[j] = row[j];
+        for (std::int64_t j = cols; j < kNR; ++j) o[j] = 0.0f;
+      }
+    } else {  // kTransposed: B(p,j) = data[j*ld + p]
+      const float* base = src.data + (j0 + jp * kNR) * src.ld + p0;
+      for (std::int64_t p = 0; p < kc; ++p) {
+        float* o = out + p * kNR;
+        for (std::int64_t j = 0; j < cols; ++j) o[j] = base[j * src.ld + p];
+        for (std::int64_t j = cols; j < kNR; ++j) o[j] = 0.0f;
+      }
+    }
+  }
+}
+
+// Forward-conv layout: B(p = patch row, j = output pixel). Gathers straight
+// from the NCHW image — the fused-im2col half of the backend.
+void pack_b_im2col(const PackBSource& src, std::int64_t p0, std::int64_t kc, std::int64_t j0,
+                   std::int64_t nc, float* dst) {
+  const ConvGeometry& g = *src.geom;
+  const std::int64_t ow = g.out_w();
+  const std::int64_t khw = g.kernel_h * g.kernel_w;
+  const std::int64_t panels = ceil_div(nc, kNR);
+  for (std::int64_t jp = 0; jp < panels; ++jp) {
+    const std::int64_t cols = std::min<std::int64_t>(kNR, nc - jp * kNR);
+    float* out = dst + jp * kc * kNR;
+    const std::int64_t pix0 = j0 + jp * kNR;
+    for (std::int64_t p = 0; p < kc; ++p) {
+      const std::int64_t rp = p0 + p;
+      const std::int64_t c = rp / khw;
+      const std::int64_t rem = rp % khw;
+      const std::int64_t kh = rem / g.kernel_w;
+      const std::int64_t kw = rem % g.kernel_w;
+      const float* plane = src.data + c * g.in_h * g.in_w;
+      std::int64_t y = pix0 / ow;
+      std::int64_t x = pix0 % ow;
+      float* o = out + p * kNR;
+      for (std::int64_t j = 0; j < cols; ++j) {
+        const std::int64_t iy = y * g.stride_h - g.pad_h + kh;
+        const std::int64_t ix = x * g.stride_w - g.pad_w + kw;
+        const bool inside = iy >= 0 && iy < g.in_h && ix >= 0 && ix < g.in_w;
+        o[j] = inside ? plane[iy * g.in_w + ix] : 0.0f;
+        if (++x == ow) {
+          x = 0;
+          ++y;
+        }
+      }
+      for (std::int64_t j = cols; j < kNR; ++j) o[j] = 0.0f;
+    }
+  }
+}
+
+// dW layout: B(p = output pixel, j = patch row) — the patch matrix used
+// transposed, still gathered from the image with no intermediate buffer.
+void pack_b_im2col_trans(const PackBSource& src, std::int64_t p0, std::int64_t kc,
+                         std::int64_t j0, std::int64_t nc, float* dst) {
+  const ConvGeometry& g = *src.geom;
+  const std::int64_t ow = g.out_w();
+  const std::int64_t khw = g.kernel_h * g.kernel_w;
+  const std::int64_t panels = ceil_div(nc, kNR);
+  for (std::int64_t jp = 0; jp < panels; ++jp) {
+    const std::int64_t cols = std::min<std::int64_t>(kNR, nc - jp * kNR);
+    float* out = dst + jp * kc * kNR;
+    // Decompose this panel's patch rows once.
+    const float* plane[kNR];
+    std::int64_t kh[kNR];
+    std::int64_t kw[kNR];
+    for (std::int64_t j = 0; j < cols; ++j) {
+      const std::int64_t rj = j0 + jp * kNR + j;
+      const std::int64_t c = rj / khw;
+      const std::int64_t rem = rj % khw;
+      plane[j] = src.data + c * g.in_h * g.in_w;
+      kh[j] = rem / g.kernel_w;
+      kw[j] = rem % g.kernel_w;
+    }
+    std::int64_t y = p0 / ow;
+    std::int64_t x = p0 % ow;
+    for (std::int64_t p = 0; p < kc; ++p) {
+      float* o = out + p * kNR;
+      for (std::int64_t j = 0; j < cols; ++j) {
+        const std::int64_t iy = y * g.stride_h - g.pad_h + kh[j];
+        const std::int64_t ix = x * g.stride_w - g.pad_w + kw[j];
+        const bool inside = iy >= 0 && iy < g.in_h && ix >= 0 && ix < g.in_w;
+        o[j] = inside ? plane[j][iy * g.in_w + ix] : 0.0f;
+      }
+      for (std::int64_t j = cols; j < kNR; ++j) o[j] = 0.0f;
+      if (++x == ow) {
+        x = 0;
+        ++y;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void pack_a_block(const PackASource& src, std::int64_t i0, std::int64_t mc, std::int64_t p0,
+                  std::int64_t kc, float alpha, float* dst) {
+  FTPIM_DCHECK(src.data != nullptr);
+  const std::int64_t panels = ceil_div(mc, kMR);
+  for (std::int64_t ip = 0; ip < panels; ++ip) {
+    const std::int64_t rows = std::min<std::int64_t>(kMR, mc - ip * kMR);
+    float* out = dst + ip * kc * kMR;
+    if (src.layout == PackASource::Layout::kRowMajor) {
+      const float* base = src.data + (i0 + ip * kMR) * src.ld + p0;
+      for (std::int64_t p = 0; p < kc; ++p) {
+        float* o = out + p * kMR;
+        for (std::int64_t r = 0; r < rows; ++r) o[r] = alpha * base[r * src.ld + p];
+        for (std::int64_t r = rows; r < kMR; ++r) o[r] = 0.0f;
+      }
+    } else {  // kTransposed: A(i,p) = data[p*ld + i]
+      const float* base = src.data + p0 * src.ld + i0 + ip * kMR;
+      for (std::int64_t p = 0; p < kc; ++p) {
+        const float* col = base + p * src.ld;
+        float* o = out + p * kMR;
+        for (std::int64_t r = 0; r < rows; ++r) o[r] = alpha * col[r];
+        for (std::int64_t r = rows; r < kMR; ++r) o[r] = 0.0f;
+      }
+    }
+  }
+}
+
+void pack_b_block(const PackBSource& src, std::int64_t p0, std::int64_t kc, std::int64_t j0,
+                  std::int64_t nc, float* dst) {
+  FTPIM_DCHECK(src.data != nullptr);
+  switch (src.layout) {
+    case PackBSource::Layout::kRowMajor:
+    case PackBSource::Layout::kTransposed:
+      pack_b_matrix(src, p0, kc, j0, nc, dst);
+      break;
+    case PackBSource::Layout::kIm2col:
+      FTPIM_DCHECK(src.geom != nullptr);
+      pack_b_im2col(src, p0, kc, j0, nc, dst);
+      break;
+    case PackBSource::Layout::kIm2colTrans:
+      FTPIM_DCHECK(src.geom != nullptr);
+      pack_b_im2col_trans(src, p0, kc, j0, nc, dst);
+      break;
+  }
+}
+
+}  // namespace ftpim::kernels

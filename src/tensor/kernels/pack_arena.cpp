@@ -1,0 +1,18 @@
+#include "src/tensor/kernels/pack_arena.hpp"
+
+#include "src/common/check.hpp"
+
+namespace ftpim::kernels {
+
+PackArena& PackArena::local() {
+  thread_local PackArena arena;
+  return arena;
+}
+
+float* PackArena::scratch_buffer(int slot, std::size_t n) {
+  FTPIM_DCHECK_GE(slot, 0);
+  FTPIM_DCHECK_LT(slot, kScratchSlots);
+  return grow(scratch_[slot], n);
+}
+
+}  // namespace ftpim::kernels

@@ -1,0 +1,43 @@
+// Per-thread reusable scratch for the packed kernel backend.
+//
+// Pack buffers are requested on every gemm call but the backing storage is
+// thread-local and grows monotonically, so steady-state serving and
+// Monte-Carlo evaluation hot paths perform zero heap allocations: a worker
+// thread's first conv/gemm sizes the buffers, every later call reuses them.
+//
+// Slots:
+//   a_buffer / b_buffer   packed A / B panels inside gemm_packed
+//   scratch_buffer(slot)  caller-side staging (conv dX column panels,
+//                         crossbar input slices / column currents). Distinct
+//                         slots never alias; gemm_packed only touches a/b,
+//                         so scratch contents survive a nested gemm call.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ftpim::kernels {
+
+class PackArena {
+ public:
+  static constexpr int kScratchSlots = 4;
+
+  /// The calling thread's arena (thread_local singleton).
+  [[nodiscard]] static PackArena& local();
+
+  [[nodiscard]] float* a_buffer(std::size_t n) { return grow(a_, n); }
+  [[nodiscard]] float* b_buffer(std::size_t n) { return grow(b_, n); }
+  [[nodiscard]] float* scratch_buffer(int slot, std::size_t n);
+
+ private:
+  static float* grow(std::vector<float>& buf, std::size_t n) {
+    if (buf.size() < n) buf.resize(n);
+    return buf.data();
+  }
+
+  std::vector<float> a_;
+  std::vector<float> b_;
+  std::vector<float> scratch_[kScratchSlots];
+};
+
+}  // namespace ftpim::kernels

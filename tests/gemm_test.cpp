@@ -45,7 +45,13 @@ INSTANTIATE_TEST_SUITE_P(Shapes, GemmParamTest,
                          ::testing::Values(GemmDims{1, 1, 1}, GemmDims{3, 5, 7},
                                            GemmDims{16, 16, 16}, GemmDims{33, 65, 129},
                                            GemmDims{100, 1, 50}, GemmDims{1, 100, 50},
-                                           GemmDims{64, 300, 17}));
+                                           GemmDims{64, 300, 17},
+                                           // Packed-backend boundary shapes: exact
+                                           // 6x16 micro-tiles, one-off ragged edges,
+                                           // and K crossing the kKC=256 slab.
+                                           GemmDims{6, 16, 8}, GemmDims{7, 15, 16},
+                                           GemmDims{5, 17, 255}, GemmDims{96, 32, 257},
+                                           GemmDims{98, 47, 300}));
 
 TEST(Gemm, BetaZeroClearsGarbage) {
   // C initialized with NaN-free garbage must be fully overwritten when beta=0.

@@ -29,6 +29,12 @@ statistics reproducible (see DESIGN.md "Invariants & determinism rules"):
                         write can be killed mid-file and leave a torn
                         artifact; durable files go through AtomicFileWriter
                         (src/common/atomic_file.hpp: temp + fsync + rename).
+  simd-intrinsics       raw SIMD intrinsics (<immintrin.h>, _mm*/__m256...)
+                        are banned in src/ outside src/tensor/kernels/ —
+                        vector code lives behind the kernel backend's runtime
+                        dispatch (FTPIM_KERNEL) so every algorithm keeps a
+                        portable scalar path and the scalar/AVX2 pair stays
+                        testable against each other.
 
 Usage:
   ftpim_lint.py --root <repo>      lint the tree (exit 1 on any finding)
@@ -149,6 +155,18 @@ RULES = [
         allowed=lambda rel: rel == "src/common/atomic_file.cpp"
         or rel.startswith("src/common/logging."),
     ),
+    Rule(
+        name="simd-intrinsics",
+        pattern=re.compile(
+            r"<(?:immintrin|x86intrin|emmintrin|xmmintrin|smmintrin|avxintrin)\.h>|"
+            r"\b_mm\d*_\w+|\b__m(?:128|256|512)[di]?\b"
+        ),
+        message="raw SIMD intrinsics outside the kernel backend; vector code "
+        "lives in src/tensor/kernels/ behind the runtime dispatch "
+        "(FTPIM_KERNEL) so every path keeps a portable scalar twin",
+        applies=in_src,
+        allowed=lambda rel: rel.startswith("src/tensor/kernels/"),
+    ),
 ]
 
 PRAGMA_ONCE_RULE = "pragma-once"
@@ -209,6 +227,7 @@ def self_test(fixture_root: str) -> int:
         "src/common/serialize.cpp": {"unordered-output"},
         "src/serve/bad_wall_clock.cpp": {"serve-wall-clock"},
         "src/bad/raw_file_write.cpp": {"raw-file-write"},
+        "src/bad/simd_leak.cpp": {"simd-intrinsics"},
     }
     good = "src/good/clean_module.hpp"
 

@@ -1,0 +1,12 @@
+// Known-bad fixture: raw SIMD intrinsics outside src/tensor/kernels/.
+// The simd-intrinsics rule must flag the include, the type, and the call.
+#include <immintrin.h>
+
+float bad_sum8(const float* p) {
+  __m256 v = _mm256_loadu_ps(p);
+  alignas(32) float lanes[8];
+  _mm256_store_ps(lanes, v);
+  float s = 0.0f;
+  for (int i = 0; i < 8; ++i) s += lanes[i];
+  return s;
+}
