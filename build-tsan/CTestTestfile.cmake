@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build-tsan
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(lint.tree "/root/.pyenv/shims/python3" "/root/repo/tools/ftpim_lint.py" "--root" "/root/repo")
+set_tests_properties(lint.tree PROPERTIES  LABELS "lint" TIMEOUT "60" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;91;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(lint.selftest "/root/.pyenv/shims/python3" "/root/repo/tools/ftpim_lint.py" "--self-test")
+set_tests_properties(lint.selftest PROPERTIES  LABELS "lint" TIMEOUT "60" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;94;add_test;/root/repo/CMakeLists.txt;0;")
+subdirs("src")
+subdirs("tests")
+subdirs("bench")
+subdirs("examples")

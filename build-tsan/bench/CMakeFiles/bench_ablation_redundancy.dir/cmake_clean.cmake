@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_redundancy.dir/bench_ablation_redundancy.cpp.o"
+  "CMakeFiles/bench_ablation_redundancy.dir/bench_ablation_redundancy.cpp.o.d"
+  "bench_ablation_redundancy"
+  "bench_ablation_redundancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_redundancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

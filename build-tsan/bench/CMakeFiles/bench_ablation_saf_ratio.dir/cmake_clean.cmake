@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_saf_ratio.dir/bench_ablation_saf_ratio.cpp.o"
+  "CMakeFiles/bench_ablation_saf_ratio.dir/bench_ablation_saf_ratio.cpp.o.d"
+  "bench_ablation_saf_ratio"
+  "bench_ablation_saf_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_saf_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_device_specific.dir/bench_baseline_device_specific.cpp.o"
+  "CMakeFiles/bench_baseline_device_specific.dir/bench_baseline_device_specific.cpp.o.d"
+  "bench_baseline_device_specific"
+  "bench_baseline_device_specific.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_device_specific.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_serve_degradation.dir/bench_serve_degradation.cpp.o"
+  "CMakeFiles/bench_serve_degradation.dir/bench_serve_degradation.cpp.o.d"
+  "bench_serve_degradation"
+  "bench_serve_degradation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_serve_degradation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

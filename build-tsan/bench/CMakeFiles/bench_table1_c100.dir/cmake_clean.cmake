@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_c100.dir/bench_table1_c100.cpp.o"
+  "CMakeFiles/bench_table1_c100.dir/bench_table1_c100.cpp.o.d"
+  "bench_table1_c100"
+  "bench_table1_c100.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_c100.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_ss.dir/bench_table2_ss.cpp.o"
+  "CMakeFiles/bench_table2_ss.dir/bench_table2_ss.cpp.o.d"
+  "bench_table2_ss"
+  "bench_table2_ss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_ss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crossbar_explorer.dir/crossbar_explorer.cpp.o"
+  "CMakeFiles/crossbar_explorer.dir/crossbar_explorer.cpp.o.d"
+  "crossbar_explorer"
+  "crossbar_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crossbar_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_lottery.dir/device_lottery.cpp.o"
+  "CMakeFiles/device_lottery.dir/device_lottery.cpp.o.d"
+  "device_lottery"
+  "device_lottery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_lottery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_fleet.dir/edge_fleet.cpp.o"
+  "CMakeFiles/edge_fleet.dir/edge_fleet.cpp.o.d"
+  "edge_fleet"
+  "edge_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

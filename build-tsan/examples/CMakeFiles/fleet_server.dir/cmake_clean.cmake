@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_server.dir/fleet_server.cpp.o"
+  "CMakeFiles/fleet_server.dir/fleet_server.cpp.o.d"
+  "fleet_server"
+  "fleet_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

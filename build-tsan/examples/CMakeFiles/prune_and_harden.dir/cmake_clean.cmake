@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prune_and_harden.dir/prune_and_harden.cpp.o"
+  "CMakeFiles/prune_and_harden.dir/prune_and_harden.cpp.o.d"
+  "prune_and_harden"
+  "prune_and_harden.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prune_and_harden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for prune_and_harden.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/self_healing_fleet.dir/self_healing_fleet.cpp.o"
+  "CMakeFiles/self_healing_fleet.dir/self_healing_fleet.cpp.o.d"
+  "self_healing_fleet"
+  "self_healing_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/self_healing_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,82 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/atomic_file.cpp" "src/CMakeFiles/ftpim.dir/common/atomic_file.cpp.o" "gcc" "src/CMakeFiles/ftpim.dir/common/atomic_file.cpp.o.d"
+  "/root/repo/src/common/check.cpp" "src/CMakeFiles/ftpim.dir/common/check.cpp.o" "gcc" "src/CMakeFiles/ftpim.dir/common/check.cpp.o.d"
+  "/root/repo/src/common/checkpoint.cpp" "src/CMakeFiles/ftpim.dir/common/checkpoint.cpp.o" "gcc" "src/CMakeFiles/ftpim.dir/common/checkpoint.cpp.o.d"
+  "/root/repo/src/common/config.cpp" "src/CMakeFiles/ftpim.dir/common/config.cpp.o" "gcc" "src/CMakeFiles/ftpim.dir/common/config.cpp.o.d"
+  "/root/repo/src/common/crc32c.cpp" "src/CMakeFiles/ftpim.dir/common/crc32c.cpp.o" "gcc" "src/CMakeFiles/ftpim.dir/common/crc32c.cpp.o.d"
+  "/root/repo/src/common/logging.cpp" "src/CMakeFiles/ftpim.dir/common/logging.cpp.o" "gcc" "src/CMakeFiles/ftpim.dir/common/logging.cpp.o.d"
+  "/root/repo/src/common/parallel.cpp" "src/CMakeFiles/ftpim.dir/common/parallel.cpp.o" "gcc" "src/CMakeFiles/ftpim.dir/common/parallel.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/ftpim.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/ftpim.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/serialize.cpp" "src/CMakeFiles/ftpim.dir/common/serialize.cpp.o" "gcc" "src/CMakeFiles/ftpim.dir/common/serialize.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/ftpim.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/ftpim.dir/common/stats.cpp.o.d"
+  "/root/repo/src/core/device_specific.cpp" "src/CMakeFiles/ftpim.dir/core/device_specific.cpp.o" "gcc" "src/CMakeFiles/ftpim.dir/core/device_specific.cpp.o.d"
+  "/root/repo/src/core/evaluator.cpp" "src/CMakeFiles/ftpim.dir/core/evaluator.cpp.o" "gcc" "src/CMakeFiles/ftpim.dir/core/evaluator.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/CMakeFiles/ftpim.dir/core/experiment.cpp.o" "gcc" "src/CMakeFiles/ftpim.dir/core/experiment.cpp.o.d"
+  "/root/repo/src/core/ft_trainer.cpp" "src/CMakeFiles/ftpim.dir/core/ft_trainer.cpp.o" "gcc" "src/CMakeFiles/ftpim.dir/core/ft_trainer.cpp.o.d"
+  "/root/repo/src/core/stability.cpp" "src/CMakeFiles/ftpim.dir/core/stability.cpp.o" "gcc" "src/CMakeFiles/ftpim.dir/core/stability.cpp.o.d"
+  "/root/repo/src/core/table_printer.cpp" "src/CMakeFiles/ftpim.dir/core/table_printer.cpp.o" "gcc" "src/CMakeFiles/ftpim.dir/core/table_printer.cpp.o.d"
+  "/root/repo/src/core/train_checkpoint.cpp" "src/CMakeFiles/ftpim.dir/core/train_checkpoint.cpp.o" "gcc" "src/CMakeFiles/ftpim.dir/core/train_checkpoint.cpp.o.d"
+  "/root/repo/src/core/trainer.cpp" "src/CMakeFiles/ftpim.dir/core/trainer.cpp.o" "gcc" "src/CMakeFiles/ftpim.dir/core/trainer.cpp.o.d"
+  "/root/repo/src/data/augment.cpp" "src/CMakeFiles/ftpim.dir/data/augment.cpp.o" "gcc" "src/CMakeFiles/ftpim.dir/data/augment.cpp.o.d"
+  "/root/repo/src/data/cifar_loader.cpp" "src/CMakeFiles/ftpim.dir/data/cifar_loader.cpp.o" "gcc" "src/CMakeFiles/ftpim.dir/data/cifar_loader.cpp.o.d"
+  "/root/repo/src/data/dataloader.cpp" "src/CMakeFiles/ftpim.dir/data/dataloader.cpp.o" "gcc" "src/CMakeFiles/ftpim.dir/data/dataloader.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "src/CMakeFiles/ftpim.dir/data/dataset.cpp.o" "gcc" "src/CMakeFiles/ftpim.dir/data/dataset.cpp.o.d"
+  "/root/repo/src/data/synthetic.cpp" "src/CMakeFiles/ftpim.dir/data/synthetic.cpp.o" "gcc" "src/CMakeFiles/ftpim.dir/data/synthetic.cpp.o.d"
+  "/root/repo/src/models/mlp.cpp" "src/CMakeFiles/ftpim.dir/models/mlp.cpp.o" "gcc" "src/CMakeFiles/ftpim.dir/models/mlp.cpp.o.d"
+  "/root/repo/src/models/resnet.cpp" "src/CMakeFiles/ftpim.dir/models/resnet.cpp.o" "gcc" "src/CMakeFiles/ftpim.dir/models/resnet.cpp.o.d"
+  "/root/repo/src/models/small_cnn.cpp" "src/CMakeFiles/ftpim.dir/models/small_cnn.cpp.o" "gcc" "src/CMakeFiles/ftpim.dir/models/small_cnn.cpp.o.d"
+  "/root/repo/src/nn/activations.cpp" "src/CMakeFiles/ftpim.dir/nn/activations.cpp.o" "gcc" "src/CMakeFiles/ftpim.dir/nn/activations.cpp.o.d"
+  "/root/repo/src/nn/batchnorm2d.cpp" "src/CMakeFiles/ftpim.dir/nn/batchnorm2d.cpp.o" "gcc" "src/CMakeFiles/ftpim.dir/nn/batchnorm2d.cpp.o.d"
+  "/root/repo/src/nn/conv2d.cpp" "src/CMakeFiles/ftpim.dir/nn/conv2d.cpp.o" "gcc" "src/CMakeFiles/ftpim.dir/nn/conv2d.cpp.o.d"
+  "/root/repo/src/nn/dropout.cpp" "src/CMakeFiles/ftpim.dir/nn/dropout.cpp.o" "gcc" "src/CMakeFiles/ftpim.dir/nn/dropout.cpp.o.d"
+  "/root/repo/src/nn/init.cpp" "src/CMakeFiles/ftpim.dir/nn/init.cpp.o" "gcc" "src/CMakeFiles/ftpim.dir/nn/init.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/CMakeFiles/ftpim.dir/nn/linear.cpp.o" "gcc" "src/CMakeFiles/ftpim.dir/nn/linear.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/CMakeFiles/ftpim.dir/nn/loss.cpp.o" "gcc" "src/CMakeFiles/ftpim.dir/nn/loss.cpp.o.d"
+  "/root/repo/src/nn/module.cpp" "src/CMakeFiles/ftpim.dir/nn/module.cpp.o" "gcc" "src/CMakeFiles/ftpim.dir/nn/module.cpp.o.d"
+  "/root/repo/src/nn/pooling.cpp" "src/CMakeFiles/ftpim.dir/nn/pooling.cpp.o" "gcc" "src/CMakeFiles/ftpim.dir/nn/pooling.cpp.o.d"
+  "/root/repo/src/nn/residual.cpp" "src/CMakeFiles/ftpim.dir/nn/residual.cpp.o" "gcc" "src/CMakeFiles/ftpim.dir/nn/residual.cpp.o.d"
+  "/root/repo/src/nn/sequential.cpp" "src/CMakeFiles/ftpim.dir/nn/sequential.cpp.o" "gcc" "src/CMakeFiles/ftpim.dir/nn/sequential.cpp.o.d"
+  "/root/repo/src/optim/adam.cpp" "src/CMakeFiles/ftpim.dir/optim/adam.cpp.o" "gcc" "src/CMakeFiles/ftpim.dir/optim/adam.cpp.o.d"
+  "/root/repo/src/optim/lr_scheduler.cpp" "src/CMakeFiles/ftpim.dir/optim/lr_scheduler.cpp.o" "gcc" "src/CMakeFiles/ftpim.dir/optim/lr_scheduler.cpp.o.d"
+  "/root/repo/src/optim/sgd.cpp" "src/CMakeFiles/ftpim.dir/optim/sgd.cpp.o" "gcc" "src/CMakeFiles/ftpim.dir/optim/sgd.cpp.o.d"
+  "/root/repo/src/prune/admm_pruner.cpp" "src/CMakeFiles/ftpim.dir/prune/admm_pruner.cpp.o" "gcc" "src/CMakeFiles/ftpim.dir/prune/admm_pruner.cpp.o.d"
+  "/root/repo/src/prune/magnitude_pruner.cpp" "src/CMakeFiles/ftpim.dir/prune/magnitude_pruner.cpp.o" "gcc" "src/CMakeFiles/ftpim.dir/prune/magnitude_pruner.cpp.o.d"
+  "/root/repo/src/prune/sparsity.cpp" "src/CMakeFiles/ftpim.dir/prune/sparsity.cpp.o" "gcc" "src/CMakeFiles/ftpim.dir/prune/sparsity.cpp.o.d"
+  "/root/repo/src/reram/aging.cpp" "src/CMakeFiles/ftpim.dir/reram/aging.cpp.o" "gcc" "src/CMakeFiles/ftpim.dir/reram/aging.cpp.o.d"
+  "/root/repo/src/reram/conductance.cpp" "src/CMakeFiles/ftpim.dir/reram/conductance.cpp.o" "gcc" "src/CMakeFiles/ftpim.dir/reram/conductance.cpp.o.d"
+  "/root/repo/src/reram/crossbar.cpp" "src/CMakeFiles/ftpim.dir/reram/crossbar.cpp.o" "gcc" "src/CMakeFiles/ftpim.dir/reram/crossbar.cpp.o.d"
+  "/root/repo/src/reram/crossbar_engine.cpp" "src/CMakeFiles/ftpim.dir/reram/crossbar_engine.cpp.o" "gcc" "src/CMakeFiles/ftpim.dir/reram/crossbar_engine.cpp.o.d"
+  "/root/repo/src/reram/defect_map.cpp" "src/CMakeFiles/ftpim.dir/reram/defect_map.cpp.o" "gcc" "src/CMakeFiles/ftpim.dir/reram/defect_map.cpp.o.d"
+  "/root/repo/src/reram/fault_injector.cpp" "src/CMakeFiles/ftpim.dir/reram/fault_injector.cpp.o" "gcc" "src/CMakeFiles/ftpim.dir/reram/fault_injector.cpp.o.d"
+  "/root/repo/src/reram/fault_model.cpp" "src/CMakeFiles/ftpim.dir/reram/fault_model.cpp.o" "gcc" "src/CMakeFiles/ftpim.dir/reram/fault_model.cpp.o.d"
+  "/root/repo/src/reram/quantizer.cpp" "src/CMakeFiles/ftpim.dir/reram/quantizer.cpp.o" "gcc" "src/CMakeFiles/ftpim.dir/reram/quantizer.cpp.o.d"
+  "/root/repo/src/reram/redundancy.cpp" "src/CMakeFiles/ftpim.dir/reram/redundancy.cpp.o" "gcc" "src/CMakeFiles/ftpim.dir/reram/redundancy.cpp.o.d"
+  "/root/repo/src/reram/variation.cpp" "src/CMakeFiles/ftpim.dir/reram/variation.cpp.o" "gcc" "src/CMakeFiles/ftpim.dir/reram/variation.cpp.o.d"
+  "/root/repo/src/tensor/gemm.cpp" "src/CMakeFiles/ftpim.dir/tensor/gemm.cpp.o" "gcc" "src/CMakeFiles/ftpim.dir/tensor/gemm.cpp.o.d"
+  "/root/repo/src/tensor/im2col.cpp" "src/CMakeFiles/ftpim.dir/tensor/im2col.cpp.o" "gcc" "src/CMakeFiles/ftpim.dir/tensor/im2col.cpp.o.d"
+  "/root/repo/src/tensor/kernels/conv_kernels.cpp" "src/CMakeFiles/ftpim.dir/tensor/kernels/conv_kernels.cpp.o" "gcc" "src/CMakeFiles/ftpim.dir/tensor/kernels/conv_kernels.cpp.o.d"
+  "/root/repo/src/tensor/kernels/dispatch.cpp" "src/CMakeFiles/ftpim.dir/tensor/kernels/dispatch.cpp.o" "gcc" "src/CMakeFiles/ftpim.dir/tensor/kernels/dispatch.cpp.o.d"
+  "/root/repo/src/tensor/kernels/gemm_driver.cpp" "src/CMakeFiles/ftpim.dir/tensor/kernels/gemm_driver.cpp.o" "gcc" "src/CMakeFiles/ftpim.dir/tensor/kernels/gemm_driver.cpp.o.d"
+  "/root/repo/src/tensor/kernels/microkernel_avx2.cpp" "src/CMakeFiles/ftpim.dir/tensor/kernels/microkernel_avx2.cpp.o" "gcc" "src/CMakeFiles/ftpim.dir/tensor/kernels/microkernel_avx2.cpp.o.d"
+  "/root/repo/src/tensor/kernels/microkernel_scalar.cpp" "src/CMakeFiles/ftpim.dir/tensor/kernels/microkernel_scalar.cpp.o" "gcc" "src/CMakeFiles/ftpim.dir/tensor/kernels/microkernel_scalar.cpp.o.d"
+  "/root/repo/src/tensor/kernels/pack.cpp" "src/CMakeFiles/ftpim.dir/tensor/kernels/pack.cpp.o" "gcc" "src/CMakeFiles/ftpim.dir/tensor/kernels/pack.cpp.o.d"
+  "/root/repo/src/tensor/kernels/pack_arena.cpp" "src/CMakeFiles/ftpim.dir/tensor/kernels/pack_arena.cpp.o" "gcc" "src/CMakeFiles/ftpim.dir/tensor/kernels/pack_arena.cpp.o.d"
+  "/root/repo/src/tensor/tensor.cpp" "src/CMakeFiles/ftpim.dir/tensor/tensor.cpp.o" "gcc" "src/CMakeFiles/ftpim.dir/tensor/tensor.cpp.o.d"
+  "/root/repo/src/tensor/tensor_ops.cpp" "src/CMakeFiles/ftpim.dir/tensor/tensor_ops.cpp.o" "gcc" "src/CMakeFiles/ftpim.dir/tensor/tensor_ops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for ftpim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/serve/health_monitor.cpp" "src/serve/CMakeFiles/ftpim_serve.dir/health_monitor.cpp.o" "gcc" "src/serve/CMakeFiles/ftpim_serve.dir/health_monitor.cpp.o.d"
+  "/root/repo/src/serve/inference_server.cpp" "src/serve/CMakeFiles/ftpim_serve.dir/inference_server.cpp.o" "gcc" "src/serve/CMakeFiles/ftpim_serve.dir/inference_server.cpp.o.d"
+  "/root/repo/src/serve/replica_pool.cpp" "src/serve/CMakeFiles/ftpim_serve.dir/replica_pool.cpp.o" "gcc" "src/serve/CMakeFiles/ftpim_serve.dir/replica_pool.cpp.o.d"
+  "/root/repo/src/serve/request_queue.cpp" "src/serve/CMakeFiles/ftpim_serve.dir/request_queue.cpp.o" "gcc" "src/serve/CMakeFiles/ftpim_serve.dir/request_queue.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/ftpim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

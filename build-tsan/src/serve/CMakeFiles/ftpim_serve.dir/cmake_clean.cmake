@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftpim_serve.dir/health_monitor.cpp.o"
+  "CMakeFiles/ftpim_serve.dir/health_monitor.cpp.o.d"
+  "CMakeFiles/ftpim_serve.dir/inference_server.cpp.o"
+  "CMakeFiles/ftpim_serve.dir/inference_server.cpp.o.d"
+  "CMakeFiles/ftpim_serve.dir/replica_pool.cpp.o"
+  "CMakeFiles/ftpim_serve.dir/replica_pool.cpp.o.d"
+  "CMakeFiles/ftpim_serve.dir/request_queue.cpp.o"
+  "CMakeFiles/ftpim_serve.dir/request_queue.cpp.o.d"
+  "libftpim_serve.a"
+  "libftpim_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftpim_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libftpim_serve.a"
+)

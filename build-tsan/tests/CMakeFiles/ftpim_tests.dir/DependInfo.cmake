@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/adam_dropout_stats_test.cpp" "tests/CMakeFiles/ftpim_tests.dir/adam_dropout_stats_test.cpp.o" "gcc" "tests/CMakeFiles/ftpim_tests.dir/adam_dropout_stats_test.cpp.o.d"
+  "/root/repo/tests/aging_test.cpp" "tests/CMakeFiles/ftpim_tests.dir/aging_test.cpp.o" "gcc" "tests/CMakeFiles/ftpim_tests.dir/aging_test.cpp.o.d"
+  "/root/repo/tests/bench_helpers_test.cpp" "tests/CMakeFiles/ftpim_tests.dir/bench_helpers_test.cpp.o" "gcc" "tests/CMakeFiles/ftpim_tests.dir/bench_helpers_test.cpp.o.d"
+  "/root/repo/tests/check_test.cpp" "tests/CMakeFiles/ftpim_tests.dir/check_test.cpp.o" "gcc" "tests/CMakeFiles/ftpim_tests.dir/check_test.cpp.o.d"
+  "/root/repo/tests/checkpoint_test.cpp" "tests/CMakeFiles/ftpim_tests.dir/checkpoint_test.cpp.o" "gcc" "tests/CMakeFiles/ftpim_tests.dir/checkpoint_test.cpp.o.d"
+  "/root/repo/tests/cifar_loader_test.cpp" "tests/CMakeFiles/ftpim_tests.dir/cifar_loader_test.cpp.o" "gcc" "tests/CMakeFiles/ftpim_tests.dir/cifar_loader_test.cpp.o.d"
+  "/root/repo/tests/clone_eval_test.cpp" "tests/CMakeFiles/ftpim_tests.dir/clone_eval_test.cpp.o" "gcc" "tests/CMakeFiles/ftpim_tests.dir/clone_eval_test.cpp.o.d"
+  "/root/repo/tests/crossbar_engine_test.cpp" "tests/CMakeFiles/ftpim_tests.dir/crossbar_engine_test.cpp.o" "gcc" "tests/CMakeFiles/ftpim_tests.dir/crossbar_engine_test.cpp.o.d"
+  "/root/repo/tests/crossbar_test.cpp" "tests/CMakeFiles/ftpim_tests.dir/crossbar_test.cpp.o" "gcc" "tests/CMakeFiles/ftpim_tests.dir/crossbar_test.cpp.o.d"
+  "/root/repo/tests/data_test.cpp" "tests/CMakeFiles/ftpim_tests.dir/data_test.cpp.o" "gcc" "tests/CMakeFiles/ftpim_tests.dir/data_test.cpp.o.d"
+  "/root/repo/tests/device_specific_test.cpp" "tests/CMakeFiles/ftpim_tests.dir/device_specific_test.cpp.o" "gcc" "tests/CMakeFiles/ftpim_tests.dir/device_specific_test.cpp.o.d"
+  "/root/repo/tests/experiment_test.cpp" "tests/CMakeFiles/ftpim_tests.dir/experiment_test.cpp.o" "gcc" "tests/CMakeFiles/ftpim_tests.dir/experiment_test.cpp.o.d"
+  "/root/repo/tests/fault_injector_test.cpp" "tests/CMakeFiles/ftpim_tests.dir/fault_injector_test.cpp.o" "gcc" "tests/CMakeFiles/ftpim_tests.dir/fault_injector_test.cpp.o.d"
+  "/root/repo/tests/fault_model_test.cpp" "tests/CMakeFiles/ftpim_tests.dir/fault_model_test.cpp.o" "gcc" "tests/CMakeFiles/ftpim_tests.dir/fault_model_test.cpp.o.d"
+  "/root/repo/tests/ft_trainer_test.cpp" "tests/CMakeFiles/ftpim_tests.dir/ft_trainer_test.cpp.o" "gcc" "tests/CMakeFiles/ftpim_tests.dir/ft_trainer_test.cpp.o.d"
+  "/root/repo/tests/gemm_kernel_test.cpp" "tests/CMakeFiles/ftpim_tests.dir/gemm_kernel_test.cpp.o" "gcc" "tests/CMakeFiles/ftpim_tests.dir/gemm_kernel_test.cpp.o.d"
+  "/root/repo/tests/gemm_test.cpp" "tests/CMakeFiles/ftpim_tests.dir/gemm_test.cpp.o" "gcc" "tests/CMakeFiles/ftpim_tests.dir/gemm_test.cpp.o.d"
+  "/root/repo/tests/grad_property_test.cpp" "tests/CMakeFiles/ftpim_tests.dir/grad_property_test.cpp.o" "gcc" "tests/CMakeFiles/ftpim_tests.dir/grad_property_test.cpp.o.d"
+  "/root/repo/tests/im2col_test.cpp" "tests/CMakeFiles/ftpim_tests.dir/im2col_test.cpp.o" "gcc" "tests/CMakeFiles/ftpim_tests.dir/im2col_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/ftpim_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/ftpim_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/latency_histogram_test.cpp" "tests/CMakeFiles/ftpim_tests.dir/latency_histogram_test.cpp.o" "gcc" "tests/CMakeFiles/ftpim_tests.dir/latency_histogram_test.cpp.o.d"
+  "/root/repo/tests/logging_test.cpp" "tests/CMakeFiles/ftpim_tests.dir/logging_test.cpp.o" "gcc" "tests/CMakeFiles/ftpim_tests.dir/logging_test.cpp.o.d"
+  "/root/repo/tests/loss_test.cpp" "tests/CMakeFiles/ftpim_tests.dir/loss_test.cpp.o" "gcc" "tests/CMakeFiles/ftpim_tests.dir/loss_test.cpp.o.d"
+  "/root/repo/tests/misc_test.cpp" "tests/CMakeFiles/ftpim_tests.dir/misc_test.cpp.o" "gcc" "tests/CMakeFiles/ftpim_tests.dir/misc_test.cpp.o.d"
+  "/root/repo/tests/models_test.cpp" "tests/CMakeFiles/ftpim_tests.dir/models_test.cpp.o" "gcc" "tests/CMakeFiles/ftpim_tests.dir/models_test.cpp.o.d"
+  "/root/repo/tests/nn_layers_test.cpp" "tests/CMakeFiles/ftpim_tests.dir/nn_layers_test.cpp.o" "gcc" "tests/CMakeFiles/ftpim_tests.dir/nn_layers_test.cpp.o.d"
+  "/root/repo/tests/optim_test.cpp" "tests/CMakeFiles/ftpim_tests.dir/optim_test.cpp.o" "gcc" "tests/CMakeFiles/ftpim_tests.dir/optim_test.cpp.o.d"
+  "/root/repo/tests/parallel_test.cpp" "tests/CMakeFiles/ftpim_tests.dir/parallel_test.cpp.o" "gcc" "tests/CMakeFiles/ftpim_tests.dir/parallel_test.cpp.o.d"
+  "/root/repo/tests/prune_test.cpp" "tests/CMakeFiles/ftpim_tests.dir/prune_test.cpp.o" "gcc" "tests/CMakeFiles/ftpim_tests.dir/prune_test.cpp.o.d"
+  "/root/repo/tests/redundancy_test.cpp" "tests/CMakeFiles/ftpim_tests.dir/redundancy_test.cpp.o" "gcc" "tests/CMakeFiles/ftpim_tests.dir/redundancy_test.cpp.o.d"
+  "/root/repo/tests/request_queue_test.cpp" "tests/CMakeFiles/ftpim_tests.dir/request_queue_test.cpp.o" "gcc" "tests/CMakeFiles/ftpim_tests.dir/request_queue_test.cpp.o.d"
+  "/root/repo/tests/reram_conductance_test.cpp" "tests/CMakeFiles/ftpim_tests.dir/reram_conductance_test.cpp.o" "gcc" "tests/CMakeFiles/ftpim_tests.dir/reram_conductance_test.cpp.o.d"
+  "/root/repo/tests/resume_test.cpp" "tests/CMakeFiles/ftpim_tests.dir/resume_test.cpp.o" "gcc" "tests/CMakeFiles/ftpim_tests.dir/resume_test.cpp.o.d"
+  "/root/repo/tests/rng_test.cpp" "tests/CMakeFiles/ftpim_tests.dir/rng_test.cpp.o" "gcc" "tests/CMakeFiles/ftpim_tests.dir/rng_test.cpp.o.d"
+  "/root/repo/tests/serialize_test.cpp" "tests/CMakeFiles/ftpim_tests.dir/serialize_test.cpp.o" "gcc" "tests/CMakeFiles/ftpim_tests.dir/serialize_test.cpp.o.d"
+  "/root/repo/tests/serve_health_test.cpp" "tests/CMakeFiles/ftpim_tests.dir/serve_health_test.cpp.o" "gcc" "tests/CMakeFiles/ftpim_tests.dir/serve_health_test.cpp.o.d"
+  "/root/repo/tests/serve_server_test.cpp" "tests/CMakeFiles/ftpim_tests.dir/serve_server_test.cpp.o" "gcc" "tests/CMakeFiles/ftpim_tests.dir/serve_server_test.cpp.o.d"
+  "/root/repo/tests/stability_test.cpp" "tests/CMakeFiles/ftpim_tests.dir/stability_test.cpp.o" "gcc" "tests/CMakeFiles/ftpim_tests.dir/stability_test.cpp.o.d"
+  "/root/repo/tests/table_printer_test.cpp" "tests/CMakeFiles/ftpim_tests.dir/table_printer_test.cpp.o" "gcc" "tests/CMakeFiles/ftpim_tests.dir/table_printer_test.cpp.o.d"
+  "/root/repo/tests/tensor_test.cpp" "tests/CMakeFiles/ftpim_tests.dir/tensor_test.cpp.o" "gcc" "tests/CMakeFiles/ftpim_tests.dir/tensor_test.cpp.o.d"
+  "/root/repo/tests/trainer_test.cpp" "tests/CMakeFiles/ftpim_tests.dir/trainer_test.cpp.o" "gcc" "tests/CMakeFiles/ftpim_tests.dir/trainer_test.cpp.o.d"
+  "/root/repo/tests/training_extras_test.cpp" "tests/CMakeFiles/ftpim_tests.dir/training_extras_test.cpp.o" "gcc" "tests/CMakeFiles/ftpim_tests.dir/training_extras_test.cpp.o.d"
+  "/root/repo/tests/variation_test.cpp" "tests/CMakeFiles/ftpim_tests.dir/variation_test.cpp.o" "gcc" "tests/CMakeFiles/ftpim_tests.dir/variation_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/ftpim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/serve/CMakeFiles/ftpim_serve.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
