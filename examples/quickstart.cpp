@@ -11,7 +11,7 @@
 #include <filesystem>
 
 #include "src/common/config.hpp"
-#include "src/common/serialize.hpp"
+#include "src/tensor/serialize.hpp"
 #include "src/core/evaluator.hpp"
 #include "src/core/ft_trainer.hpp"
 #include "src/core/stability.hpp"

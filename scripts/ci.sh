@@ -2,6 +2,9 @@
 # Local CI matrix for ftpim: builds every target (library, tests, benches,
 # examples) and runs ctest under each configuration:
 #
+#   analyze    no build: the semantic analyzer (tools/ftpim_analyze.py) over
+#              the tree (layering, hot-path audit, exception surface) plus its
+#              fixture self-test; writes a JSON findings artifact
 #   default    plain Release build, full suite + determinism linter
 #   scalar     same build tree as default, full suite with FTPIM_KERNEL=scalar
 #              — keeps the portable micro-kernel (the fallback for non-AVX2
@@ -56,7 +59,21 @@ run_config() {
   echo "==> [${name}] OK"
 }
 
+run_analyze() {
+  # Pure-Python leg: no configure/build. The JSON artifact lands next to the
+  # build trees so CI uploads can grab findings even on a green run.
+  local out_dir="${BUILD_ROOT}/analyze"
+  mkdir -p "${out_dir}"
+  echo "==> [analyze] tree"
+  python3 "${REPO_ROOT}/tools/ftpim_analyze.py" --root "${REPO_ROOT}" \
+      --json "${out_dir}/findings.json"
+  echo "==> [analyze] selftest"
+  python3 "${REPO_ROOT}/tools/ftpim_analyze.py" --self-test
+  echo "==> [analyze] OK (artifact: ${out_dir}/findings.json)"
+}
+
 declare -A CMAKE_ARGS=(
+  [analyze]=""
   [default]="-DFTPIM_WERROR=ON"
   [scalar]="-DFTPIM_WERROR=ON"
   [address]="-DFTPIM_SANITIZE=address"
@@ -65,15 +82,16 @@ declare -A CMAKE_ARGS=(
   [crash]="-DFTPIM_WERROR=ON -DFTPIM_DCHECKS=ON"
 )
 declare -A CTEST_ARGS=(
+  [analyze]=""
   [default]=""
-  [scalar]="-E ^lint"
-  [address]="-E ^lint"
-  [undefined]="-E ^lint"
+  [scalar]="-E ^(lint|analyze)"
+  [address]="-E ^(lint|analyze)"
+  [undefined]="-E ^(lint|analyze)"
   [thread]="-R ${THREAD_SUBSET}"
   [crash]="-R ${CRASH_SUBSET}"
 )
 
-ORDER=(default scalar address undefined thread crash)
+ORDER=(analyze default scalar address undefined thread crash)
 if [[ $# -gt 0 ]]; then
   ORDER=("$@")
 fi
@@ -83,7 +101,9 @@ for cfg in "${ORDER[@]}"; do
     echo "ci.sh: unknown config '${cfg}' (known: ${!CMAKE_ARGS[*]})" >&2
     exit 2
   fi
-  if [[ "${cfg}" == "thread" ]]; then
+  if [[ "${cfg}" == "analyze" ]]; then
+    run_analyze
+  elif [[ "${cfg}" == "thread" ]]; then
     FTPIM_THREADS=4 run_config "${cfg}" "${CMAKE_ARGS[${cfg}]}" "${CTEST_ARGS[${cfg}]}"
   elif [[ "${cfg}" == "scalar" ]]; then
     FTPIM_KERNEL=scalar run_config "${cfg}" "${CMAKE_ARGS[${cfg}]}" "${CTEST_ARGS[${cfg}]}" default

@@ -1,0 +1,28 @@
+// FTPIM_HOT / FTPIM_COLD — hot-path annotations.
+//
+// FTPIM_HOT marks a function as steady-state hot path: the serve
+// pop/batch/dispatch loop, the packed GEMM driver and micro-kernels, and
+// PackArena steady-state accessors. tools/ftpim_analyze.py audits every
+// FTPIM_HOT body AND everything it locally calls for heap allocation,
+// container growth, std::string construction, mutex acquisition and
+// wall-clock reads; violations must be fixed or explicitly baselined in
+// tools/analyze_baseline.json with a reason.
+//
+// FTPIM_COLD marks an acknowledged slow path (arena growth, error
+// settlement, one-time config reads, lazy materialization): the audit's
+// call-graph traversal stops there, so a hot function may call a cold one
+// without inheriting its allocations. Annotate the cold boundary narrowly —
+// everything behind it is invisible to the audit.
+//
+// On GCC/Clang the macros also emit [[gnu::hot]] / [[gnu::cold]] so the
+// optimizer and BOLT-style layout tools see the same contract. Place them
+// at the very start of the declaration (before `static`).
+#pragma once
+
+#if defined(__GNUC__) || defined(__clang__)
+#define FTPIM_HOT [[gnu::hot]]
+#define FTPIM_COLD [[gnu::cold]]
+#else
+#define FTPIM_HOT
+#define FTPIM_COLD
+#endif

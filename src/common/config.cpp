@@ -2,9 +2,13 @@
 
 #include <cstdlib>
 
+#include "src/common/annotations.hpp"
+
 namespace ftpim {
 
-int env_int(const char* name, int fallback) {
+// env_* are one-time configuration reads (magic statics / setup code); they
+// are FTPIM_COLD so the hot-path audit stops at them by design.
+FTPIM_COLD int env_int(const char* name, int fallback) {
   const char* env = std::getenv(name);
   if (env == nullptr || *env == '\0') return fallback;
   char* end = nullptr;
@@ -13,7 +17,7 @@ int env_int(const char* name, int fallback) {
   return static_cast<int>(value);
 }
 
-double env_double(const char* name, double fallback) {
+FTPIM_COLD double env_double(const char* name, double fallback) {
   const char* env = std::getenv(name);
   if (env == nullptr || *env == '\0') return fallback;
   char* end = nullptr;
@@ -22,7 +26,7 @@ double env_double(const char* name, double fallback) {
   return value;
 }
 
-std::string env_string(const char* name, const std::string& fallback) {
+FTPIM_COLD std::string env_string(const char* name, const std::string& fallback) {
   const char* env = std::getenv(name);
   if (env == nullptr || *env == '\0') return fallback;
   return std::string(env);

@@ -14,7 +14,6 @@
 //   FTPIM_THREADS= <int>    override worker thread count
 #pragma once
 
-#include <cstdint>
 #include <string>
 
 namespace ftpim {

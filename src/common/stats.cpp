@@ -1,10 +1,10 @@
 #include "src/common/stats.hpp"
 
+#include "src/common/annotations.hpp"
 #include "src/common/check.hpp"
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
 
 namespace ftpim {
 
@@ -38,7 +38,7 @@ double quantile(std::vector<double> values, double q) {
 
 // --- LatencyHistogram --------------------------------------------------------
 
-int LatencyHistogram::bin_index(std::int64_t ns) noexcept {
+FTPIM_HOT int LatencyHistogram::bin_index(std::int64_t ns) noexcept {
   if (ns < 1) ns = 1;
   // Floor log2 via bit scan; sub-bin from the two bits below the leading one.
   int octave = 0;
@@ -62,7 +62,7 @@ std::int64_t LatencyHistogram::bin_upper_ns(int bin) noexcept {
   return (std::int64_t{4 + sub + 1} << (octave - 2)) - 1;
 }
 
-void LatencyHistogram::record(std::int64_t ns) noexcept {
+FTPIM_HOT void LatencyHistogram::record(std::int64_t ns) noexcept {
   const std::int64_t clamped = std::max<std::int64_t>(ns, 0);
   ++counts_[static_cast<std::size_t>(bin_index(clamped))];
   if (count_ == 0) {
@@ -118,7 +118,7 @@ OutcomeWindow::OutcomeWindow(int capacity) {
   ring_.assign(static_cast<std::size_t>(capacity), 0);
 }
 
-void OutcomeWindow::record(bool success) noexcept {
+FTPIM_HOT void OutcomeWindow::record(bool success) noexcept {
   const auto slot = static_cast<std::size_t>(head_);
   if (size_ == capacity()) {
     successes_ -= ring_[slot];  // evict the oldest outcome

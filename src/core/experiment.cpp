@@ -1,6 +1,5 @@
 #include "src/core/experiment.hpp"
 
-#include <stdexcept>
 
 #include "src/common/logging.hpp"
 #include "src/data/cifar_loader.hpp"

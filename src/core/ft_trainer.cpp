@@ -1,12 +1,13 @@
 #include "src/core/ft_trainer.hpp"
 
 #include "src/common/check.hpp"
+#include "src/common/checkpoint.hpp"
 
 #include <filesystem>
 #include <utility>
 
 #include "src/common/logging.hpp"
-#include "src/common/serialize.hpp"
+#include "src/tensor/serialize.hpp"
 #include "src/common/timer.hpp"
 #include "src/core/train_checkpoint.hpp"
 

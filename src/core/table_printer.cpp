@@ -6,7 +6,6 @@
 #include <cmath>
 #include <cstdio>
 #include <sstream>
-#include <stdexcept>
 
 namespace ftpim {
 

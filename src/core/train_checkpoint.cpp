@@ -4,6 +4,7 @@
 #include <filesystem>
 
 #include "src/common/check.hpp"
+#include "src/common/checkpoint.hpp"
 #include "src/common/strformat.hpp"
 
 namespace ftpim {

@@ -30,9 +30,8 @@
 #include <utility>
 #include <vector>
 
-#include "src/common/checkpoint.hpp"
 #include "src/common/rng.hpp"
-#include "src/common/serialize.hpp"
+#include "src/tensor/serialize.hpp"
 #include "src/reram/aging.hpp"
 #include "src/reram/defect_map.hpp"
 

@@ -1,9 +1,9 @@
 #include "src/data/synthetic.hpp"
 
 #include "src/common/check.hpp"
+#include "src/common/rng.hpp"
 
 #include <cmath>
-#include <stdexcept>
 #include <vector>
 
 namespace ftpim {

@@ -11,9 +11,9 @@
 // qualitative collapse-and-rescue shape as real CIFAR.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 
-#include "src/common/rng.hpp"
 #include "src/data/dataset.hpp"
 
 namespace ftpim {

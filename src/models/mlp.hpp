@@ -2,10 +2,10 @@
 // for fault-injection microbenchmarks.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
-#include "src/common/rng.hpp"
 #include "src/nn/sequential.hpp"
 
 namespace ftpim {

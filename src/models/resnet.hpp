@@ -9,11 +9,9 @@
 // (paper value: 16).
 #pragma once
 
+#include <cstdint>
 #include <memory>
-#include <string>
 
-#include "src/common/rng.hpp"
-#include "src/nn/module.hpp"
 #include "src/nn/sequential.hpp"
 
 namespace ftpim {

@@ -1,8 +1,8 @@
 #include "src/models/small_cnn.hpp"
 
 #include "src/common/check.hpp"
+#include "src/common/rng.hpp"
 
-#include <stdexcept>
 
 #include "src/nn/activations.hpp"
 #include "src/nn/batchnorm2d.hpp"

@@ -2,9 +2,9 @@
 // and quickstart example network; much cheaper than a ResNet.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 
-#include "src/common/rng.hpp"
 #include "src/nn/sequential.hpp"
 
 namespace ftpim {

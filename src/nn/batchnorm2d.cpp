@@ -3,7 +3,6 @@
 #include "src/common/check.hpp"
 
 #include <cmath>
-#include <stdexcept>
 #include <vector>
 
 namespace ftpim {

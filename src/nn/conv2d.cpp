@@ -3,7 +3,6 @@
 #include "src/common/check.hpp"
 
 #include <algorithm>
-#include <stdexcept>
 
 #include "src/common/parallel.hpp"
 #include "src/nn/init.hpp"

@@ -2,7 +2,6 @@
 
 #include "src/common/check.hpp"
 
-#include <stdexcept>
 
 namespace ftpim {
 

@@ -20,31 +20,11 @@
 #include <string>
 #include <vector>
 
-#include "src/common/serialize.hpp"
+#include "src/tensor/param.hpp"
+#include "src/tensor/serialize.hpp"
 #include "src/tensor/tensor.hpp"
 
 namespace ftpim {
-
-enum class ParamKind {
-  kCrossbarWeight,  ///< mapped onto ReRAM cells: fault-injectable, prunable, weight-decayed
-  kBias,            ///< digital peripheral storage: not fault-injected
-  kNorm,            ///< batch-norm scale/shift: digital, not fault-injected
-};
-
-struct Param {
-  std::string name;  ///< hierarchical name, e.g. "stage1.block0.conv1.weight"
-  Tensor value;
-  Tensor grad;
-  ParamKind kind = ParamKind::kCrossbarWeight;
-
-  Param() = default;
-  Param(std::string n, Tensor v, ParamKind k)
-      : name(std::move(n)), value(std::move(v)), grad(value.shape()), kind(k) {}
-
-  /// Copy with the value in fresh storage and a zeroed gradient — what a
-  /// Module::clone() needs (grads are per-training-loop state, not weights).
-  [[nodiscard]] Param clone_detached() const { return Param(name, value, kind); }
-};
 
 class Module {
  public:

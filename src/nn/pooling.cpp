@@ -3,7 +3,6 @@
 #include "src/common/check.hpp"
 
 #include <limits>
-#include <stdexcept>
 
 namespace ftpim {
 

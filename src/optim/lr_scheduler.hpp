@@ -1,7 +1,6 @@
 // Learning-rate schedules. The paper uses cosine annealing from 0.1.
 #pragma once
 
-#include <memory>
 #include <vector>
 
 namespace ftpim {

@@ -9,7 +9,8 @@
 #include <unordered_map>
 #include <vector>
 
-#include "src/nn/module.hpp"
+#include "src/tensor/param.hpp"
+#include "src/tensor/serialize.hpp"
 
 namespace ftpim {
 

@@ -4,7 +4,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
 
 namespace ftpim {
 namespace {

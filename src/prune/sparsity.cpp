@@ -4,7 +4,6 @@
 
 #include <cmath>
 #include <sstream>
-#include <stdexcept>
 
 #include "src/tensor/tensor_ops.hpp"
 

@@ -1,10 +1,9 @@
 #include "src/reram/crossbar_engine.hpp"
 
+#include "src/common/annotations.hpp"
 #include "src/common/check.hpp"
 
 #include <algorithm>
-#include <stdexcept>
-#include <vector>
 
 #include "src/tensor/kernels/gemm_driver.hpp"
 #include "src/tensor/kernels/pack_arena.hpp"
@@ -70,9 +69,9 @@ void CrossbarEngine::clear_defects() {
   for (CrossbarArray& t : tiles_) t.clear_defects();
 }
 
-void CrossbarEngine::mvm(const float* x, float* y) const { mvm_batch(x, 1, y); }
+FTPIM_HOT void CrossbarEngine::mvm(const float* x, float* y) const { mvm_batch(x, 1, y); }
 
-void CrossbarEngine::mvm_batch(const float* x, std::int64_t batch, float* y) const {
+FTPIM_HOT void CrossbarEngine::mvm_batch(const float* x, std::int64_t batch, float* y) const {
   FTPIM_CHECK_GE(batch, 0);
   if (batch == 0) return;
   std::fill(y, y + batch * out_, 0.0f);

@@ -1,6 +1,7 @@
 #include "src/reram/fault_injector.hpp"
 
 #include "src/common/check.hpp"
+#include "src/reram/quantizer.hpp"
 
 namespace ftpim {
 namespace {

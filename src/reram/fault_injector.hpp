@@ -22,7 +22,6 @@
 #include "src/reram/conductance.hpp"
 #include "src/reram/defect_map.hpp"
 #include "src/reram/fault_model.hpp"
-#include "src/reram/quantizer.hpp"
 #include "src/tensor/tensor.hpp"
 
 namespace ftpim {

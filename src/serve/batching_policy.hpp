@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <cstdint>
 
+#include "src/common/annotations.hpp"
 #include "src/common/check.hpp"
 
 namespace ftpim::serve {
@@ -24,20 +25,20 @@ struct BatchingPolicy {
     FTPIM_CHECK_GE(max_linger_ns, std::int64_t{0}, "BatchingPolicy: max_linger_ns");
   }
 
-  [[nodiscard]] bool full(std::int64_t batch_size) const noexcept {
+  FTPIM_HOT [[nodiscard]] bool full(std::int64_t batch_size) const noexcept {
     return batch_size >= max_batch_size;
   }
 
   /// Nanoseconds the worker may still wait for more requests; 0 once the
   /// linger budget of a batch opened at `open_ns` is spent.
-  [[nodiscard]] std::int64_t remaining_linger_ns(std::int64_t now_ns,
-                                                 std::int64_t open_ns) const noexcept {
+  FTPIM_HOT [[nodiscard]] std::int64_t remaining_linger_ns(std::int64_t now_ns,
+                                                           std::int64_t open_ns) const noexcept {
     return std::max<std::int64_t>(std::int64_t{0}, max_linger_ns - (now_ns - open_ns));
   }
 
   /// True when the batch must be dispatched now (full, or linger expired).
-  [[nodiscard]] bool should_flush(std::int64_t batch_size, std::int64_t now_ns,
-                                  std::int64_t open_ns) const noexcept {
+  FTPIM_HOT [[nodiscard]] bool should_flush(std::int64_t batch_size, std::int64_t now_ns,
+                                            std::int64_t open_ns) const noexcept {
     return full(batch_size) || remaining_linger_ns(now_ns, open_ns) == 0;
   }
 };

@@ -7,7 +7,6 @@
 #include <algorithm>
 #include <cstring>
 #include <exception>
-#include <stdexcept>
 #include <string>
 #include <utility>
 
@@ -15,12 +14,13 @@ namespace ftpim::serve {
 namespace {
 
 /// Best-effort message extraction for wrapping a failed attempt's error.
-std::string describe(const std::exception_ptr& error) {
+FTPIM_COLD std::string describe(const std::exception_ptr& error) {
   try {
     std::rethrow_exception(error);
   } catch (const std::exception& e) {
     return e.what();
   } catch (...) {
+    log_debug("serve: failed attempt threw a non-std::exception payload");
     return "unknown error";
   }
 }
@@ -47,7 +47,8 @@ InferenceServer::InferenceServer(const Module& model, const ServerConfig& config
 
 InferenceServer::~InferenceServer() { stop(); }
 
-void InferenceServer::reject(Request&& request, ServeError::Kind kind, const char* why) {
+FTPIM_COLD void InferenceServer::reject(Request&& request, ServeError::Kind kind,
+                                        const char* why) {
   (void)answer_error(request, std::make_exception_ptr(ServeError(kind, why)));
   MutexLock lock(mu_);
   switch (kind) {
@@ -60,8 +61,8 @@ void InferenceServer::reject(Request&& request, ServeError::Kind kind, const cha
   if (in_flight_ == 0) drained_.notify_all();
 }
 
-void InferenceServer::finish_with_error(Request& request, ServeError::Kind kind,
-                                        const std::string& why) {
+FTPIM_COLD void InferenceServer::finish_with_error(Request& request, ServeError::Kind kind,
+                                                   const std::string& why) {
   const bool delivered = answer_error(request, std::make_exception_ptr(ServeError(kind, why)));
   MutexLock lock(mu_);
   ++failed_;
@@ -225,13 +226,14 @@ ServerStats InferenceServer::stats() const {
   out.quarantines = quarantines_;
   out.repairs = repairs_;
   out.aged_cells = aged_cells_;
+  out.worker_exceptions = worker_exceptions_;
   out.in_flight = in_flight_;
   out.per_replica_served = per_replica_served_;
   for (const LatencyHistogram& h : per_worker_latency_) out.latency.merge(h);
   return out;
 }
 
-bool InferenceServer::triage(int replica_id, Request& request) {
+FTPIM_HOT bool InferenceServer::triage(int replica_id, Request& request) {
   if (request.deadline_ns <= clock_->now_ns()) {
     finish_with_error(request, ServeError::kDeadlineExceeded,
                       "InferenceServer: deadline passed while queued");
@@ -251,8 +253,9 @@ bool InferenceServer::triage(int replica_id, Request& request) {
   return false;
 }
 
-void InferenceServer::worker_loop(int replica_id) {
+FTPIM_HOT void InferenceServer::worker_loop(int replica_id) noexcept {
   WorkerTick tick;
+  BatchStage stage;
   std::vector<Request> batch;
   batch.reserve(static_cast<std::size_t>(config_.batching.max_batch_size));
   while (true) {
@@ -279,20 +282,28 @@ void InferenceServer::worker_loop(int replica_id) {
       if (triage(replica_id, more)) batch.push_back(std::move(more));
     }
     if (batch.empty()) continue;  // triage answered/re-routed everything
-    run_batch(replica_id, batch, tick);
+    run_batch(replica_id, batch, tick, stage);
     maintain(replica_id, tick);
   }
 }
 
-void InferenceServer::run_batch(int replica_id, std::vector<Request>& batch, WorkerTick& tick) {
-  const auto batch_size = static_cast<std::int64_t>(batch.size());
-  const Shape& sample_shape = batch.front().input.shape();
+FTPIM_COLD Tensor& InferenceServer::BatchStage::materialize(const Shape& sample_shape,
+                                                            std::int64_t batch_size) {
+  const auto idx = static_cast<std::size_t>(batch_size - 1);
+  if (idx >= staged.size()) staged.resize(idx + 1);
   Shape batched_shape;
   batched_shape.reserve(sample_shape.size() + 1);
   batched_shape.push_back(batch_size);
   batched_shape.insert(batched_shape.end(), sample_shape.begin(), sample_shape.end());
+  staged[idx] = Tensor(std::move(batched_shape));
+  return staged[idx];
+}
 
-  Tensor inputs(std::move(batched_shape));
+FTPIM_HOT void InferenceServer::run_batch(int replica_id, std::vector<Request>& batch,
+                                          WorkerTick& tick, BatchStage& stage) {
+  const auto batch_size = static_cast<std::int64_t>(batch.size());
+  const Shape& sample_shape = batch.front().input.shape();
+  Tensor& inputs = stage.input_for(sample_shape, batch_size);
   const std::int64_t sample_numel = batch.front().input.numel();
   for (std::int64_t i = 0; i < batch_size; ++i) {
     std::memcpy(inputs.data() + i * sample_numel,
@@ -351,10 +362,17 @@ void InferenceServer::run_batch(int replica_id, std::vector<Request>& batch, Wor
     if (in_flight_ == 0) drained_.notify_all();
     return;
   }
+  fail_batch(replica_id, batch, error, done_ns);
+}
 
+FTPIM_COLD void InferenceServer::fail_batch(int replica_id, std::vector<Request>& batch,
+                                            const std::exception_ptr& error,
+                                            std::int64_t done_ns) {
   // Failed attempt: every request burns one attempt and excludes this
   // replica; those with budget, time, and an alternative replica left go
   // back into the queue for failover, the rest fail with a typed error.
+  note_worker_exception("batch forward pass", error);
+  const auto batch_size = static_cast<std::int64_t>(batch.size());
   const std::string cause = describe(error);
   std::int64_t requeued = 0;
   {
@@ -385,7 +403,14 @@ void InferenceServer::run_batch(int replica_id, std::vector<Request>& batch, Wor
   retried_ += requeued;
 }
 
-void InferenceServer::ensure_canary() {
+FTPIM_COLD void InferenceServer::note_worker_exception(const char* where,
+                                                       const std::exception_ptr& error) {
+  log_warn("serve: %s threw: %s", where, describe(error).c_str());
+  MutexLock lock(mu_);
+  ++worker_exceptions_;
+}
+
+FTPIM_COLD void InferenceServer::ensure_canary() {
   std::call_once(canary_once_, [this] {
     Shape sample_shape;
     {
@@ -397,7 +422,7 @@ void InferenceServer::ensure_canary() {
   });
 }
 
-void InferenceServer::maintain(int replica_id, WorkerTick& tick) {
+FTPIM_COLD void InferenceServer::maintain(int replica_id, WorkerTick& tick) {
   // 1. Aging: the replica's defect map grows with its served-batch count.
   if (config_.aging.enabled()) {
     const std::int64_t added = pool_.advance_aging(
@@ -420,6 +445,7 @@ void InferenceServer::maintain(int replica_id, WorkerTick& tick) {
       passed = score_canary(logits, canary_, config_.health.canary_max_abs_err);
     } catch (...) {
       passed = 0;  // a canary forward that throws fails every probe
+      note_worker_exception("canary probe", std::current_exception());
     }
     const int missed = config_.health.canary_samples - passed;
     if (passed > 0) health_.record(replica_id, true, passed);

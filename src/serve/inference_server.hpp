@@ -48,11 +48,11 @@
 #include <cstdint>
 #include <functional>
 #include <future>
-#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "src/common/annotations.hpp"
 #include "src/common/thread_annotations.hpp"
 #include "src/core/evaluator.hpp"
 #include "src/nn/module.hpp"
@@ -160,12 +160,40 @@ class InferenceServer {
     ReplicaHealth last_state = ReplicaHealth::kHealthy;
   };
 
-  void worker_loop(int replica_id);
+  /// Per-worker reusable staging for batched inputs: one Tensor per batch
+  /// size, materialized on first use and overwritten in full on every later
+  /// batch of that size, so steady-state dispatch allocates nothing. Owned
+  /// by the worker thread — never shared.
+  struct BatchStage {
+    std::vector<Tensor> staged;  ///< index = batch_size - 1
+
+    FTPIM_HOT [[nodiscard]] Tensor& input_for(const Shape& sample_shape,
+                                              std::int64_t batch_size) {
+      const auto idx = static_cast<std::size_t>(batch_size - 1);
+      if (idx >= staged.size() || staged[idx].numel() == 0) {
+        return materialize(sample_shape, batch_size);
+      }
+      return staged[idx];
+    }
+
+    FTPIM_COLD Tensor& materialize(const Shape& sample_shape, std::int64_t batch_size);
+  };
+
+  void worker_loop(int replica_id) noexcept;
   /// Deadline/exclusion triage for a freshly popped request. True = the
   /// request belongs in this worker's batch; false = it was re-queued for
   /// another replica or answered with a ServeError.
   [[nodiscard]] bool triage(int replica_id, Request& request);
-  void run_batch(int replica_id, std::vector<Request>& batch, WorkerTick& tick);
+  void run_batch(int replica_id, std::vector<Request>& batch, WorkerTick& tick,
+                 BatchStage& stage);
+  /// Slow path of run_batch: the forward pass threw. Logs the cause, burns
+  /// one attempt per request, re-queues those with budget/time/alternatives
+  /// left, answers the rest with typed errors.
+  void fail_batch(int replica_id, std::vector<Request>& batch,
+                  const std::exception_ptr& error, std::int64_t done_ns);
+  /// Records a forward pass (batch or canary) that threw: logs the cause
+  /// through the sink and bumps the worker_exceptions counter.
+  void note_worker_exception(const char* where, const std::exception_ptr& error);
   /// Post-batch upkeep: aging, canary probes, quarantine detection, repair.
   void maintain(int replica_id, WorkerTick& tick);
   void ensure_canary();
@@ -208,6 +236,7 @@ class InferenceServer {
   std::int64_t quarantines_ FTPIM_GUARDED_BY(mu_) = 0;
   std::int64_t repairs_ FTPIM_GUARDED_BY(mu_) = 0;
   std::int64_t aged_cells_ FTPIM_GUARDED_BY(mu_) = 0;
+  std::int64_t worker_exceptions_ FTPIM_GUARDED_BY(mu_) = 0;
   Shape input_shape_ FTPIM_GUARDED_BY(mu_);  ///< pinned by the first submit()
   std::vector<std::int64_t> per_replica_served_ FTPIM_GUARDED_BY(mu_);
   std::vector<LatencyHistogram> per_worker_latency_ FTPIM_GUARDED_BY(mu_);

@@ -8,7 +8,7 @@
 
 namespace ftpim::serve {
 
-bool answer(Request& request, InferenceResult&& result) noexcept {
+FTPIM_HOT bool answer(Request& request, InferenceResult&& result) noexcept {
   try {
     request.promise.set_value(std::move(result));
     return true;
@@ -17,7 +17,7 @@ bool answer(Request& request, InferenceResult&& result) noexcept {
   }
 }
 
-bool answer_error(Request& request, std::exception_ptr error) noexcept {
+FTPIM_COLD bool answer_error(Request& request, std::exception_ptr error) noexcept {
   try {
     request.promise.set_exception(std::move(error));
     return true;
@@ -39,7 +39,7 @@ bool RequestQueue::push(Request&& request) {
   return true;
 }
 
-bool RequestQueue::try_push(Request&& request) {
+FTPIM_HOT bool RequestQueue::try_push(Request&& request) {
   MutexLock lock(mu_);
   if (closed_ || items_.size() >= capacity_) return false;
   items_.push_back(std::move(request));
@@ -47,7 +47,7 @@ bool RequestQueue::try_push(Request&& request) {
   return true;
 }
 
-bool RequestQueue::pop(Request& out) {
+FTPIM_HOT bool RequestQueue::pop(Request& out) {
   MutexLock lock(mu_);
   while (!closed_ && items_.empty()) not_empty_.wait(lock);
   if (items_.empty()) return false;  // closed and drained
@@ -57,7 +57,7 @@ bool RequestQueue::pop(Request& out) {
   return true;
 }
 
-bool RequestQueue::try_pop(Request& out) {
+FTPIM_HOT bool RequestQueue::try_pop(Request& out) {
   MutexLock lock(mu_);
   if (items_.empty()) return false;
   out = std::move(items_.front());
@@ -66,7 +66,7 @@ bool RequestQueue::try_pop(Request& out) {
   return true;
 }
 
-PopResult RequestQueue::pop_for(Request& out, std::int64_t timeout_ns) {
+FTPIM_HOT PopResult RequestQueue::pop_for(Request& out, std::int64_t timeout_ns) {
   MutexLock lock(mu_);
   // The predicate overload owns the timeout bookkeeping (spurious wakeups
   // included) — no wall-clock read here, which keeps src/serve's "all time

@@ -23,6 +23,7 @@
 #include <limits>
 #include <vector>
 
+#include "src/common/annotations.hpp"
 #include "src/common/thread_annotations.hpp"
 #include "src/tensor/tensor.hpp"
 
@@ -56,7 +57,7 @@ struct Request {
   int attempts_left = 1;         ///< forward passes this request may still consume
   std::vector<int> excluded;     ///< replicas that already failed this request
 
-  [[nodiscard]] bool excludes(int replica_id) const noexcept {
+  FTPIM_HOT [[nodiscard]] bool excludes(int replica_id) const noexcept {
     return std::find(excluded.begin(), excluded.end(), replica_id) != excluded.end();
   }
 };

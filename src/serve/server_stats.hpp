@@ -37,6 +37,7 @@ struct ServerStats {
   std::int64_t quarantines = 0;      ///< healthy/suspect -> quarantined transitions
   std::int64_t repairs = 0;          ///< replicas re-cloned + re-injected
   std::int64_t aged_cells = 0;       ///< cell faults grown in service (all replicas)
+  std::int64_t worker_exceptions = 0;  ///< forward passes (batch or canary) that threw
   std::size_t queue_depth = 0; ///< requests waiting at snapshot time
   std::int64_t in_flight = 0;  ///< accepted but not yet answered
   std::vector<std::int64_t> per_replica_served;   ///< indexed by replica id

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/common/annotations.hpp"
 #include "src/tensor/kernels/gemm_driver.hpp"
 #include "src/tensor/kernels/pack_arena.hpp"
 
@@ -44,22 +45,22 @@ void col2im_range(const float* dcol, const ConvGeometry& g, std::int64_t pix0,
 
 }  // namespace
 
-void conv_forward_packed(const ConvGeometry& g, const float* weight, std::int64_t out_c,
-                         const float* image, float* out) {
+FTPIM_HOT void conv_forward_packed(const ConvGeometry& g, const float* weight, std::int64_t out_c,
+                                   const float* image, float* out) {
   const PackASource a{weight, g.col_rows(), PackASource::Layout::kRowMajor};
   const PackBSource b{image, 0, &g, PackBSource::Layout::kIm2col};
   gemm_packed(out_c, g.col_cols(), g.col_rows(), 1.0f, a, b, 0.0f, out, g.col_cols());
 }
 
-void conv_grad_weight_packed(const ConvGeometry& g, const float* dout, std::int64_t out_c,
-                             const float* image, float* dw) {
+FTPIM_HOT void conv_grad_weight_packed(const ConvGeometry& g, const float* dout,
+                                       std::int64_t out_c, const float* image, float* dw) {
   const PackASource a{dout, g.col_cols(), PackASource::Layout::kRowMajor};
   const PackBSource b{image, 0, &g, PackBSource::Layout::kIm2colTrans};
   gemm_packed(out_c, g.col_rows(), g.col_cols(), 1.0f, a, b, 1.0f, dw, g.col_rows());
 }
 
-void conv_grad_input_packed(const ConvGeometry& g, const float* weight, std::int64_t out_c,
-                            const float* dout, float* dx) {
+FTPIM_HOT void conv_grad_input_packed(const ConvGeometry& g, const float* weight,
+                                      std::int64_t out_c, const float* dout, float* dx) {
   const std::int64_t col_rows = g.col_rows();
   const std::int64_t pixels = g.col_cols();
   PackArena& arena = PackArena::local();

@@ -2,7 +2,9 @@
 
 #include <atomic>
 #include <cstring>
+#include <string>
 
+#include "src/common/annotations.hpp"
 #include "src/common/config.hpp"
 #include "src/tensor/kernels/microkernel.hpp"
 
@@ -23,6 +25,14 @@ bool cpu_has_avx2_fma() noexcept {
 #endif
 }
 
+/// One-time FTPIM_KERNEL env resolution behind active_kernel_level()'s magic
+/// static — the std::string allocation happens exactly once per process.
+FTPIM_COLD KernelLevel resolve_default_kernel_level() noexcept {
+  const KernelLevel best = avx2_available() ? KernelLevel::kAvx2 : KernelLevel::kScalar;
+  const std::string env = env_string("FTPIM_KERNEL", "");
+  return env.empty() ? best : parse_kernel_env(env.c_str(), best);
+}
+
 }  // namespace
 
 bool avx2_available() noexcept {
@@ -39,15 +49,11 @@ KernelLevel parse_kernel_env(const char* value, KernelLevel fallback) noexcept {
   return fallback;
 }
 
-KernelLevel active_kernel_level() noexcept {
+FTPIM_HOT KernelLevel active_kernel_level() noexcept {
   const int override_level = g_level_override.load(std::memory_order_acquire);
   if (override_level >= 0) return static_cast<KernelLevel>(override_level);
   // Magic-static init is thread-safe; FTPIM_KERNEL is read exactly once.
-  static const KernelLevel resolved = [] {
-    const KernelLevel best = avx2_available() ? KernelLevel::kAvx2 : KernelLevel::kScalar;
-    const std::string env = env_string("FTPIM_KERNEL", "");
-    return env.empty() ? best : parse_kernel_env(env.c_str(), best);
-  }();
+  static const KernelLevel resolved = resolve_default_kernel_level();
   return resolved;
 }
 

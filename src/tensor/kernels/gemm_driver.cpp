@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/common/annotations.hpp"
 #include "src/common/check.hpp"
 #include "src/common/parallel.hpp"
 #include "src/tensor/kernels/dispatch.hpp"
@@ -27,9 +28,9 @@ void scale_rows(float* c, std::int64_t ldc, std::int64_t i_begin, std::int64_t i
 
 }  // namespace
 
-void gemm_packed(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
-                 const PackASource& a, const PackBSource& b, float beta, float* c,
-                 std::int64_t ldc) {
+FTPIM_HOT void gemm_packed(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+                           const PackASource& a, const PackBSource& b, float beta, float* c,
+                           std::int64_t ldc) {
   FTPIM_CHECK_GE(m, 0);
   FTPIM_CHECK_GE(n, 0);
   FTPIM_CHECK_GE(k, 0);

@@ -19,7 +19,6 @@
 #include <cstdint>
 
 #include "src/tensor/kernels/dispatch.hpp"
-#include "src/tensor/kernels/kernel_params.hpp"
 
 namespace ftpim::kernels {
 

@@ -4,6 +4,9 @@
 // the dispatch in dispatch.hpp.
 #include "src/tensor/kernels/microkernel.hpp"
 
+#include "src/common/annotations.hpp"
+#include "src/tensor/kernels/kernel_params.hpp"
+
 #if defined(__AVX2__) && defined(__FMA__)
 
 #include <immintrin.h>
@@ -12,8 +15,9 @@ namespace ftpim::kernels {
 
 bool kernel_avx2_compiled() noexcept { return true; }
 
-void micro_kernel_avx2(std::int64_t kc, const float* a_panel, const float* b_panel, float* c,
-                       std::int64_t ldc, std::int64_t mr_eff, std::int64_t nr_eff) {
+FTPIM_HOT void micro_kernel_avx2(std::int64_t kc, const float* a_panel, const float* b_panel,
+                                 float* c, std::int64_t ldc, std::int64_t mr_eff,
+                                 std::int64_t nr_eff) {
   // 6x16 tile: two ymm columns per row, 12 accumulators + 2 B loads + 1
   // broadcast = 15 of the 16 ymm registers.
   __m256 c0a = _mm256_setzero_ps(), c0b = _mm256_setzero_ps();
@@ -101,8 +105,9 @@ namespace ftpim::kernels {
 
 bool kernel_avx2_compiled() noexcept { return false; }
 
-void micro_kernel_avx2(std::int64_t kc, const float* a_panel, const float* b_panel, float* c,
-                       std::int64_t ldc, std::int64_t mr_eff, std::int64_t nr_eff) {
+FTPIM_HOT void micro_kernel_avx2(std::int64_t kc, const float* a_panel, const float* b_panel,
+                                 float* c, std::int64_t ldc, std::int64_t mr_eff,
+                                 std::int64_t nr_eff) {
   micro_kernel_scalar(kc, a_panel, b_panel, c, ldc, mr_eff, nr_eff);
 }
 

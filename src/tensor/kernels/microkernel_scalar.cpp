@@ -1,9 +1,13 @@
 #include "src/tensor/kernels/microkernel.hpp"
 
+#include "src/common/annotations.hpp"
+#include "src/tensor/kernels/kernel_params.hpp"
+
 namespace ftpim::kernels {
 
-void micro_kernel_scalar(std::int64_t kc, const float* a_panel, const float* b_panel, float* c,
-                         std::int64_t ldc, std::int64_t mr_eff, std::int64_t nr_eff) {
+FTPIM_HOT void micro_kernel_scalar(std::int64_t kc, const float* a_panel, const float* b_panel,
+                                   float* c, std::int64_t ldc, std::int64_t mr_eff,
+                                   std::int64_t nr_eff) {
   float acc[kMR][kNR] = {};
   for (std::int64_t p = 0; p < kc; ++p) {
     const float* a = a_panel + p * kMR;

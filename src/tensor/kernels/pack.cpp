@@ -1,5 +1,6 @@
 #include "src/tensor/kernels/pack.hpp"
 
+#include "src/common/annotations.hpp"
 #include "src/common/check.hpp"
 #include "src/tensor/kernels/kernel_params.hpp"
 
@@ -112,8 +113,8 @@ void pack_b_im2col_trans(const PackBSource& src, std::int64_t p0, std::int64_t k
 
 }  // namespace
 
-void pack_a_block(const PackASource& src, std::int64_t i0, std::int64_t mc, std::int64_t p0,
-                  std::int64_t kc, float alpha, float* dst) {
+FTPIM_HOT void pack_a_block(const PackASource& src, std::int64_t i0, std::int64_t mc,
+                            std::int64_t p0, std::int64_t kc, float alpha, float* dst) {
   FTPIM_DCHECK(src.data != nullptr);
   const std::int64_t panels = ceil_div(mc, kMR);
   for (std::int64_t ip = 0; ip < panels; ++ip) {
@@ -138,8 +139,8 @@ void pack_a_block(const PackASource& src, std::int64_t i0, std::int64_t mc, std:
   }
 }
 
-void pack_b_block(const PackBSource& src, std::int64_t p0, std::int64_t kc, std::int64_t j0,
-                  std::int64_t nc, float* dst) {
+FTPIM_HOT void pack_b_block(const PackBSource& src, std::int64_t p0, std::int64_t kc,
+                            std::int64_t j0, std::int64_t nc, float* dst) {
   FTPIM_DCHECK(src.data != nullptr);
   switch (src.layout) {
     case PackBSource::Layout::kRowMajor:

@@ -4,12 +4,12 @@
 
 namespace ftpim::kernels {
 
-PackArena& PackArena::local() {
+FTPIM_HOT PackArena& PackArena::local() {
   thread_local PackArena arena;
   return arena;
 }
 
-float* PackArena::scratch_buffer(int slot, std::size_t n) {
+FTPIM_HOT float* PackArena::scratch_buffer(int slot, std::size_t n) {
   FTPIM_DCHECK_GE(slot, 0);
   FTPIM_DCHECK_LT(slot, kScratchSlots);
   return grow(scratch_[slot], n);

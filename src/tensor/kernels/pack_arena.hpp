@@ -16,6 +16,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "src/common/annotations.hpp"
+
 namespace ftpim::kernels {
 
 class PackArena {
@@ -23,14 +25,16 @@ class PackArena {
   static constexpr int kScratchSlots = 4;
 
   /// The calling thread's arena (thread_local singleton).
-  [[nodiscard]] static PackArena& local();
+  FTPIM_HOT [[nodiscard]] static PackArena& local();
 
-  [[nodiscard]] float* a_buffer(std::size_t n) { return grow(a_, n); }
-  [[nodiscard]] float* b_buffer(std::size_t n) { return grow(b_, n); }
-  [[nodiscard]] float* scratch_buffer(int slot, std::size_t n);
+  FTPIM_HOT [[nodiscard]] float* a_buffer(std::size_t n) { return grow(a_, n); }
+  FTPIM_HOT [[nodiscard]] float* b_buffer(std::size_t n) { return grow(b_, n); }
+  FTPIM_HOT [[nodiscard]] float* scratch_buffer(int slot, std::size_t n);
 
  private:
-  static float* grow(std::vector<float>& buf, std::size_t n) {
+  /// Monotonic growth is the acknowledged slow path: it only runs the first
+  /// time a thread sees a new problem size; steady state never reallocates.
+  FTPIM_COLD static float* grow(std::vector<float>& buf, std::size_t n) {
     if (buf.size() < n) buf.resize(n);
     return buf.data();
   }

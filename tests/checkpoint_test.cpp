@@ -16,7 +16,7 @@
 #include "src/common/checkpoint.hpp"
 #include "src/common/crc32c.hpp"
 #include "src/common/rng.hpp"
-#include "src/common/serialize.hpp"
+#include "src/tensor/serialize.hpp"
 #include "src/core/train_checkpoint.hpp"
 #include "src/reram/aging.hpp"
 #include "src/reram/defect_map.hpp"

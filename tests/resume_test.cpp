@@ -14,8 +14,9 @@
 #include <vector>
 
 #include "src/common/parallel.hpp"
-#include "src/common/serialize.hpp"
+#include "src/tensor/serialize.hpp"
 #include "src/core/ft_trainer.hpp"
+#include "src/common/checkpoint.hpp"
 #include "src/core/train_checkpoint.hpp"
 #include "src/data/synthetic.hpp"
 #include "src/models/small_cnn.hpp"

@@ -6,7 +6,7 @@
 #include <vector>
 
 #include "src/common/checkpoint.hpp"
-#include "src/common/serialize.hpp"
+#include "src/tensor/serialize.hpp"
 #include "test_util.hpp"
 
 namespace ftpim {

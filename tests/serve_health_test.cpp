@@ -218,6 +218,8 @@ TEST(ServeHealthServer, RetryFailsOverToHealthyReplica) {
   EXPECT_EQ(stats.per_replica_served[0], 0);
   EXPECT_EQ(stats.per_replica_served[1], kRequests);
   EXPECT_GT(stats.retried, 0);
+  // Every throwing forward pass was recorded, none swallowed silently.
+  EXPECT_GT(stats.worker_exceptions, 0);
   // Replica 0's health window saw its batch failures.
   EXPECT_LT(stats.per_replica_health[0], 1.0);
   EXPECT_DOUBLE_EQ(stats.per_replica_health[1], 1.0);
@@ -245,6 +247,7 @@ TEST(ServeHealthServer, ExhaustedWhenNoAlternativeReplica) {
   EXPECT_EQ(stats.failed, 1);
   EXPECT_EQ(stats.retried, 0);
   EXPECT_EQ(stats.served, 0);
+  EXPECT_EQ(stats.worker_exceptions, 1);
 }
 
 TEST(ServeHealthServer, AttemptBudgetSpentAcrossReplicas) {

@@ -1,0 +1,19 @@
+#pragma once
+
+// Known-good provider fixture: defines the tokens the other fixtures
+// consume (including stand-ins for the real src/common/annotations.hpp
+// macros, so hot fixtures read like production code).
+
+#define FIXTURE_ANNOTATIONS_OK 1
+#define FTPIM_HOT [[gnu::hot]]
+#define FTPIM_COLD [[gnu::cold]]
+
+namespace fx {
+
+struct BaseThing {
+  int value = 0;
+};
+
+inline int base_helper(int x) { return x + 1; }
+
+}  // namespace fx

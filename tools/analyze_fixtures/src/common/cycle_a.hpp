@@ -1,0 +1,12 @@
+#pragma once
+
+// Include-cycle fixture, half A: depends on B which depends back on A.
+#include "src/common/cycle_b.hpp"
+
+namespace fx {
+
+inline int cycle_a_value(int depth) {
+  return depth <= 0 ? 1 : cycle_b_value(depth - 1) + 1;
+}
+
+}  // namespace fx

@@ -1,0 +1,12 @@
+#pragma once
+
+// Include-cycle fixture, half B: completes the A -> B -> A cycle.
+#include "src/common/cycle_a.hpp"
+
+namespace fx {
+
+inline int cycle_b_value(int depth) {
+  return depth <= 0 ? 2 : cycle_a_value(depth - 1) + 2;
+}
+
+}  // namespace fx

@@ -1,0 +1,11 @@
+// IWYU-lite fixture: includes a project header and a std header and uses a
+// token from neither.
+#include "src/common/base.hpp"
+
+#include <vector>
+
+namespace fx {
+
+int standalone_sum(int a, int b) { return a + b; }
+
+}  // namespace fx

@@ -1,0 +1,15 @@
+#pragma once
+
+// Known-good serve-side provider: the back-edge fixture includes this from
+// the tensor module (illegal), good_worker.cpp from serve (legal).
+
+namespace fx {
+
+inline int serve_api_version() { return 3; }
+
+struct ServePromise {
+  void set_value(int v);
+  void set_exception(int code);
+};
+
+}  // namespace fx

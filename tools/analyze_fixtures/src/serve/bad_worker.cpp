@@ -1,0 +1,21 @@
+// Exception-surface fixture: a worker loop missing noexcept, a catch (...)
+// that swallows the exception, and a destructor that throws.
+#include "src/serve/api.hpp"
+
+#include <stdexcept>
+
+namespace fx {
+
+struct BadServer {
+  ~BadServer() { throw std::runtime_error("dtor"); }
+};
+
+void worker_loop(int replica) {
+  try {
+    (void)serve_api_version();
+    (void)replica;
+  } catch (...) {
+  }
+}
+
+}  // namespace fx

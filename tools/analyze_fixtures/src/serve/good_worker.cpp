@@ -1,0 +1,37 @@
+// Known-good fixture: noexcept worker loop, catch (...) that settles the
+// promise, and a FTPIM_HOT function whose only expensive work lives behind
+// an FTPIM_COLD boundary - traversal must stop there, so this file has zero
+// findings.
+#include "src/serve/api.hpp"
+
+#include "src/common/base.hpp"
+
+#include <vector>
+
+namespace fx {
+
+FTPIM_COLD void settle_failure(ServePromise& p, int code) {
+  std::vector<int> trail;
+  trail.push_back(code);
+  p.set_exception(code);
+}
+
+FTPIM_HOT int hot_dispatch(ServePromise& p, int code) {
+  if (code != 0) {
+    settle_failure(p, code);
+    return -1;
+  }
+  return serve_api_version();
+}
+
+void worker_loop(int replica) noexcept {
+  ServePromise promise;
+  try {
+    (void)replica;
+    promise.set_value(hot_dispatch(promise, 0));
+  } catch (...) {
+    promise.set_exception(-1);
+  }
+}
+
+}  // namespace fx

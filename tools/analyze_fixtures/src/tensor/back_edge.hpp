@@ -1,0 +1,11 @@
+#pragma once
+
+// Layering fixture: tensor (rank 1) reaching up into serve (rank 6) is a
+// back-edge against the module DAG and must be rejected.
+#include "src/serve/api.hpp"
+
+namespace fx {
+
+inline int tensor_uses_serve() { return serve_api_version(); }
+
+}  // namespace fx

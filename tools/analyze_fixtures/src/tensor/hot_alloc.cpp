@@ -1,0 +1,25 @@
+// Hot-path audit fixture: a FTPIM_HOT function that heap-allocates, grows a
+// vector, builds a std::string, acquires a lock, and reads the wall clock -
+// one finding per rule.
+#include "src/common/base.hpp"
+
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace fx {
+
+std::mutex g_mu;
+
+FTPIM_HOT float* hot_entry(std::vector<float>& buf, int n) {
+  std::lock_guard<std::mutex> hold(g_mu);
+  std::string label = "batch";
+  const auto t0 = std::chrono::steady_clock::now();
+  (void)t0;
+  (void)label;
+  buf.push_back(static_cast<float>(n));
+  return new float[static_cast<unsigned>(n)];
+}
+
+}  // namespace fx

@@ -1,0 +1,22 @@
+// Transitive hot-path fixture: the FTPIM_HOT entry point is clean itself
+// but calls a local helper that heap-allocates; the audit must follow the
+// local call and flag the helper.
+#include "src/common/base.hpp"
+
+#include <memory>
+
+namespace fx {
+
+int* transitive_helper(int n) {
+  auto owned = std::make_unique<int>(n);
+  return owned.release();
+}
+
+FTPIM_HOT int hot_transitive_entry(int n) {
+  int* p = transitive_helper(n);
+  int v = *p;
+  delete p;
+  return v;
+}
+
+}  // namespace fx

@@ -1,0 +1,1113 @@
+#!/usr/bin/env python3
+"""ftpim_analyze.py - semantic static analyzer for the ftpim tree.
+
+Sibling of ftpim_lint.py: where the linter catches single-line hygiene
+violations by regex, this tool parses `src/` into an include graph and a
+lightweight function-body token model and runs three semantic passes:
+
+  1. layering           - enforce the module DAG
+                            common -> tensor -> {nn, optim, data} -> reram
+                                   -> models -> {core, prune} -> serve
+                          Rejects include cycles and back-edges (including
+                          cross-sibling includes at the same rank), and flags
+                          includes whose provided tokens are never used by the
+                          including file (IWYU-lite).
+  2. hot-path audit     - functions annotated FTPIM_HOT (src/common/
+                          annotations.hpp) and everything they locally call
+                          must not heap-allocate, grow containers, construct
+                          std::string, acquire mutexes, or read the wall
+                          clock. Traversal stops at FTPIM_COLD (explicitly
+                          acknowledged slow paths: arena growth, error
+                          settlement, one-time config reads).
+  3. exception surface  - worker-thread functions (worker_loop) and promise
+                          settlement helpers (answer / answer_error) in
+                          src/serve/ must be declared noexcept; destructors
+                          must not throw; every `catch (...)` must rethrow or
+                          settle a promise / log through the sink.
+
+Findings print human-readable and (with --json) as a machine artifact.
+tools/analyze_baseline.json allows incremental adoption of the hot-path and
+IWYU rules; layering rules (layer-back-edge, include-cycle, unknown-module)
+are hard errors and can NOT be baselined. Stale baseline entries fail the
+run so the file can only shrink.
+
+The C++ model is deliberately lightweight (no real parser):
+  * comments / string / char literals are blanked (C++14 digit separators
+    like 1'000'000 are handled);
+  * function definitions are found by brace scanning with a head classifier
+    (ctor member-init lists split at the top-level ':'; lambdas fold into
+    their enclosing function; operator overloads and brace-member-inits in
+    init lists are known blind spots);
+  * callees are `identifier(` tokens resolved to definitions in the same
+    file, or to a unique single-file definition tree-wide - ambiguous names
+    (virtual `forward`, overloaded `record`) are not followed.
+
+Usage:
+  tools/ftpim_analyze.py --root .              # analyze src/, exit 1 on findings
+  tools/ftpim_analyze.py --root . --json out.json
+  tools/ftpim_analyze.py --self-test           # run against tools/analyze_fixtures/
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+from dataclasses import dataclass, field
+
+# --------------------------------------------------------------------------
+# Module DAG. A file under src/<module>/ may include headers of the same
+# module or of a strictly lower rank. Equal rank but different module
+# (nn <-> optim <-> data, core <-> prune) is a back-edge: siblings are
+# independent by design.
+# --------------------------------------------------------------------------
+MODULE_RANK = {
+    "common": 0,
+    "tensor": 1,
+    "nn": 2,
+    "optim": 2,
+    "data": 2,
+    "reram": 3,
+    "models": 4,
+    "core": 5,
+    "prune": 5,
+    "serve": 6,
+}
+
+# Rules that can never be baselined: the layering contract holds everywhere.
+UNBASELINABLE = {"layer-back-edge", "include-cycle", "unknown-module"}
+
+# Exception-surface allowlist: functions that run on worker threads or settle
+# promises. They must carry `noexcept` so a stray exception cannot unwind
+# past a promise or terminate via a propagating worker.
+NOEXCEPT_REQUIRED = {"worker_loop", "answer", "answer_error"}
+NOEXCEPT_REQUIRED_PREFIX = "src/serve/"
+
+# Per-rule allowed files: the one sanctioned definition site of a primitive
+# is not re-flagged (usage sites still are).
+HOT_RULE_ALLOWED_FILES = {
+    # clock.hpp is the single sanctioned chrono::now() site (serve-wall-clock
+    # lint rule); SteadyServeClock::now_ns is reached from hot pop paths.
+    "hot-clock": {"src/serve/clock.hpp"},
+    # The annotated Mutex/MutexLock wrappers themselves call .lock(); hot
+    # code is flagged where it *constructs* a MutexLock, not inside the
+    # wrapper implementation.
+    "hot-mutex": {"src/common/thread_annotations.hpp"},
+}
+
+# token-class patterns scanned over FTPIM_HOT-reachable function bodies.
+HOT_PATTERNS = (
+    ("hot-alloc",
+     r"\bnew\b|\bmake_unique\s*<|\bmake_shared\s*<|\bmalloc\s*\(|\bcalloc\s*\(|\brealloc\s*\(",
+     "heap allocation"),
+    ("hot-growth",
+     r"(?:\.|->)\s*(?:push_back|emplace_back|resize|reserve|insert|emplace|append|assign)\s*\(",
+     "container growth call"),
+    ("hot-string",
+     r"\bstd\s*::\s*string\b(?!\s*[&*])|\bto_string\s*\(|\bstrformat\s*\(|\bformat_msg\s*\(",
+     "std::string construction / formatting"),
+    ("hot-mutex",
+     r"\bMutexLock\b|\block_guard\b|\bunique_lock\b|\bscoped_lock\b|\bcall_once\s*\(|(?:\.|->)\s*lock\s*\(\s*\)",
+     "mutex acquisition"),
+    ("hot-clock",
+     r"\b(?:steady_clock|system_clock|high_resolution_clock)\s*::\s*now\s*\(",
+     "wall-clock read"),
+)
+
+# `catch (...)` bodies must contain one of these: a rethrow, a promise
+# settlement, a pass through the logging sink, or a deliberate process exit.
+CATCH_SETTLE = re.compile(
+    r"throw\s*;|\bcurrent_exception\b|\brethrow_exception\b|\banswer_error\b"
+    r"|\bset_exception\b|\bset_value\b|\blog_(?:warn|error|info|debug)\s*\("
+    r"|\bterminate\s*\(|\babort\s*\(")
+
+CPP_KEYWORDS = {
+    "alignas", "alignof", "asm", "auto", "bool", "break", "case", "catch",
+    "char", "class", "const", "constexpr", "const_cast", "continue",
+    "decltype", "default", "delete", "do", "double", "dynamic_cast", "else",
+    "enum", "explicit", "export", "extern", "false", "float", "for", "friend",
+    "goto", "if", "inline", "int", "long", "mutable", "namespace", "new",
+    "noexcept", "nullptr", "operator", "private", "protected", "public",
+    "register", "reinterpret_cast", "return", "short", "signed", "sizeof",
+    "static", "static_assert", "static_cast", "struct", "switch", "template",
+    "this", "throw", "true", "try", "typedef", "typeid", "typename", "union",
+    "unsigned", "using", "virtual", "void", "volatile", "while",
+}
+CONTROL_HEADS = re.compile(
+    r"^(?:\[\[[^\]]*\]\]\s*)*(?:if|for|while|switch|catch|do|else|return|try)\b")
+
+# Curated provided-token table for std headers the tree uses. An include of a
+# header listed here is flagged when none of its tokens appear; headers NOT
+# in the table are skipped (never flagged).
+STD_HEADER_TOKENS = {
+    "algorithm": ["sort", "stable_sort", "min", "max", "minmax", "clamp",
+                  "fill", "fill_n", "copy", "copy_n", "copy_if", "find",
+                  "find_if", "count", "count_if", "transform", "all_of",
+                  "any_of", "none_of", "equal", "lower_bound", "upper_bound",
+                  "nth_element", "partial_sort", "reverse", "rotate",
+                  "shuffle", "unique", "remove", "remove_if", "generate",
+                  "max_element", "min_element", "mismatch", "search",
+                  "binary_search", "partition", "swap_ranges"],
+    "array": ["array"],
+    "atomic": ["atomic", "memory_order", "memory_order_relaxed",
+               "memory_order_acquire", "memory_order_release",
+               "memory_order_seq_cst", "atomic_flag", "atomic_thread_fence"],
+    "cassert": ["assert"],
+    "cctype": ["isdigit", "isalpha", "isspace", "tolower", "toupper",
+               "isalnum", "isupper", "islower", "ispunct", "isxdigit"],
+    "cerrno": ["errno"],
+    "cfloat": ["FLT_EPSILON", "FLT_MAX", "FLT_MIN", "DBL_EPSILON", "DBL_MAX",
+               "DBL_MIN"],
+    "chrono": ["chrono"],
+    "cinttypes": ["PRId64", "PRIu64", "PRIx64"],
+    "climits": ["INT_MAX", "INT_MIN", "LONG_MAX", "UINT_MAX", "CHAR_BIT",
+                "LLONG_MAX", "LLONG_MIN"],
+    "cmath": ["sqrt", "sqrtf", "exp", "expf", "exp2", "log", "logf", "log2",
+              "log10", "pow", "powf", "fabs", "fabsf", "floor", "ceil",
+              "round", "lround", "llround", "trunc", "fmod", "isnan",
+              "isinf", "isfinite", "tanh", "sinh", "cosh", "sin", "cos",
+              "tan", "atan", "atan2", "asin", "acos", "erf", "hypot",
+              "copysign", "nearbyint", "fma", "M_PI", "INFINITY", "NAN"],
+    "condition_variable": ["condition_variable", "cv_status"],
+    "cstddef": ["size_t", "ptrdiff_t", "nullptr_t", "byte", "max_align_t",
+                "NULL"],
+    "cstdint": ["int8_t", "int16_t", "int32_t", "int64_t", "uint8_t",
+                "uint16_t", "uint32_t", "uint64_t", "intptr_t", "uintptr_t",
+                "intmax_t", "uintmax_t", "INT64_MAX", "INT64_MIN",
+                "UINT64_MAX", "INT32_MAX", "INT32_MIN", "UINT32_MAX",
+                "SIZE_MAX"],
+    "cstdio": ["printf", "fprintf", "snprintf", "sprintf", "sscanf",
+               "fscanf", "fopen", "fclose", "fread", "fwrite", "fflush",
+               "fseek", "ftell", "rewind", "remove", "rename", "tmpfile",
+               "FILE", "EOF", "stdout", "stderr", "stdin", "fgets", "fputs",
+               "fputc", "fgetc", "perror", "vsnprintf", "ferror", "feof",
+               "setvbuf", "fileno", "SEEK_SET", "SEEK_CUR", "SEEK_END"],
+    "cstdlib": ["malloc", "calloc", "realloc", "free", "abort", "exit",
+                "atexit", "getenv", "system", "strtol", "strtoll", "strtoul",
+                "strtod", "strtof", "atoi", "atof", "rand", "srand", "qsort",
+                "bsearch", "EXIT_SUCCESS", "EXIT_FAILURE", "abs", "labs",
+                "llabs"],
+    "cstring": ["memcpy", "memmove", "memset", "memcmp", "memchr", "strlen",
+                "strcmp", "strncmp", "strcpy", "strncpy", "strcat",
+                "strncat", "strchr", "strrchr", "strstr", "strerror",
+                "strtok"],
+    "ctime": ["time_t", "time", "clock", "clock_t", "localtime", "gmtime",
+              "strftime", "difftime", "mktime", "timespec"],
+    "deque": ["deque"],
+    "exception": ["exception", "exception_ptr", "current_exception",
+                  "rethrow_exception", "make_exception_ptr", "terminate",
+                  "set_terminate", "uncaught_exceptions", "nested_exception",
+                  "throw_with_nested", "rethrow_if_nested"],
+    "filesystem": ["filesystem"],
+    "fstream": ["ifstream", "ofstream", "fstream", "filebuf"],
+    "functional": ["function", "bind", "ref", "cref", "reference_wrapper",
+                   "hash", "plus", "minus", "multiplies", "less", "greater",
+                   "equal_to", "invoke", "mem_fn", "not_fn", "placeholders"],
+    "future": ["future", "promise", "packaged_task", "async", "launch",
+               "future_error", "future_status", "shared_future",
+               "future_errc"],
+    "initializer_list": ["initializer_list"],
+    "iomanip": ["setw", "setprecision", "setfill", "setbase"],
+    "iostream": ["cout", "cerr", "cin", "clog"],
+    "iterator": ["back_inserter", "front_inserter", "inserter", "distance",
+                 "advance", "next", "prev", "make_move_iterator",
+                 "ostream_iterator", "istream_iterator", "iterator_traits"],
+    "limits": ["numeric_limits"],
+    "list": ["list"],
+    "map": ["map", "multimap"],
+    "memory": ["unique_ptr", "shared_ptr", "weak_ptr", "make_unique",
+               "make_shared", "allocator", "addressof", "align",
+               "enable_shared_from_this", "default_delete", "destroy_at",
+               "construct_at"],
+    "mutex": ["mutex", "lock_guard", "unique_lock", "scoped_lock",
+              "recursive_mutex", "timed_mutex", "call_once", "once_flag",
+              "try_lock", "adopt_lock", "defer_lock", "try_to_lock"],
+    "new": ["bad_alloc", "nothrow", "launder", "align_val_t",
+            "set_new_handler", "hardware_destructive_interference_size"],
+    "numeric": ["accumulate", "iota", "inner_product", "partial_sum",
+                "adjacent_difference", "reduce", "gcd", "lcm", "midpoint"],
+    "optional": ["optional", "nullopt", "make_optional",
+                 "bad_optional_access", "in_place"],
+    "queue": ["queue", "priority_queue"],
+    "random": ["mt19937", "mt19937_64", "random_device",
+               "uniform_int_distribution", "uniform_real_distribution",
+               "normal_distribution", "bernoulli_distribution",
+               "discrete_distribution", "seed_seq", "minstd_rand",
+               "default_random_engine"],
+    "set": ["set", "multiset"],
+    "sstream": ["stringstream", "ostringstream", "istringstream",
+                "stringbuf"],
+    "stack": ["stack"],
+    "stdexcept": ["runtime_error", "logic_error", "invalid_argument",
+                  "out_of_range", "domain_error", "length_error",
+                  "range_error", "overflow_error", "underflow_error"],
+    "string": ["string", "to_string", "stoi", "stol", "stoll", "stoul",
+               "stoull", "stof", "stod", "getline", "char_traits",
+               "wstring", "npos"],
+    "string_view": ["string_view", "wstring_view"],
+    "system_error": ["error_code", "error_condition", "system_error",
+                     "system_category", "generic_category", "errc",
+                     "error_category"],
+    "thread": ["thread", "this_thread", "yield", "sleep_for", "sleep_until",
+               "hardware_concurrency"],
+    "tuple": ["tuple", "make_tuple", "tie", "forward_as_tuple", "tuple_size",
+              "tuple_element", "apply", "tuple_cat", "ignore"],
+    "type_traits": ["enable_if", "enable_if_t", "is_same", "is_same_v",
+                    "decay", "decay_t", "remove_reference", "remove_cv",
+                    "remove_cvref", "conditional", "conditional_t",
+                    "underlying_type", "underlying_type_t", "is_arithmetic",
+                    "is_arithmetic_v", "is_integral", "is_integral_v",
+                    "is_floating_point", "is_floating_point_v", "is_enum",
+                    "is_enum_v", "is_convertible", "is_convertible_v",
+                    "is_base_of", "is_base_of_v", "is_trivially_copyable",
+                    "is_trivially_copyable_v", "void_t", "true_type",
+                    "false_type", "integral_constant", "is_signed",
+                    "is_unsigned", "is_constructible", "is_invocable",
+                    "invoke_result", "invoke_result_t", "common_type",
+                    "is_pointer", "is_const", "is_void", "is_reference"],
+    "unordered_map": ["unordered_map", "unordered_multimap"],
+    "unordered_set": ["unordered_set", "unordered_multiset"],
+    "utility": ["move", "forward", "swap", "pair", "make_pair", "exchange",
+                "declval", "index_sequence", "make_index_sequence",
+                "as_const", "piecewise_construct", "integer_sequence"],
+    "variant": ["variant", "visit", "get_if", "holds_alternative",
+                "monostate", "bad_variant_access"],
+    "vector": ["vector"],
+}
+STD_HEADER_TOKEN_SETS = {h: frozenset(t) for h, t in STD_HEADER_TOKENS.items()}
+
+IDENT = re.compile(r"[A-Za-z_]\w*")
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*([<"])([^>"]+)[>"]')
+
+
+# --------------------------------------------------------------------------
+# lexing
+# --------------------------------------------------------------------------
+def strip_code(text):
+    """Blank comments, string literals and char literals, preserving length
+    and newlines so offsets map 1:1 onto the original file. C++14 digit
+    separators (1'000'000) do not open a char literal."""
+    out = list(text)
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                out[i] = " "
+                i += 1
+        elif c == "/" and nxt == "*":
+            out[i] = out[i + 1] = " "
+            i += 2
+            while i < n and not (text[i] == "*" and i + 1 < n and text[i + 1] == "/"):
+                if text[i] != "\n":
+                    out[i] = " "
+                i += 1
+            if i < n:
+                out[i] = out[i + 1] = " "
+                i += 2
+        elif c == '"':
+            i += 1
+            while i < n and text[i] != '"':
+                if text[i] == "\\" and i + 1 < n:
+                    out[i] = " "
+                    i += 1
+                if text[i] != "\n":
+                    out[i] = " "
+                i += 1
+            i += 1
+        elif c == "'":
+            if i > 0 and (text[i - 1].isalnum() or text[i - 1] == "_"):
+                i += 1  # digit separator
+                continue
+            i += 1
+            while i < n and text[i] != "'":
+                if text[i] == "\\" and i + 1 < n:
+                    out[i] = " "
+                    i += 1
+                if text[i] != "\n":
+                    out[i] = " "
+                i += 1
+            i += 1
+        else:
+            i += 1
+    return "".join(out)
+
+
+def blank_preprocessor(code, keep_non_include=False):
+    """Blank preprocessor lines (with backslash continuations). When
+    keep_non_include is True only #include lines are blanked - #define
+    bodies keep their tokens for the IWYU usage scan."""
+    lines = code.split("\n")
+    out = []
+    i = 0
+    while i < len(lines):
+        line = lines[i]
+        if line.lstrip().startswith("#"):
+            is_include = line.lstrip().startswith("#include") or \
+                re.match(r"^\s*#\s*include\b", line)
+            blank = not (keep_non_include and not is_include)
+            while True:
+                cont = lines[i].rstrip().endswith("\\")
+                out.append("" if blank else lines[i])
+                if not cont or i + 1 >= len(lines):
+                    break
+                i += 1
+        else:
+            out.append(line)
+        i += 1
+    return "\n".join(out)
+
+
+def match_brace(code, open_idx):
+    depth = 0
+    for j in range(open_idx, len(code)):
+        c = code[j]
+        if c == "{":
+            depth += 1
+        elif c == "}":
+            depth -= 1
+            if depth == 0:
+                return j
+    return None
+
+
+# --------------------------------------------------------------------------
+# function model
+# --------------------------------------------------------------------------
+@dataclass
+class Function:
+    rel: str
+    name: str
+    qual: str
+    line: int
+    hot: bool
+    cold: bool
+    noexcept_: bool
+    is_dtor: bool
+    body: str
+    body_pos: int  # char offset of the body in the file's code text
+
+
+def _split_ctor_init(head):
+    """Return head with a ctor member-init list (top-level single ':')
+    removed. '::' and ternary ':' are left alone."""
+    depth = 0
+    saw_q = 0
+    i = 0
+    while i < len(head):
+        c = head[i]
+        if c in "([":
+            depth += 1
+        elif c in ")]":
+            depth -= 1
+        elif c == "?" and depth == 0:
+            saw_q += 1
+        elif c == ":" and depth == 0:
+            if i + 1 < len(head) and head[i + 1] == ":":
+                i += 2
+                continue
+            if i > 0 and head[i - 1] == ":":
+                i += 1
+                continue
+            if saw_q > 0:
+                saw_q -= 1
+            else:
+                return head[:i]
+        i += 1
+    return head
+
+
+_TRAIL_MACRO = re.compile(r"\b[A-Z][A-Z0-9_]{2,}\s*(?:\(\s*[^()]*\s*\))?\s*$")
+_TRAIL_SPEC = re.compile(r"\b(const|noexcept|override|final|mutable|try)\s*$")
+_TRAIL_NOEXCEPT_EXPR = re.compile(r"\bnoexcept\s*\(\s*[^()]*\s*\)\s*$")
+_NAME_AT_END = re.compile(r"(~?\w+(?:\s*::\s*~?\w+)*)\s*$")
+
+
+def _classify_head(head):
+    """Return a dict describing a function definition, or None if `head {`
+    opens a scope/control block to descend into."""
+    h = head.strip()
+    h = re.sub(r"^(?:\s*(?:public|private|protected)\s*:)+", "", h).strip()
+    if not h or "(" not in h:
+        return None
+    if CONTROL_HEADS.match(h):
+        return None
+    if re.match(r"^(?:template\s*<[^{}]*>\s*)?(?:class|struct|union|enum|namespace)\b", h):
+        return None
+    if h.endswith(("=", ",", "(", "[", "&&", "||")):
+        return None
+    # assignment / brace-init at top level -> not a function definition.
+    # Angle depth is tracked (guardedly) so template default arguments like
+    # `template <typename T = float>` are not mistaken for assignments.
+    depth = 0
+    angle = 0
+    for j, c in enumerate(h):
+        if c in "([":
+            depth += 1
+        elif c in ")]":
+            depth -= 1
+        elif c == "<" and j > 0 and (h[j - 1].isalnum() or h[j - 1] in "_,<"):
+            angle += 1
+        elif c == ">" and angle > 0 and (j == 0 or h[j - 1] != "-"):
+            angle -= 1
+        elif c == "=" and depth == 0 and angle == 0:
+            return None
+    sig = _split_ctor_init(h).strip()
+    noexcept_flag = False
+    # peel trailing specifiers until the parameter-list ')' is at the end
+    while True:
+        sig = sig.strip()
+        if sig.endswith("]]"):
+            k = sig.rfind("[[")
+            if k < 0:
+                return None
+            sig = sig[:k]
+            continue
+        arrow = sig.rfind("->")
+        if arrow >= 0 and sig[:arrow].rstrip().endswith(")"):
+            sig = sig[:arrow]
+            continue
+        m = _TRAIL_NOEXCEPT_EXPR.search(sig)
+        if m:
+            noexcept_flag = True
+            sig = sig[:m.start()]
+            continue
+        m = _TRAIL_SPEC.search(sig)
+        if m:
+            if m.group(1) == "noexcept":
+                noexcept_flag = True
+            sig = sig[:m.start()]
+            continue
+        if sig.endswith("&&") or sig.endswith("&"):
+            sig = sig.rstrip("&")
+            continue
+        m = _TRAIL_MACRO.search(sig)
+        if m and sig[:m.start()].rstrip().endswith(")"):
+            # FTPIM_ACQUIRE(mu_), FTPIM_NO_THREAD_SAFETY_ANALYSIS, ... -
+            # an ALL_CAPS macro *after* the parameter list. The parameter
+            # list of an ordinary function never matches (its name is not
+            # ALL_CAPS in this tree).
+            sig = sig[:m.start()]
+            continue
+        break
+    sig = sig.strip()
+    if not sig.endswith(")"):
+        return None
+    depth = 0
+    open_idx = None
+    for j in range(len(sig) - 1, -1, -1):
+        if sig[j] == ")":
+            depth += 1
+        elif sig[j] == "(":
+            depth -= 1
+            if depth == 0:
+                open_idx = j
+                break
+    if open_idx is None:
+        return None
+    before = sig[:open_idx].rstrip()
+    m = _NAME_AT_END.search(before)
+    if not m:
+        return None
+    qual = re.sub(r"\s+", "", m.group(1))
+    name = qual.split("::")[-1]
+    bare = name.lstrip("~")
+    if not bare or bare in CPP_KEYWORDS or bare[0].isdigit():
+        return None
+    return {
+        "name": name.lstrip("~"),
+        "qual": qual,
+        "is_dtor": name.startswith("~"),
+        # safety net for specifier orders the peel loop missed: any
+        # `) noexcept` after the parameter list counts.
+        "noexcept": noexcept_flag or bool(re.search(r"\)\s*noexcept\b", h)),
+        "hot": "FTPIM_HOT" in head,
+        "cold": "FTPIM_COLD" in head,
+    }
+
+
+def extract_functions(code, rel):
+    """Brace-scan `code` (comments/strings/preprocessor blanked) and return
+    the list of function definitions. Lambdas and operator overloads are not
+    extracted; their bodies fold into the enclosing scan."""
+    functions = []
+
+    def scan(start, end):
+        head_start = start
+        i = start
+        while i < end:
+            c = code[i]
+            if c == ";":
+                head_start = i + 1
+            elif c == "}":
+                head_start = i + 1
+            elif c == "{":
+                close = match_brace(code, i)
+                if close is None or close > end:
+                    return
+                head = code[head_start:i]
+                info = _classify_head(head)
+                if info is not None:
+                    line = code[:i].count("\n") + 1
+                    functions.append(Function(
+                        rel=rel, name=info["name"], qual=info["qual"],
+                        line=line, hot=info["hot"], cold=info["cold"],
+                        noexcept_=info["noexcept"], is_dtor=info["is_dtor"],
+                        body=code[i + 1:close], body_pos=i + 1))
+                else:
+                    scan(i + 1, close)
+                i = close
+                head_start = close + 1
+            i += 1
+
+    scan(0, len(code))
+    return functions
+
+
+# --------------------------------------------------------------------------
+# file model
+# --------------------------------------------------------------------------
+@dataclass
+class SourceFile:
+    rel: str
+    text: str
+    code: str          # comments/strings blanked (offsets preserved)
+    token_text: str    # code with #include lines blanked (IWYU usage scan)
+    fn_text: str       # code with ALL preprocessor blanked (function scan)
+    includes: list = field(default_factory=list)   # (line, target, is_system)
+    functions: list = field(default_factory=list)
+    tokens: frozenset = frozenset()
+    provided: frozenset = frozenset()
+
+
+_PROVIDE_PATTERNS = (
+    re.compile(r"^\s*#\s*define\s+(\w+)", re.M),
+    re.compile(r"\b(?:class|struct|union)\s+([A-Za-z_]\w*)"),
+    re.compile(r"\benum\s+(?:class\s+|struct\s+)?([A-Za-z_]\w*)"),
+    re.compile(r"\busing\s+([A-Za-z_]\w*)\s*="),
+    re.compile(r"\btypedef\b[^;]*?\b([A-Za-z_]\w*)\s*;"),
+    re.compile(r"\b([A-Za-z_]\w*)\s*\("),          # decls, defs, calls
+    re.compile(r"\b(?:constexpr|const|inline|extern)\s+(?:[\w:<>,\s\*&]+?\s)?([A-Za-z_]\w*)\s*[={;]"),
+)
+
+
+def _provided_tokens(sf):
+    """Tokens a header offers its includers. Over-provides (any identifier
+    followed by '(' counts) - safe direction for an unused-include check."""
+    out = set()
+    for pat in _PROVIDE_PATTERNS:
+        src = sf.code if pat.pattern.startswith("^") else sf.token_text
+        for m in pat.finditer(src):
+            tok = m.group(1)
+            if tok not in CPP_KEYWORDS:
+                out.add(tok)
+    # enumerators: identifiers inside enum braces
+    for m in re.finditer(r"\benum\s+(?:class\s+|struct\s+)?\w*[^{};]*\{([^{}]*)\}",
+                         sf.token_text):
+        for ident in IDENT.findall(m.group(1)):
+            if ident not in CPP_KEYWORDS:
+                out.add(ident)
+    return frozenset(out)
+
+
+def parse_file(root, rel):
+    with open(os.path.join(root, rel), "r", encoding="utf-8") as fh:
+        text = fh.read()
+    sf = SourceFile(rel=rel, text=text, code="", token_text="", fn_text="")
+    sf.code = strip_code(text)
+    # includes come from the RAW text (paths live inside string quotes)
+    for lineno, line in enumerate(text.split("\n"), start=1):
+        m = INCLUDE_RE.match(line)
+        if m:
+            sf.includes.append((lineno, m.group(2), m.group(1) == "<"))
+    sf.token_text = blank_preprocessor(sf.code, keep_non_include=True)
+    sf.fn_text = blank_preprocessor(sf.code, keep_non_include=False)
+    sf.functions = extract_functions(sf.fn_text, rel)
+    sf.tokens = frozenset(t for t in IDENT.findall(sf.token_text)
+                          if t not in CPP_KEYWORDS)
+    sf.provided = _provided_tokens(sf)
+    return sf
+
+
+def iter_source_files(root):
+    """All .hpp/.cpp files under <root>/src, sorted for determinism."""
+    out = []
+    src = os.path.join(root, "src")
+    for dirpath, dirnames, filenames in os.walk(src):
+        dirnames.sort()
+        for fn in sorted(filenames):
+            if fn.endswith((".hpp", ".cpp", ".h", ".cc")):
+                out.append(os.path.relpath(os.path.join(dirpath, fn), root))
+    return out
+
+
+def module_of(rel):
+    parts = rel.replace("\\", "/").split("/")
+    return parts[1] if len(parts) > 2 and parts[0] == "src" else None
+
+
+# --------------------------------------------------------------------------
+# findings
+# --------------------------------------------------------------------------
+@dataclass
+class Finding:
+    rule: str
+    path: str
+    line: int
+    func: str
+    token: str
+    message: str
+    baselined: bool = False
+
+    @property
+    def key(self):
+        return "|".join((self.rule, self.path, self.func, self.token))
+
+    def render(self):
+        where = f"{self.path}:{self.line}"
+        fn = f" [{self.func}]" if self.func else ""
+        return f"{where}: {self.rule}{fn}: {self.message}"
+
+
+# --------------------------------------------------------------------------
+# pass 1: layering
+# --------------------------------------------------------------------------
+def pass_layering(files):
+    findings = []
+    by_rel = {sf.rel: sf for sf in files}
+
+    # unknown modules
+    for sf in files:
+        mod = module_of(sf.rel)
+        if mod is None or mod not in MODULE_RANK:
+            findings.append(Finding(
+                "unknown-module", sf.rel, 1, "", mod or "?",
+                f"file is not under a known module (src/<module>/); "
+                f"known: {', '.join(sorted(MODULE_RANK))}"))
+
+    # back-edges
+    for sf in files:
+        mod = module_of(sf.rel)
+        if mod not in MODULE_RANK:
+            continue
+        for lineno, target, is_sys in sf.includes:
+            if is_sys or target not in by_rel:
+                continue
+            tmod = module_of(target)
+            if tmod not in MODULE_RANK or tmod == mod:
+                continue
+            src_rank, dst_rank = MODULE_RANK[mod], MODULE_RANK[tmod]
+            if dst_rank > src_rank or (dst_rank == src_rank):
+                kind = ("higher-ranked" if dst_rank > src_rank
+                        else "sibling")
+                findings.append(Finding(
+                    "layer-back-edge", sf.rel, lineno, "", target,
+                    f"module '{mod}' (rank {src_rank}) includes {kind} "
+                    f"module '{tmod}' (rank {dst_rank}) via {target}; the "
+                    f"DAG is common -> tensor -> {{nn,optim,data}} -> reram "
+                    f"-> models -> {{core,prune}} -> serve"))
+
+    # include cycles: Tarjan SCC over project-include edges
+    graph = {sf.rel: [t for _, t, s in sf.includes
+                      if not s and t in by_rel and t != sf.rel]
+             for sf in files}
+    index = {}
+    low = {}
+    on_stack = set()
+    stack = []
+    sccs = []
+    counter = [0]
+
+    def strongconnect(v):
+        # iterative Tarjan to be safe on deep include chains
+        work = [(v, 0)]
+        while work:
+            node, pi = work[-1]
+            if pi == 0:
+                index[node] = low[node] = counter[0]
+                counter[0] += 1
+                stack.append(node)
+                on_stack.add(node)
+            recurse = False
+            succs = graph[node]
+            for j in range(pi, len(succs)):
+                w = succs[j]
+                if w not in index:
+                    work[-1] = (node, j + 1)
+                    work.append((w, 0))
+                    recurse = True
+                    break
+                if w in on_stack:
+                    low[node] = min(low[node], index[w])
+            if recurse:
+                continue
+            if low[node] == index[node]:
+                scc = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    scc.append(w)
+                    if w == node:
+                        break
+                sccs.append(scc)
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+
+    for v in sorted(graph):
+        if v not in index:
+            strongconnect(v)
+    for scc in sccs:
+        self_loop = len(scc) == 1 and scc[0] in graph[scc[0]]
+        if len(scc) > 1 or self_loop:
+            cyc = " -> ".join(sorted(scc) + [sorted(scc)[0]])
+            for member in sorted(scc):
+                findings.append(Finding(
+                    "include-cycle", member, 1, "", "cycle",
+                    f"include cycle: {cyc}"))
+
+    # IWYU-lite: unused includes
+    for sf in files:
+        base = os.path.splitext(os.path.basename(sf.rel))[0]
+        for lineno, target, is_sys in sf.includes:
+            if is_sys:
+                toks = STD_HEADER_TOKEN_SETS.get(target)
+                if toks is None:
+                    continue  # unknown system header: out of scope
+                if not (toks & sf.tokens):
+                    findings.append(Finding(
+                        "unused-include", sf.rel, lineno, "", target,
+                        f"no token of <{target}> is used in this file"))
+                continue
+            if target not in by_rel:
+                continue
+            tbase = os.path.splitext(os.path.basename(target))[0]
+            if tbase == base and sf.rel.endswith(".cpp"):
+                continue  # primary include of the implementation file
+            provided = by_rel[target].provided
+            if not (provided & sf.tokens):
+                findings.append(Finding(
+                    "unused-include", sf.rel, lineno, "", target,
+                    f"no token provided by {target} is used in this file "
+                    f"(tokens it provides may only be reached transitively)"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# pass 2: hot-path audit
+# --------------------------------------------------------------------------
+_CALLEE = re.compile(r"\b([A-Za-z_]\w*)\s*\(")
+_HOT_COMPILED = [(rule, re.compile(pat), what) for rule, pat, what in HOT_PATTERNS]
+
+
+def _callees(body):
+    out = []
+    seen = set()
+    for m in _CALLEE.finditer(body):
+        name = m.group(1)
+        if name in CPP_KEYWORDS or name in seen:
+            continue
+        # Skip member calls on a receiver (`x.str()`, `p->reserve()`): the
+        # receiver's type is unknown, so resolving by bare name would chase
+        # unrelated same-named methods (ByteWriter::str for oss.str(), ...).
+        # Hot member functions are annotated FTPIM_HOT directly instead.
+        before = body[:m.start()].rstrip()
+        if before.endswith(".") or before.endswith("->"):
+            continue
+        seen.add(name)
+        out.append(name)
+    return out
+
+
+def pass_hot(files):
+    findings = []
+    defs_by_name = {}
+    for sf in files:
+        for fn in sf.functions:
+            defs_by_name.setdefault(fn.name, []).append(fn)
+
+    def resolve(name, from_rel):
+        cands = defs_by_name.get(name)
+        if not cands:
+            return []
+        same_file = [f for f in cands if f.rel == from_rel]
+        if same_file:
+            return same_file
+        files_with = {f.rel for f in cands}
+        if len(files_with) == 1:
+            return cands
+        return []  # ambiguous across files: never followed
+
+    roots = [fn for sf in files for fn in sf.functions if fn.hot]
+    flagged = set()   # (rule, rel, qual, token) - dedup across roots
+    scanned = set()   # (rel, qual, body_pos) - each body scanned once
+
+    for root in roots:
+        queue = [(root, [root.qual])]
+        visited = {(root.rel, root.qual, root.body_pos)}
+        while queue:
+            fn, chain = queue.pop(0)
+            sf_code_key = (fn.rel, fn.qual, fn.body_pos)
+            if sf_code_key not in scanned:
+                scanned.add(sf_code_key)
+                allowed_rules = {r for r, fs in HOT_RULE_ALLOWED_FILES.items()
+                                 if fn.rel in fs}
+                for rule, pat, what in _HOT_COMPILED:
+                    if rule in allowed_rules:
+                        continue
+                    for m in pat.finditer(fn.body):
+                        token = m.group(0).strip().rstrip("(").strip()
+                        token = re.sub(r"\s+", " ", token) or rule
+                        fkey = (rule, fn.rel, fn.qual, token)
+                        if fkey in flagged:
+                            continue
+                        flagged.add(fkey)
+                        line = (fn.body[:m.start()].count("\n")
+                                + fn.body_pos_line)
+                        via = ("" if len(chain) == 1 else
+                               f" (reached from FTPIM_HOT {chain[0]} via "
+                               + " -> ".join(chain) + ")")
+                        findings.append(Finding(
+                            rule, fn.rel, line, fn.qual, token,
+                            f"{what} `{token}` in hot path{via}"))
+            for callee in _callees(fn.body):
+                for target in resolve(callee, fn.rel):
+                    if target.cold:
+                        continue  # FTPIM_COLD stops traversal
+                    tkey = (target.rel, target.qual, target.body_pos)
+                    if tkey in visited:
+                        continue
+                    visited.add(tkey)
+                    queue.append((target, chain + [target.qual]))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# pass 3: exception surface
+# --------------------------------------------------------------------------
+_CATCH_ALL = re.compile(r"\bcatch\s*\(\s*\.\.\.\s*\)\s*\{")
+_THROW = re.compile(r"\bthrow\b")
+
+
+def pass_exceptions(files):
+    findings = []
+    for sf in files:
+        for fn in sf.functions:
+            if (fn.name in NOEXCEPT_REQUIRED
+                    and sf.rel.startswith(NOEXCEPT_REQUIRED_PREFIX)
+                    and not fn.noexcept_):
+                findings.append(Finding(
+                    "noexcept-required", sf.rel, fn.line, fn.qual, fn.name,
+                    f"`{fn.qual}` runs on a worker thread / settles promises "
+                    f"and must be declared noexcept"))
+            if fn.is_dtor and _THROW.search(fn.body):
+                line = fn.body_pos_line + \
+                    fn.body[:_THROW.search(fn.body).start()].count("\n")
+                findings.append(Finding(
+                    "throwing-dtor", sf.rel, line, fn.qual, "throw",
+                    f"destructor `{fn.qual}` contains a throw; destructors "
+                    f"are noexcept by default and this terminates"))
+        # catch (...) settlement is a file-level scan: handlers can live in
+        # lambdas or operators the function model does not extract.
+        for m in _CATCH_ALL.finditer(sf.fn_text):
+            open_idx = sf.fn_text.index("{", m.start())
+            close = match_brace(sf.fn_text, open_idx)
+            if close is None:
+                continue
+            body = sf.fn_text[open_idx + 1:close]
+            if not CATCH_SETTLE.search(body):
+                line = sf.fn_text[:m.start()].count("\n") + 1
+                findings.append(Finding(
+                    "catch-swallow", sf.rel, line,
+                    _enclosing_function(sf, m.start()), "catch(...)",
+                    "catch (...) neither rethrows nor settles a promise / "
+                    "logs through the sink; exceptions must not vanish"))
+    return findings
+
+
+def _enclosing_function(sf, pos):
+    best = ""
+    for fn in sf.functions:
+        if fn.body_pos <= pos <= fn.body_pos + len(fn.body):
+            best = fn.qual
+    return best
+
+
+# --------------------------------------------------------------------------
+# baseline
+# --------------------------------------------------------------------------
+def load_baseline(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    entries = data.get("entries", [])
+    problems = []
+    keys = {}
+    for e in entries:
+        key = e.get("key", "")
+        rule = key.split("|", 1)[0]
+        if rule in UNBASELINABLE:
+            problems.append(f"baseline entry '{key}' uses unbaselinable "
+                            f"rule '{rule}' (layering violations are hard "
+                            f"errors)")
+        if not e.get("reason"):
+            problems.append(f"baseline entry '{key}' has no reason")
+        keys[key] = e
+    return keys, problems
+
+
+def apply_baseline(findings, baseline_keys):
+    used = set()
+    for f in findings:
+        if f.rule in UNBASELINABLE:
+            continue
+        if f.key in baseline_keys:
+            f.baselined = True
+            used.add(f.key)
+    stale = sorted(set(baseline_keys) - used)
+    return stale
+
+
+# --------------------------------------------------------------------------
+# driver
+# --------------------------------------------------------------------------
+def analyze_tree(root):
+    rels = iter_source_files(root)
+    files = [parse_file(root, rel) for rel in rels]
+    # body line numbers: precompute once per function
+    for sf in files:
+        for fn in sf.functions:
+            fn.body_pos_line = sf.fn_text[:fn.body_pos].count("\n") + 1
+    findings = []
+    findings += pass_layering(files)
+    findings += pass_hot(files)
+    findings += pass_exceptions(files)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule, f.token))
+    return files, findings
+
+
+def run(root, baseline_path, json_path=None, quiet=False):
+    files, findings = analyze_tree(root)
+    baseline_keys, problems = ({}, [])
+    if baseline_path and os.path.exists(baseline_path):
+        baseline_keys, problems = load_baseline(baseline_path)
+    stale = apply_baseline(findings, baseline_keys)
+    new = [f for f in findings if not f.baselined]
+    if json_path:
+        payload = {
+            "root": os.path.abspath(root),
+            "files_scanned": len(files),
+            "findings": [
+                {"rule": f.rule, "path": f.path, "line": f.line,
+                 "function": f.func, "token": f.token, "message": f.message,
+                 "baselined": f.baselined, "key": f.key}
+                for f in findings],
+            "stale_baseline": stale,
+            "baseline_problems": problems,
+        }
+        with open(json_path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    if not quiet:
+        for f in new:
+            print(f.render())
+        for key in stale:
+            print(f"baseline: stale entry (no longer fires, delete it): {key}")
+        for p in problems:
+            print(f"baseline: {p}")
+        n_base = sum(1 for f in findings if f.baselined)
+        print(f"ftpim_analyze: {len(files)} files, {len(new)} finding(s), "
+              f"{n_base} baselined, {len(stale)} stale baseline entr"
+              f"{'y' if len(stale) == 1 else 'ies'}")
+    return 0 if not new and not stale and not problems else 1
+
+
+# --------------------------------------------------------------------------
+# self-test against tools/analyze_fixtures/
+# --------------------------------------------------------------------------
+def self_test():
+    fixture_root = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                "analyze_fixtures")
+    _, findings = analyze_tree(fixture_root)
+    by_path = {}
+    for f in findings:
+        by_path.setdefault(f.path, set()).add(f.rule)
+
+    expected = {
+        "src/common/cycle_a.hpp": {"include-cycle"},
+        "src/common/cycle_b.hpp": {"include-cycle"},
+        "src/tensor/back_edge.hpp": {"layer-back-edge"},
+        "src/nn/unused_include.cpp": {"unused-include"},
+        "src/tensor/hot_alloc.cpp": {"hot-alloc", "hot-growth", "hot-string",
+                                     "hot-mutex", "hot-clock"},
+        "src/tensor/hot_transitive.cpp": {"hot-alloc"},
+        "src/serve/bad_worker.cpp": {"noexcept-required", "catch-swallow",
+                                     "throwing-dtor"},
+    }
+    known_good = ["src/serve/good_worker.cpp", "src/serve/api.hpp",
+                  "src/common/base.hpp"]
+
+    failures = []
+    for path, rules in sorted(expected.items()):
+        fired = by_path.get(path, set())
+        missing = rules - fired
+        if missing:
+            failures.append(f"{path}: expected rule(s) did not fire: "
+                            f"{', '.join(sorted(missing))} (fired: "
+                            f"{', '.join(sorted(fired)) or 'none'})")
+    for path in known_good:
+        fired = by_path.get(path, set())
+        if fired:
+            failures.append(f"{path}: known-good fixture raised: "
+                            f"{', '.join(sorted(fired))}")
+
+    # unbaselinable enforcement: a layering key in a baseline must be refused
+    probe = {"layer-back-edge|x|y|z": {"key": "layer-back-edge|x|y|z",
+                                       "reason": "nope"}}
+    fake = [Finding("layer-back-edge", "x", 1, "y", "z", "m")]
+    apply_baseline(fake, probe)
+    if fake[0].baselined:
+        failures.append("layer-back-edge finding was baselined; layering "
+                        "rules must be unbaselinable")
+
+    if failures:
+        for msg in failures:
+            print(f"self-test FAIL: {msg}")
+        return 1
+    total = sum(len(v) for v in by_path.values())
+    print(f"self-test OK: every fixture rule fired "
+          f"({total} finding rule-hits across {len(by_path)} files), "
+          f"known-good fixtures clean, layering unbaselinable")
+    return 0
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", default=".",
+                    help="repository root (containing src/)")
+    ap.add_argument("--baseline", default=None,
+                    help="baseline JSON (default: <root>/tools/"
+                         "analyze_baseline.json when present)")
+    ap.add_argument("--json", dest="json_path", default=None,
+                    help="write findings JSON artifact to this path")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the analyzer against tools/analyze_fixtures/")
+    args = ap.parse_args(argv)
+    if args.self_test:
+        return self_test()
+    root = args.root
+    if not os.path.isdir(os.path.join(root, "src")):
+        print(f"ftpim_analyze: no src/ under --root {root}", file=sys.stderr)
+        return 2
+    baseline = args.baseline
+    if baseline is None:
+        cand = os.path.join(root, "tools", "analyze_baseline.json")
+        baseline = cand if os.path.exists(cand) else None
+    return run(root, baseline, json_path=args.json_path)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
