@@ -34,7 +34,8 @@ struct SweepPoint {
 };
 
 SweepPoint run_point(const Module& model, const Dataset& data, std::int64_t max_batch,
-                     int replicas, int clients, int total_requests) {
+                     int replicas, int clients, int total_requests,
+                     ReplicaEngine engine = ReplicaEngine::kFloat) {
   ServerConfig cfg;
   cfg.queue_capacity = 1024;
   cfg.batching.max_batch_size = max_batch;
@@ -42,6 +43,7 @@ SweepPoint run_point(const Module& model, const Dataset& data, std::int64_t max_
   cfg.pool.num_replicas = replicas;
   cfg.pool.p_sa = 0.01;
   cfg.pool.seed = 7;
+  cfg.pool.engine = engine;
   InferenceServer server(model, cfg);
   server.start();
 
@@ -125,12 +127,33 @@ int main() {
       json.point()
           .num("batch", static_cast<double>(p.batch))
           .num("replicas", p.replicas)
+          .str("engine", "float")
           .num("reqs_per_sec", p.reqs_per_sec)
           .num("batch_fill", p.fill)
           .num("p50_ms", p.p50_ms)
           .num("p95_ms", p.p95_ms)
           .num("p99_ms", p.p99_ms);
     }
+  }
+
+  // One quantized-replica point: the same fleet served through int8 crossbar
+  // engines (16 levels, 8-bit ADC) so BENCH_serve.json records the cost of
+  // hardware-faithful deployment relative to the float fold-in path.
+  {
+    const SweepPoint p = run_point(*model, *data, /*max_batch=*/16, /*replicas=*/2, clients,
+                                   total_requests, ReplicaEngine::kQuantized);
+    std::printf("%6lld %9d %10.0f %6.2f %9.3f %9.3f %9.3f  (quantized)\n",
+                static_cast<long long>(p.batch), p.replicas, p.reqs_per_sec, p.fill, p.p50_ms,
+                p.p95_ms, p.p99_ms);
+    json.point()
+        .num("batch", static_cast<double>(p.batch))
+        .num("replicas", p.replicas)
+        .str("engine", "quantized")
+        .num("reqs_per_sec", p.reqs_per_sec)
+        .num("batch_fill", p.fill)
+        .num("p50_ms", p.p50_ms)
+        .num("p95_ms", p.p95_ms)
+        .num("p99_ms", p.p99_ms);
   }
   json.write(env_string("FTPIM_BENCH_JSON", "BENCH_serve.json"));
   return 0;

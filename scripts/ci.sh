@@ -32,10 +32,14 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 # TSan-relevant subset: parallel_for machinery, the packed GEMM/conv kernel
 # backend (worker-partitioned macro loops + thread-local pack arenas), module
 # cloning, Monte-Carlo defect evaluation, fault-injection sessions, the
-# serving layer's queue and worker threads, and the contract layer they all
-# guard. Kept as a regex so newly added tests matching these names are picked
-# up automatically.
-THREAD_SUBSET='Parallel|Clone|Defect|Session|Eval|Check|Logging|Serve|Aging|Kernel|Gemm'
+# serving layer's queue and worker threads, the quantized crossbar datapath
+# (internally parallel mvm_batch + hooked eval forwards inside Monte-Carlo
+# workers; Quant*/Qinfer* suites), and the contract layer they all guard.
+# Kept as a regex so newly added tests matching these names are picked up
+# automatically. The quantized suites also run under the `scalar` leg
+# (FTPIM_KERNEL=scalar, full suite), which keeps the portable int8 kernel
+# exercised on AVX2 hosts.
+THREAD_SUBSET='Parallel|Clone|Defect|Session|Eval|Check|Logging|Serve|Aging|Kernel|Gemm|Quant|Qinfer'
 
 # Crash-safety subset: the container/CRC primitives, the seeded corruption
 # sweep (CheckpointCrashInjection: truncation at every framing boundary plus

@@ -8,6 +8,7 @@
 
 #include "src/common/parallel.hpp"
 #include "src/data/dataloader.hpp"
+#include "src/reram/qinfer/deploy.hpp"
 #include "src/tensor/tensor_ops.hpp"
 
 namespace ftpim {
@@ -50,10 +51,27 @@ DefectEvalResult evaluate_under_defects(const Module& model, const Dataset& data
   // chunk share buffers instead of reallocating snapshots. Run `r`'s fault
   // map depends only on derive_seed(config.seed, r); the chunk layout only
   // decides who computes which run, never what that run computes.
+  //
+  // On the quantized path the clone is deployed onto int8 crossbar engines
+  // once per worker; each run then swaps defect maps in the level domain
+  // (non-destructive — programmed levels are kept separately from faults),
+  // so no re-programming happens between runs.
   parallel_for_chunks(
       0, runs,
       [&](std::size_t lo, std::size_t hi) {
         const std::unique_ptr<Module> local = model.clone();
+        if (config.engine == EvalEngine::kQuantized) {
+          const auto deployment = qinfer::deploy_quantized(*local, config.quantized);
+          for (std::size_t run = lo; run < hi; ++run) {
+            Rng rng(derive_seed(config.seed, static_cast<std::uint64_t>(run)));
+            const DefectMap map = DefectMap::sample(deployment->cell_count(), fault_model, rng);
+            deployment->apply_defect_map(map);
+            result.run_accs[run] = evaluate_accuracy(*local, data, config.batch_size);
+            run_rates[run] = map.observed_rate();
+            deployment->clear_defects();
+          }
+          return;
+        }
         FaultInjectionSession session(*local);
         for (std::size_t run = lo; run < hi; ++run) {
           Rng rng(derive_seed(config.seed, static_cast<std::uint64_t>(run)));

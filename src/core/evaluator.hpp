@@ -20,11 +20,18 @@
 #include "src/nn/module.hpp"
 #include "src/reram/fault_injector.hpp"
 #include "src/reram/fault_model.hpp"
+#include "src/reram/qinfer/quantized_engine.hpp"
 
 namespace ftpim {
 
 /// Top-1 accuracy (fraction in [0,1]) of `model` on `data` in eval mode.
 double evaluate_accuracy(Module& model, const Dataset& data, std::int64_t batch_size = 256);
+
+/// Which datapath the simulated devices run.
+enum class EvalEngine {
+  kFloat,      ///< faults folded into float weights (fault_injector)
+  kQuantized,  ///< int8 conductance-domain engine, faults in the level domain
+};
 
 struct DefectEvalConfig {
   int num_runs = 10;            ///< devices to average over (paper: 100)
@@ -32,6 +39,10 @@ struct DefectEvalConfig {
   InjectorConfig injector{};
   std::uint64_t seed = 99;      ///< master seed; device d uses derive_seed(seed, d)
   std::int64_t batch_size = 256;
+  EvalEngine engine = EvalEngine::kFloat;
+  /// Engine geometry/levels/ADC when engine == kQuantized; `injector` is
+  /// ignored on that path (the level domain needs no float read-back).
+  qinfer::QuantizedEngineConfig quantized{};
 };
 
 struct DefectEvalResult {

@@ -7,6 +7,7 @@
 #include "src/common/parallel.hpp"
 #include "src/nn/init.hpp"
 #include "src/tensor/kernels/conv_kernels.hpp"
+#include "src/tensor/kernels/pack_arena.hpp"
 
 namespace ftpim {
 namespace {
@@ -79,10 +80,36 @@ Tensor Conv2d::forward(const Tensor& input, bool training) {
   // im2col), so no per-image column matrix exists — not even in training:
   // backward re-gathers patches from cached_input_ the same way.
   const float* w = weight_.value.data();
+  const MvmHook* hook = (!training && mvm_hook_ != nullptr) ? mvm_hook_.get() : nullptr;
   parallel_for(0, static_cast<std::size_t>(n), [&](std::size_t i) {
     float* dst = out.data() + static_cast<std::int64_t>(i) * out_plane;
-    kernels::conv_forward_packed(geom_, w, out_channels_,
-                                 input.data() + static_cast<std::int64_t>(i) * in_plane, dst);
+    if (hook != nullptr) {
+      // Deployed path: stage the image's patch matrix explicitly and hand
+      // each output pixel to the hook as one activation row. Float scratch
+      // slots 1/3 — disjoint from the conv-dX slab (0) and the crossbar
+      // current buffer (2); the quantized engine underneath only touches
+      // the typed integer slots.
+      const std::int64_t col_rows = geom_.col_rows();  // in_c * k * k
+      const std::int64_t pixels = oh * ow;
+      kernels::PackArena& arena = kernels::PackArena::local();
+      float* col = arena.scratch_buffer(1, static_cast<std::size_t>(col_rows * pixels));
+      im2col(input.data() + static_cast<std::int64_t>(i) * in_plane, geom_, col);
+      float* patches = arena.scratch_buffer(3, static_cast<std::size_t>(pixels * col_rows));
+      for (std::int64_t p = 0; p < pixels; ++p) {
+        for (std::int64_t r = 0; r < col_rows; ++r) {
+          patches[p * col_rows + r] = col[r * pixels + p];
+        }
+      }
+      // col is dead past this point; its slot restages as the hook output.
+      float* yb = arena.scratch_buffer(1, static_cast<std::size_t>(pixels * out_channels_));
+      hook->mvm_batch(patches, pixels, yb);
+      for (std::int64_t c = 0; c < out_channels_; ++c) {
+        for (std::int64_t p = 0; p < pixels; ++p) dst[c * pixels + p] = yb[p * out_channels_ + c];
+      }
+    } else {
+      kernels::conv_forward_packed(geom_, w, out_channels_,
+                                   input.data() + static_cast<std::int64_t>(i) * in_plane, dst);
+    }
     if (with_bias_) {
       const float* pb = bias_.value.data();
       for (std::int64_t c = 0; c < out_channels_; ++c) {
@@ -149,6 +176,19 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
     }
   }
   return grad_input;
+}
+
+void Conv2d::set_mvm_hook(std::shared_ptr<const MvmHook> hook) {
+  if (hook != nullptr) {
+    const std::int64_t patch = in_channels_ * kernel_ * kernel_;
+    FTPIM_CHECK(hook->in_features() == patch && hook->out_features() == out_channels_,
+                "Conv2d::set_mvm_hook: hook extents [%lld -> %lld] do not match layer "
+                "[%lld -> %lld]",
+                static_cast<long long>(hook->in_features()),
+                static_cast<long long>(hook->out_features()), static_cast<long long>(patch),
+                static_cast<long long>(out_channels_));
+  }
+  mvm_hook_ = std::move(hook);
 }
 
 void Conv2d::collect_params(const std::string& prefix, std::vector<Param*>& out) {

@@ -7,12 +7,19 @@
 //
 // CIFAR-style ResNets use 3x3 stride-1/2 pad-1 convolutions without bias
 // (batch norm follows); bias is supported for standalone use.
+//
+// An installed MvmHook replaces the filter GEMM during eval-mode forward:
+// each image is lowered to a [out_h*out_w, C*kh*kw] patch matrix and fed to
+// the hook as a batch of patch rows (training and backward always use the
+// float weights); see mvm_hook.hpp.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "src/common/rng.hpp"
 #include "src/nn/module.hpp"
+#include "src/nn/mvm_hook.hpp"
 #include "src/tensor/im2col.hpp"
 
 namespace ftpim {
@@ -34,8 +41,13 @@ class Conv2d final : public Module {
   [[nodiscard]] std::int64_t stride() const noexcept { return stride_; }
   [[nodiscard]] Param& weight() noexcept { return weight_; }
 
+  /// Installs (or, with nullptr, removes) the eval-forward MVM replacement.
+  /// The hook must map in_c*k*k -> out_c. NOT carried by clone().
+  void set_mvm_hook(std::shared_ptr<const MvmHook> hook);
+  [[nodiscard]] const MvmHook* mvm_hook() const noexcept { return mvm_hook_.get(); }
+
  private:
-  Conv2d(const Conv2d& other);  ///< clone(): params copied, caches dropped
+  Conv2d(const Conv2d& other);  ///< clone(): params copied, caches and hook dropped
 
   std::int64_t in_channels_, out_channels_, kernel_, stride_, pad_;
   bool with_bias_;
@@ -44,6 +56,7 @@ class Conv2d final : public Module {
   ConvGeometry geom_;
   Tensor cached_input_;  ///< training only; backward re-gathers patches from it
   std::int64_t cached_batch_ = 0;
+  std::shared_ptr<const MvmHook> mvm_hook_;
 };
 
 }  // namespace ftpim

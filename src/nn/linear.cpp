@@ -36,10 +36,15 @@ Tensor Linear::forward(const Tensor& input, bool training) {
   if (training) cached_input_ = input;
   const std::int64_t n = input.dim(0);
   Tensor out(Shape{n, out_features_});
-  // out[N,out] = input[N,in] * W^T[in,out] — the transpose is absorbed into
-  // pack-B inside the kernel backend, not materialized.
-  gemm_bt(n, out_features_, in_features_, 1.0f, input.data(), weight_.value.data(), 0.0f,
-          out.data());
+  if (!training && mvm_hook_ != nullptr) {
+    // Deployed path: the installed engine computes x W_effective^T.
+    mvm_hook_->mvm_batch(input.data(), n, out.data());
+  } else {
+    // out[N,out] = input[N,in] * W^T[in,out] — the transpose is absorbed into
+    // pack-B inside the kernel backend, not materialized.
+    gemm_bt(n, out_features_, in_features_, 1.0f, input.data(), weight_.value.data(), 0.0f,
+            out.data());
+  }
   if (with_bias_) {
     float* po = out.data();
     const float* pb = bias_.value.data();
@@ -68,6 +73,18 @@ Tensor Linear::backward(const Tensor& grad_output) {
   gemm(n, in_features_, out_features_, 1.0f, grad_output.data(), weight_.value.data(), 0.0f,
        grad_input.data());
   return grad_input;
+}
+
+void Linear::set_mvm_hook(std::shared_ptr<const MvmHook> hook) {
+  if (hook != nullptr) {
+    FTPIM_CHECK(hook->in_features() == in_features_ && hook->out_features() == out_features_,
+                "Linear::set_mvm_hook: hook extents [%lld -> %lld] do not match layer "
+                "[%lld -> %lld]",
+                static_cast<long long>(hook->in_features()),
+                static_cast<long long>(hook->out_features()),
+                static_cast<long long>(in_features_), static_cast<long long>(out_features_));
+  }
+  mvm_hook_ = std::move(hook);
 }
 
 void Linear::collect_params(const std::string& prefix, std::vector<Param*>& out) {

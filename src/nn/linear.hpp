@@ -1,8 +1,14 @@
 // Fully-connected layer: y = x W^T + b, x:[N,in], W:[out,in], b:[out].
+//
+// An installed MvmHook replaces the x W^T product during eval-mode forward
+// (training and backward always use the float weights); see mvm_hook.hpp.
 #pragma once
+
+#include <memory>
 
 #include "src/common/rng.hpp"
 #include "src/nn/module.hpp"
+#include "src/nn/mvm_hook.hpp"
 
 namespace ftpim {
 
@@ -23,8 +29,13 @@ class Linear final : public Module {
   [[nodiscard]] Param& bias() noexcept { return bias_; }
   [[nodiscard]] bool has_bias() const noexcept { return with_bias_; }
 
+  /// Installs (or, with nullptr, removes) the eval-forward MVM replacement.
+  /// The hook's feature extents must match this layer. NOT carried by clone().
+  void set_mvm_hook(std::shared_ptr<const MvmHook> hook);
+  [[nodiscard]] const MvmHook* mvm_hook() const noexcept { return mvm_hook_.get(); }
+
  private:
-  Linear(const Linear& other);  ///< clone(): params copied, caches dropped
+  Linear(const Linear& other);  ///< clone(): params copied, caches and hook dropped
 
   std::int64_t in_features_;
   std::int64_t out_features_;
@@ -32,6 +43,7 @@ class Linear final : public Module {
   Param weight_;
   Param bias_;
   Tensor cached_input_;
+  std::shared_ptr<const MvmHook> mvm_hook_;
 };
 
 }  // namespace ftpim

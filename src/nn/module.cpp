@@ -10,6 +10,12 @@ std::vector<Param*> parameters_of(Module& root, const std::string& prefix) {
   return params;
 }
 
+std::vector<Module*> modules_of(Module& root) {
+  std::vector<Module*> modules;
+  root.collect_modules(modules);
+  return modules;
+}
+
 void zero_grads(Module& root) {
   for (Param* p : parameters_of(root)) p->grad.zero();
 }

@@ -56,6 +56,12 @@ class Module {
     (void)out;
   }
 
+  /// Appends this module and (for containers) every descendant, parents
+  /// before children, in forward order. The deployment layer uses this to
+  /// find the concrete Linear/Conv2d instances behind a model so it can
+  /// install per-layer hardware hooks (see mvm_hook.hpp).
+  virtual void collect_modules(std::vector<Module*>& out) { out.push_back(this); }
+
   /// Deep copy: same architecture with parameter values and buffers (e.g. BN
   /// running stats) copied into fresh, disjoint storage. Gradients are zeroed
   /// and activation/backward caches are NOT carried over — the clone behaves
@@ -75,6 +81,9 @@ class Module {
 
 /// All parameters of `root` with hierarchical names.
 std::vector<Param*> parameters_of(Module& root, const std::string& prefix = "");
+
+/// Flat pre-order walk of the module tree (root first).
+std::vector<Module*> modules_of(Module& root);
 
 /// Zeroes every parameter gradient.
 void zero_grads(Module& root);

@@ -1,0 +1,39 @@
+// Inference-time MVM replacement hook.
+//
+// A crossbar-weight layer (Linear, Conv2d) normally computes
+// y = x W^T through the float GEMM backend. An installed MvmHook replaces
+// exactly that product during EVAL-mode forward — training forwards and all
+// backward paths ignore hooks, so a hooked model still trains normally.
+//
+// This is how hardware simulations slot under an unchanged model graph: the
+// quantized crossbar engine (src/reram/qinfer/) implements MvmHook and gets
+// to see the same activations the layer would have fed its GEMM, in the same
+// [batch, in] row-major layout (for Conv2d: batch = output pixels,
+// in = C*kh*kw patch features).
+//
+// Contract:
+//   * mvm_batch must treat x as const, fully overwrite y[batch, out], and
+//     retain neither pointer past the call;
+//   * implementations must be safe to call concurrently from multiple
+//     threads (Conv2d invokes the hook from its per-image parallel loop);
+//   * hooks are installed via shared_ptr and are intentionally DROPPED by
+//     Module::clone() — a clone is a fresh software model; whoever deploys
+//     it to simulated hardware installs new hooks bound to new engine state.
+#pragma once
+
+#include <cstdint>
+
+namespace ftpim {
+
+class MvmHook {
+ public:
+  virtual ~MvmHook() = default;
+
+  /// y[batch, out] = x[batch, in] * W_effective^T.
+  virtual void mvm_batch(const float* x, std::int64_t batch, float* y) const = 0;
+
+  [[nodiscard]] virtual std::int64_t in_features() const noexcept = 0;
+  [[nodiscard]] virtual std::int64_t out_features() const noexcept = 0;
+};
+
+}  // namespace ftpim

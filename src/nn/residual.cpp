@@ -120,4 +120,9 @@ void ResidualBlock::collect_buffers(const std::string& prefix,
   main_.collect_buffers(prefix + "main.", out);
 }
 
+void ResidualBlock::collect_modules(std::vector<Module*>& out) {
+  out.push_back(this);
+  main_.collect_modules(out);
+}
+
 }  // namespace ftpim

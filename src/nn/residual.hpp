@@ -28,6 +28,7 @@ class ResidualBlock final : public Module {
   void collect_params(const std::string& prefix, std::vector<Param*>& out) override;
   void collect_buffers(const std::string& prefix,
                        std::vector<std::pair<std::string, Tensor*>>& out) override;
+  void collect_modules(std::vector<Module*>& out) override;
   [[nodiscard]] std::unique_ptr<Module> clone() const override;
   [[nodiscard]] std::string type_name() const override { return "ResidualBlock"; }
 

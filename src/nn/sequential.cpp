@@ -43,4 +43,9 @@ void Sequential::collect_buffers(const std::string& prefix,
   }
 }
 
+void Sequential::collect_modules(std::vector<Module*>& out) {
+  out.push_back(this);
+  for (const auto& child : children_) child->collect_modules(out);
+}
+
 }  // namespace ftpim

@@ -44,6 +44,22 @@ DefectMap DefectMap::empty(std::int64_t cell_count) {
   return map;
 }
 
+DefectMap DefectMap::from_faults(std::int64_t cell_count, std::vector<CellFault> faults) {
+  FTPIM_CHECK_GE(cell_count, std::int64_t{0}, "DefectMap::from_faults: cell_count");
+  std::int64_t prev = -1;
+  for (const CellFault& f : faults) {
+    FTPIM_CHECK(f.cell_index > prev && f.cell_index < cell_count,
+                "DefectMap::from_faults: faults must be sorted, unique, and in range");
+    FTPIM_CHECK(f.type == FaultType::kStuckOff || f.type == FaultType::kStuckOn,
+                "DefectMap::from_faults: fault type must be a stuck-at type");
+    prev = f.cell_index;
+  }
+  DefectMap map;
+  map.cell_count_ = cell_count;
+  map.faults_ = std::move(faults);
+  return map;
+}
+
 std::int64_t DefectMap::merge_from(const DefectMap& newer) {
   FTPIM_CHECK_EQ(cell_count_, newer.cell_count_,
                  "DefectMap::merge_from: maps describe different cell arrays");

@@ -43,6 +43,11 @@ class DefectMap {
   /// pristine device that will age in service).
   static DefectMap empty(std::int64_t cell_count);
 
+  /// Builds a map from an explicit fault list (must be sorted by cell_index,
+  /// unique, in [0, cell_count), no kNone entries). This is how the
+  /// deployment layer re-bases a model-level map onto per-layer cell spaces.
+  static DefectMap from_faults(std::int64_t cell_count, std::vector<CellFault> faults);
+
   /// Merges `newer`'s faults into this map. Cells already stuck keep their
   /// original fault type (a stuck cell cannot re-fail), so repeated merges
   /// are monotone. Both maps must describe the same cell array. Returns the

@@ -1,0 +1,92 @@
+// ADC transfer model for the quantized crossbar datapath.
+//
+// A real crossbar digitizes each bitline's accumulated current BEFORE the
+// digital periphery subtracts the differential pair, so ADC resolution and
+// saturation distort the positive and negative column readings
+// independently. We model that in the integer accumulator domain: the qgemm
+// kernel's per-column sum A_c = sum_r xq_r * lv[r, c] is the bitline current
+// in units of (one activation code) x (one conductance level step), and the
+// ADC maps it to one of 2^bits uniformly spaced codes.
+//
+// Per-column step size: a b-bit signed ADC has usable code range
+// ±qmax = ±(2^(b-1) - 1). The physical worst case for column c is every
+// activation at full drive (|xq| = 127) against the column's programmed
+// levels: bound_c = 127 * sum_r lv[r, c] (computed over the EFFECTIVE,
+// fault-distorted levels — a stuck-on cell raises the column's full-scale).
+// Digitizing bound_c itself would waste most codes: random-signed activation
+// sums concentrate near zero (|A| grows like sqrt(rows) while bound grows
+// like rows), so the converter's input range is calibrated down by
+// range_factor and anything beyond it clips:
+//
+//   delta_c = max(1, ceil(bound_c * range_factor / qmax))
+//   code    = clamp(round_half_away(A / delta_c), -qmax, +qmax)
+//   A'      = code * delta_c
+//
+// bits == 0 is the ideal-readout limit (A' = A), matching how
+// quant_levels == 0 disables conductance quantization elsewhere.
+//
+// Everything is integer (the one double, delta_c, is computed per column at
+// program/fault time, never per sample), so the digitized accumulators stay
+// bit-identical across thread counts and kernel levels.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "src/common/annotations.hpp"
+#include "src/common/check.hpp"
+
+namespace ftpim::qinfer {
+
+struct AdcConfig {
+  /// Resolution in bits; 0 disables the ADC (ideal readout).
+  int bits = 8;
+  /// Fraction of the worst-case column sum mapped onto the code range.
+  /// Smaller values spend resolution near zero (where activation sums
+  /// concentrate) at the cost of clipping rare large sums. 0.25 is the
+  /// empirical sweet spot of the accuracy x range_factor sweep
+  /// (examples/quantized_eval + FTPIM_ADC_RANGE): trained-layer column sums
+  /// have heavy tails, so 0.125 already clips enough to cost several points
+  /// of accuracy at ANY resolution, while at >= 6 bits the coarser step of
+  /// 0.25 is still far below the network's noise floor.
+  double range_factor = 0.25;
+
+  void validate() const {
+    FTPIM_CHECK(bits == 0 || (bits >= 2 && bits <= 24),
+                "AdcConfig: bits must be 0 (ideal) or in [2, 24]");
+    FTPIM_CHECK(range_factor > 0.0 && range_factor <= 1.0,
+                "AdcConfig: range_factor must be in (0, 1]");
+  }
+
+  [[nodiscard]] bool ideal() const noexcept { return bits == 0; }
+
+  /// Largest code magnitude of the signed converter (bits >= 2 only).
+  [[nodiscard]] std::int32_t qmax() const noexcept {
+    return (std::int32_t{1} << (bits - 1)) - 1;
+  }
+};
+
+/// Per-column ADC step from the column's worst-case accumulator magnitude.
+/// Cold path: runs once per (tile, column) at program/fault time.
+[[nodiscard]] inline std::int32_t adc_column_delta(const AdcConfig& adc,
+                                                   std::int64_t worst_case_sum) {
+  FTPIM_CHECK_GE(worst_case_sum, 0);
+  if (adc.ideal()) return 1;
+  const double full_scale = static_cast<double>(worst_case_sum) * adc.range_factor;
+  const auto delta = static_cast<std::int64_t>(std::ceil(full_scale / adc.qmax()));
+  return static_cast<std::int32_t>(delta < 1 ? 1 : delta);
+}
+
+/// Digitizes one accumulator: round-half-away-from-zero to the nearest code,
+/// clip at ±qmax, return the reconstructed accumulator code * delta.
+/// Integer-exact, hence deterministic everywhere it runs.
+FTPIM_HOT [[nodiscard]] inline std::int32_t adc_digitize(std::int32_t acc, std::int32_t delta,
+                                                         std::int32_t qmax) noexcept {
+  const std::int64_t mag = acc < 0 ? -static_cast<std::int64_t>(acc) : acc;
+  std::int64_t code = (2 * mag + delta) / (2 * static_cast<std::int64_t>(delta));
+  if (code > qmax) code = qmax;
+  const std::int64_t rec = code * delta;
+  return static_cast<std::int32_t>(acc < 0 ? -rec : rec);
+}
+
+}  // namespace ftpim::qinfer

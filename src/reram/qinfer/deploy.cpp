@@ -1,0 +1,105 @@
+#include "src/reram/qinfer/deploy.hpp"
+
+#include "src/common/check.hpp"
+#include "src/common/rng.hpp"
+#include "src/reram/fault_injector.hpp"
+
+namespace ftpim::qinfer {
+
+QuantizedDeployment::QuantizedDeployment(Module& model, const QuantizedEngineConfig& config)
+    : model_(&model) {
+  config.validate();
+  // modules_of walks children in the same order collect_params does, and
+  // only Linear/Conv2d carry kCrossbarWeight params, so the per-layer cell
+  // ranges assigned here line up with the fault injector's concatenated
+  // parameter walk. The check at the end pins that invariant.
+  for (Module* m : modules_of(model)) {
+    LayerSlot slot;
+    Tensor* weights = nullptr;
+    if (auto* lin = dynamic_cast<Linear*>(m); lin != nullptr) {
+      slot.linear = lin;
+      weights = &lin->weight().value;
+    } else if (auto* conv = dynamic_cast<Conv2d*>(m); conv != nullptr) {
+      slot.conv = conv;
+      weights = &conv->weight().value;
+    } else {
+      continue;
+    }
+    auto engine = std::make_unique<QuantizedCrossbarEngine>(*weights, config);
+    slot.hook = std::make_shared<EngineHook>(std::move(engine));
+    slot.cell_offset = cell_count_;
+    slot.cells = 2 * weights->numel();
+    cell_count_ += slot.cells;
+    if (slot.linear != nullptr) {
+      slot.linear->set_mvm_hook(slot.hook);
+    } else {
+      slot.conv->set_mvm_hook(slot.hook);
+    }
+    layers_.push_back(std::move(slot));
+  }
+  FTPIM_CHECK_EQ(cell_count_, crossbar_cell_count(model),
+                 "QuantizedDeployment: layer walk disagrees with the parameter walk");
+}
+
+QuantizedDeployment::~QuantizedDeployment() {
+  for (LayerSlot& slot : layers_) {
+    // Only uninstall a hook we still own — if someone re-deployed the same
+    // model, the layer already points at the newer deployment's hook.
+    if (slot.linear != nullptr && slot.linear->mvm_hook() == slot.hook.get()) {
+      slot.linear->set_mvm_hook(nullptr);
+    } else if (slot.conv != nullptr && slot.conv->mvm_hook() == slot.hook.get()) {
+      slot.conv->set_mvm_hook(nullptr);
+    }
+  }
+}
+
+std::int64_t QuantizedDeployment::total_cells() const noexcept {
+  std::int64_t n = 0;
+  for (const LayerSlot& slot : layers_) n += slot.hook->engine().total_cells();
+  return n;
+}
+
+std::int64_t QuantizedDeployment::stuck_cells() const noexcept {
+  std::int64_t n = 0;
+  for (const LayerSlot& slot : layers_) n += slot.hook->engine().stuck_cells();
+  return n;
+}
+
+void QuantizedDeployment::apply_defect_map(const DefectMap& map) {
+  FTPIM_CHECK_EQ(map.cell_count(), cell_count_,
+                 "QuantizedDeployment::apply_defect_map: map describes %lld cells, model has %lld",
+                 static_cast<long long>(map.cell_count()), static_cast<long long>(cell_count_));
+  const std::vector<CellFault>& faults = map.faults();
+  std::size_t k = 0;
+  std::vector<CellFault> local;
+  for (LayerSlot& slot : layers_) {
+    const std::int64_t hi = slot.cell_offset + slot.cells;
+    local.clear();
+    while (k < faults.size() && faults[k].cell_index < hi) {
+      local.push_back(CellFault{faults[k].cell_index - slot.cell_offset, faults[k].type});
+      ++k;
+    }
+    slot.hook->engine().apply_defect_map(
+        DefectMap::from_faults(slot.cells, local));
+  }
+}
+
+void QuantizedDeployment::apply_device_defects(const StuckAtFaultModel& model,
+                                               std::uint64_t master_seed,
+                                               std::uint64_t device_index) {
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i].hook->engine().apply_device_defects(
+        model, derive_seed(master_seed, 0x51ab + static_cast<std::uint64_t>(i)), device_index);
+  }
+}
+
+void QuantizedDeployment::clear_defects() {
+  for (LayerSlot& slot : layers_) slot.hook->engine().clear_defects();
+}
+
+std::unique_ptr<QuantizedDeployment> deploy_quantized(Module& model,
+                                                      const QuantizedEngineConfig& config) {
+  return std::make_unique<QuantizedDeployment>(model, config);
+}
+
+}  // namespace ftpim::qinfer

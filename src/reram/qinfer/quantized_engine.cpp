@@ -1,0 +1,299 @@
+#include "src/reram/qinfer/quantized_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/annotations.hpp"
+#include "src/common/check.hpp"
+#include "src/common/parallel.hpp"
+#include "src/common/rng.hpp"
+#include "src/reram/quantizer.hpp"
+#include "src/tensor/kernels/dispatch.hpp"
+#include "src/tensor/kernels/pack_arena.hpp"
+#include "src/tensor/kernels/qgemm.hpp"
+
+namespace ftpim::qinfer {
+
+void QuantizedEngineConfig::validate() const {
+  FTPIM_CHECK(tile_rows > 0 && tile_rows % 2 == 0,
+              "QuantizedEngineConfig: tile_rows must be even and positive");
+  // Keeps the worst-case int32 column sum (127 * 255 * tile_rows) and the
+  // ADC reconstruction bound inside int32 — see qgemm.hpp and adc.hpp.
+  FTPIM_CHECK(tile_rows <= 65536, "QuantizedEngineConfig: tile_rows must be <= 65536");
+  FTPIM_CHECK(tile_cols > 1 && tile_cols % 2 == 0,
+              "QuantizedEngineConfig: tile_cols must be even and positive");
+  FTPIM_CHECK(levels >= 2 && levels <= 256,
+              "QuantizedEngineConfig: levels must be in [2, 256] (uint8 level storage)");
+  range.validate();
+  adc.validate();
+}
+
+QuantizedCrossbarEngine::QuantizedCrossbarEngine(const Tensor& weights,
+                                                 const QuantizedEngineConfig& config, float w_max)
+    : config_(config) {
+  FTPIM_CHECK(!(weights.rank() != 2), "QuantizedCrossbarEngine: [out,in] matrix required");
+  config_.validate();
+  out_ = weights.dim(0);
+  in_ = weights.dim(1);
+  w_max_ = w_max > 0.0f ? w_max : (weights.abs_max() > 0.0f ? weights.abs_max() : 1.0f);
+  outs_per_tile_ = config_.tile_cols / 2;
+  row_tiles_ = (in_ + config_.tile_rows - 1) / config_.tile_rows;
+  col_tiles_ = (out_ + outs_per_tile_ - 1) / outs_per_tile_;
+
+  const auto cells = static_cast<std::size_t>(config_.tile_rows * config_.tile_cols);
+  tiles_.resize(static_cast<std::size_t>(row_tiles_ * col_tiles_));
+  for (Tile& t : tiles_) {
+    t.level.assign(cells, 0);  // unprogrammed cells rest at level 0 (g_min)
+    t.fault.assign(cells, 0);
+    t.packed.resize(kernels::packed_levels_bytes(config_.tile_rows, config_.tile_cols));
+    if (!config_.adc.ideal()) t.delta.assign(static_cast<std::size_t>(config_.tile_cols), 1);
+  }
+
+  // Program: weight -> differential conductance pair -> nearest level index.
+  // level_index(to_cells(w)) is exactly the value CrossbarArray::program
+  // stores when quant_levels == levels, so the two engines hold the same
+  // discretized device state.
+  const DifferentialMapper mapper(config_.range, w_max_);
+  const ConductanceQuantizer quantizer(config_.range, config_.levels);
+  for (std::int64_t o = 0; o < out_; ++o) {
+    const std::int64_t ct = o / outs_per_tile_;
+    const std::int64_t local_o = o % outs_per_tile_;
+    for (std::int64_t i = 0; i < in_; ++i) {
+      const std::int64_t rt = i / config_.tile_rows;
+      const std::int64_t local_r = i % config_.tile_rows;
+      const CellPair pair = mapper.to_cells(weights.at(o, i));
+      Tile& t = tile(rt, ct);
+      const std::size_t base = static_cast<std::size_t>(local_r * config_.tile_cols + 2 * local_o);
+      t.level[base] = static_cast<std::uint8_t>(quantizer.level_index(pair.g_pos));
+      t.level[base + 1] = static_cast<std::uint8_t>(quantizer.level_index(pair.g_neg));
+    }
+  }
+  for (std::int64_t rt = 0; rt < row_tiles_; ++rt) {
+    for (std::int64_t ct = 0; ct < col_tiles_; ++ct) repack_tile(tile(rt, ct), valid_rows_of(rt));
+  }
+}
+
+std::int64_t QuantizedCrossbarEngine::valid_rows_of(std::int64_t rt) const noexcept {
+  return std::min(config_.tile_rows, in_ - rt * config_.tile_rows);
+}
+
+std::uint8_t QuantizedCrossbarEngine::effective_level(const Tile& t,
+                                                      std::size_t cell) const noexcept {
+  const std::uint8_t f = t.fault[cell];
+  if (f == 0) return t.level[cell];
+  return f == static_cast<std::uint8_t>(FaultType::kStuckOff)
+             ? std::uint8_t{0}
+             : static_cast<std::uint8_t>(config_.levels - 1);
+}
+
+FTPIM_COLD void QuantizedCrossbarEngine::repack_tile(Tile& t, std::int64_t valid_rows) {
+  const std::int64_t rows = config_.tile_rows;
+  const std::int64_t cols = config_.tile_cols;
+  std::vector<std::uint8_t> eff(static_cast<std::size_t>(rows * cols));
+  for (std::size_t c = 0; c < eff.size(); ++c) eff[c] = effective_level(t, c);
+  // Pack with k == valid_rows, not tile_rows: the packed panel stride is a
+  // function of k (ceil(k/2) pairs per panel), and the MVM drives the kernel
+  // with k == valid_rows. Packing the full tile would shift every column
+  // panel after the first whenever the tile is partially filled.
+  kernels::pack_levels(eff.data(), valid_rows, cols, cols, t.packed.data());
+  if (config_.adc.ideal()) return;
+  // Worst-case column sum over the DRIVEN rows only — rows past valid_rows
+  // carry zero wordline drive (k = valid in the MVM), so they contribute
+  // neither signal nor full-scale.
+  for (std::int64_t c = 0; c < cols; ++c) {
+    std::int64_t bound = 0;
+    for (std::int64_t r = 0; r < valid_rows; ++r) {
+      bound += eff[static_cast<std::size_t>(r * cols + c)];
+    }
+    t.delta[static_cast<std::size_t>(c)] = adc_column_delta(config_.adc, 127 * bound);
+  }
+}
+
+std::int64_t QuantizedCrossbarEngine::total_cells() const noexcept {
+  return static_cast<std::int64_t>(tiles_.size()) * config_.tile_rows * config_.tile_cols;
+}
+
+std::int64_t QuantizedCrossbarEngine::stuck_cells() const noexcept {
+  std::int64_t n = 0;
+  for (const Tile& t : tiles_) {
+    for (const std::uint8_t f : t.fault) n += (f != 0);
+  }
+  return n;
+}
+
+void QuantizedCrossbarEngine::apply_device_defects(const StuckAtFaultModel& model,
+                                                   std::uint64_t master_seed,
+                                                   std::uint64_t device_index) {
+  // Identical stream to CrossbarEngine::apply_device_defects: one sample per
+  // tile in row-major tile order from the derived device seed.
+  Rng rng(derive_seed(master_seed, device_index + 0xcba));
+  for (std::int64_t rt = 0; rt < row_tiles_; ++rt) {
+    for (std::int64_t ct = 0; ct < col_tiles_; ++ct) {
+      Tile& t = tile(rt, ct);
+      const DefectMap map =
+          DefectMap::sample(config_.tile_rows * config_.tile_cols, model, rng);
+      for (const CellFault& f : map.faults()) {
+        t.fault[static_cast<std::size_t>(f.cell_index)] = static_cast<std::uint8_t>(f.type);
+      }
+      repack_tile(t, valid_rows_of(rt));
+    }
+  }
+}
+
+void QuantizedCrossbarEngine::apply_defect_map(const DefectMap& map) {
+  FTPIM_CHECK(map.cell_count() == 2 * out_ * in_,
+              "QuantizedCrossbarEngine::apply_defect_map: cell count mismatch");
+  std::vector<std::uint8_t> dirty(tiles_.size(), 0);
+  for (const CellFault& f : map.faults()) {
+    const std::int64_t w = f.cell_index / 2;  // flat weight index o * in + i
+    const std::int64_t pol = f.cell_index % 2;
+    const std::int64_t o = w / in_;
+    const std::int64_t i = w % in_;
+    const std::int64_t rt = i / config_.tile_rows;
+    const std::int64_t ct = o / outs_per_tile_;
+    const std::int64_t local_r = i % config_.tile_rows;
+    const std::int64_t local_c = 2 * (o % outs_per_tile_) + pol;
+    Tile& t = tile(rt, ct);
+    t.fault[static_cast<std::size_t>(local_r * config_.tile_cols + local_c)] =
+        static_cast<std::uint8_t>(f.type);
+    dirty[static_cast<std::size_t>(rt * col_tiles_ + ct)] = 1;
+  }
+  for (std::int64_t rt = 0; rt < row_tiles_; ++rt) {
+    for (std::int64_t ct = 0; ct < col_tiles_; ++ct) {
+      if (dirty[static_cast<std::size_t>(rt * col_tiles_ + ct)] != 0) {
+        repack_tile(tile(rt, ct), valid_rows_of(rt));
+      }
+    }
+  }
+}
+
+void QuantizedCrossbarEngine::clear_defects() {
+  for (std::int64_t rt = 0; rt < row_tiles_; ++rt) {
+    for (std::int64_t ct = 0; ct < col_tiles_; ++ct) {
+      Tile& t = tile(rt, ct);
+      std::fill(t.fault.begin(), t.fault.end(), std::uint8_t{0});
+      repack_tile(t, valid_rows_of(rt));
+    }
+  }
+}
+
+FTPIM_HOT void QuantizedCrossbarEngine::mvm(const float* x, float* y) const {
+  mvm_batch(x, 1, y);
+}
+
+FTPIM_HOT void QuantizedCrossbarEngine::mvm_batch(const float* x, std::int64_t batch,
+                                                  float* y) const {
+  FTPIM_CHECK_GE(batch, 0);
+  if (batch == 0) return;
+
+  // Per-batch symmetric activation scale: sx = absmax / 127. A zero batch
+  // yields zero drive everywhere — short-circuit before dividing.
+  float absmax = 0.0f;
+  const std::int64_t total_in = batch * in_;
+  for (std::int64_t i = 0; i < total_in; ++i) {
+    const float a = x[i] < 0.0f ? -x[i] : x[i];
+    if (a > absmax) absmax = a;
+  }
+  if (absmax == 0.0f) {
+    std::fill(y, y + batch * out_, 0.0f);
+    return;
+  }
+  const float inv_scale = 127.0f / absmax;
+  const float dequant = (absmax / 127.0f) * (w_max_ / static_cast<float>(config_.levels - 1));
+
+  const std::int64_t tc = config_.tile_cols;
+  // Odd in_ needs one zero pad byte per row: the kernels consume K in pairs
+  // (qgemm.hpp's lda >= k + (k & 1) contract). tile_rows is even, so only
+  // the LAST row tile can see an odd k, and its pad lands at column in_.
+  const std::int64_t stride = in_ + (in_ & 1);
+  kernels::PackArena& caller_arena = kernels::PackArena::local();
+  auto* xq = reinterpret_cast<std::int8_t*>(
+      caller_arena.byte_buffer(0, static_cast<std::size_t>(batch * stride)));
+
+  const kernels::QmvmKernel kern = kernels::select_qmvm_kernel(kernels::active_kernel_level());
+  const bool ideal_adc = config_.adc.ideal();
+  const std::int32_t qmax = ideal_adc ? 0 : config_.adc.qmax();
+
+  // Row-parallel over the batch: each worker quantizes its own slice of xq,
+  // then walks every tile. All per-output state is integer until the single
+  // dequantizing multiply, so the partition never changes a bit of y.
+  parallel_for_chunks(
+      0, static_cast<std::size_t>(batch),
+      [&](std::size_t lo_s, std::size_t hi_s) {
+        const auto lo = static_cast<std::int64_t>(lo_s);
+        const auto hi = static_cast<std::int64_t>(hi_s);
+        const std::int64_t mb = hi - lo;
+        for (std::int64_t bi = lo; bi < hi; ++bi) {
+          const float* xrow = x + bi * in_;
+          std::int8_t* qrow = xq + bi * stride;
+          for (std::int64_t i = 0; i < in_; ++i) {
+            const long code = std::lround(xrow[i] * inv_scale);
+            qrow[i] = static_cast<std::int8_t>(std::clamp<long>(code, -127, 127));
+          }
+          if ((in_ & 1) != 0) qrow[in_] = 0;
+        }
+
+        kernels::PackArena& arena = kernels::PackArena::local();
+        std::int32_t* cur = arena.i32_buffer(0, static_cast<std::size_t>(mb * tc));
+        std::int64_t* acc = arena.i64_buffer(0, static_cast<std::size_t>(mb * out_));
+        std::fill(acc, acc + mb * out_, std::int64_t{0});
+
+        for (std::int64_t rt = 0; rt < row_tiles_; ++rt) {
+          const std::int64_t base = rt * config_.tile_rows;
+          const std::int64_t valid = std::min(config_.tile_rows, in_ - base);
+          for (std::int64_t ct = 0; ct < col_tiles_; ++ct) {
+            const Tile& t = tile(rt, ct);
+            kern(mb, tc, valid, xq + lo * stride + base, stride, t.packed.data(), cur, tc);
+            const std::int64_t out_base = ct * outs_per_tile_;
+            const std::int64_t out_count = std::min(outs_per_tile_, out_ - out_base);
+            for (std::int64_t bi = 0; bi < mb; ++bi) {
+              const std::int32_t* crow = cur + bi * tc;
+              std::int64_t* arow = acc + bi * out_ + out_base;
+              if (ideal_adc) {
+                for (std::int64_t o = 0; o < out_count; ++o) {
+                  arow[o] += crow[2 * o] - crow[2 * o + 1];
+                }
+              } else {
+                for (std::int64_t o = 0; o < out_count; ++o) {
+                  arow[o] += adc_digitize(crow[2 * o], t.delta[static_cast<std::size_t>(2 * o)],
+                                          qmax) -
+                             adc_digitize(crow[2 * o + 1],
+                                          t.delta[static_cast<std::size_t>(2 * o + 1)], qmax);
+                }
+              }
+            }
+          }
+        }
+
+        for (std::int64_t bi = 0; bi < mb; ++bi) {
+          float* yrow = y + (lo + bi) * out_;
+          const std::int64_t* arow = acc + bi * out_;
+          for (std::int64_t o = 0; o < out_; ++o) {
+            yrow[o] = static_cast<float>(arow[o]) * dequant;
+          }
+        }
+      },
+      2);
+}
+
+Tensor QuantizedCrossbarEngine::read_back() const {
+  Tensor w(Shape{out_, in_});
+  const ConductanceQuantizer quantizer(config_.range, config_.levels);
+  const float g_to_w = w_max_ / config_.range.span();
+  for (std::int64_t o = 0; o < out_; ++o) {
+    const std::int64_t ct = o / outs_per_tile_;
+    const std::int64_t local_o = o % outs_per_tile_;
+    for (std::int64_t i = 0; i < in_; ++i) {
+      const std::int64_t rt = i / config_.tile_rows;
+      const std::int64_t local_r = i % config_.tile_rows;
+      const Tile& t = tile(rt, ct);
+      const std::size_t base = static_cast<std::size_t>(local_r * config_.tile_cols + 2 * local_o);
+      const float g_pos = quantizer.level_value(effective_level(t, base));
+      const float g_neg = quantizer.level_value(effective_level(t, base + 1));
+      w.at(o, i) = (g_pos - g_neg) * g_to_w;
+    }
+  }
+  return w;
+}
+
+}  // namespace ftpim::qinfer

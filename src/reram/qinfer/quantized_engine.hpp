@@ -1,0 +1,142 @@
+// Quantized crossbar inference engine: int8 conductance-domain compute with
+// faults applied where the hardware sees them.
+//
+// CrossbarEngine (src/reram/crossbar_engine.hpp) simulates the analog limit:
+// float conductances, float GEMM, ideal peripherals. This engine simulates
+// the digital reality of a multi-level-cell deployment:
+//
+//   * each weight is SNAPPED to one of L conductance levels and stored as a
+//     uint8 level index per differential cell (G+ = g_min + lv+ * step,
+//     step = span / (L - 1)), so the stored matrix is exactly what a
+//     programming loop could write into an L-level device;
+//   * stuck-at faults act in the LEVEL domain — stuck-off pins a cell at
+//     level 0 (g_min), stuck-on at level L-1 (g_max) — and stuck cells
+//     ignore the programmed value, mirroring CrossbarArray::program;
+//   * the MVM is integer end to end: activations are quantized per batch to
+//     int8 codes (symmetric scale sx = absmax / 127), each tile computes
+//     int8 x u8 -> int32 column sums through the qgemm kernel backend
+//     (src/tensor/kernels/qgemm.hpp), the ADC model digitizes each column
+//     BEFORE the G+ - G- subtraction (adc.hpp), and per-output partial sums
+//     accumulate across row tiles in int64;
+//   * one float multiply per output dequantizes at the very end:
+//       y = total * (sx * w_max / (L - 1))
+//     because w_eff = (lv+ - lv-) * step * w_max / span
+//                   = (lv+ - lv-) * w_max / (L - 1).
+//
+// Determinism contract: everything between activation quantization and the
+// final dequantize is integer arithmetic, which is exact and associative.
+// mvm_batch is therefore bit-identical across FTPIM_THREADS values AND
+// across kernel levels (scalar vs AVX2) — strictly stronger than the float
+// path's tolerance-based reproducibility.
+//
+// Tiling matches CrossbarEngine: weight (o, i) lives in tile
+// (rt = i / tile_rows, ct = o / (tile_cols / 2)) at local row i % tile_rows,
+// physical columns 2*local_o and 2*local_o + 1. apply_device_defects draws
+// the SAME per-tile defect stream as CrossbarEngine::apply_device_defects,
+// so a given (master_seed, device_index) names the same physical die in
+// both simulations.
+//
+// Mutation (apply_* / clear_defects) is single-owner: do not mutate
+// concurrently with mvm calls. mvm itself is internally parallel and safe to
+// call from one thread at a time per engine.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/reram/conductance.hpp"
+#include "src/reram/defect_map.hpp"
+#include "src/reram/qinfer/adc.hpp"
+#include "src/tensor/tensor.hpp"
+
+namespace ftpim::qinfer {
+
+struct QuantizedEngineConfig {
+  /// Wordlines per tile; must be even (the int8 kernel consumes K in pairs,
+  /// and an even split keeps the zero-pad contract at the last tile only).
+  std::int64_t tile_rows = 128;
+  /// Bitlines per tile; must be even (differential pairs).
+  std::int64_t tile_cols = 128;
+  ConductanceRange range{};
+  /// Conductance levels per cell, in [2, 256] (uint8 level storage).
+  int levels = 16;
+  AdcConfig adc{};
+
+  void validate() const;
+};
+
+class QuantizedCrossbarEngine {
+ public:
+  /// Programs W [out, in] onto level-index tiles. w_max <= 0 means
+  /// per-matrix abs-max (same convention as CrossbarEngine).
+  QuantizedCrossbarEngine(const Tensor& weights, const QuantizedEngineConfig& config,
+                          float w_max = 0.0f);
+
+  [[nodiscard]] std::int64_t out_features() const noexcept { return out_; }
+  [[nodiscard]] std::int64_t in_features() const noexcept { return in_; }
+  [[nodiscard]] std::int64_t tile_count() const noexcept {
+    return static_cast<std::int64_t>(tiles_.size());
+  }
+  [[nodiscard]] const QuantizedEngineConfig& config() const noexcept { return config_; }
+  [[nodiscard]] float w_max() const noexcept { return w_max_; }
+  [[nodiscard]] std::int64_t total_cells() const noexcept;
+  [[nodiscard]] std::int64_t stuck_cells() const noexcept;
+
+  /// Draws an independent defect map per tile from the device seed and
+  /// applies it in the level domain. Uses the same RNG stream as
+  /// CrossbarEngine::apply_device_defects — (master_seed, device_index)
+  /// identifies the same die in both engines.
+  void apply_device_defects(const StuckAtFaultModel& model, std::uint64_t master_seed,
+                            std::uint64_t device_index);
+
+  /// Applies a weight-indexed defect map (cell_count == 2 * out * in; cell
+  /// 2*w is the positive cell of flat weight w = o * in + i, cell 2*w + 1
+  /// the negative cell) — the convention of
+  /// src/reram/fault_injector.hpp, so ReplicaPool / evaluator maps drive
+  /// this engine directly. Maps LAYER: cells named here overwrite their
+  /// fault state, cells absent keep theirs (what in-service aging needs);
+  /// clear_defects() is the only reset.
+  void apply_defect_map(const DefectMap& map);
+
+  /// Restores a defect-free die (programmed levels stay).
+  void clear_defects();
+
+  /// y[out] = W_effective * x[in] through the quantized datapath.
+  void mvm(const float* x, float* y) const;
+
+  /// Batched form: y[batch, out] = x[batch, in] * W_effective^T. One int8
+  /// GEMM per tile; the activation scale is shared by the whole batch.
+  void mvm_batch(const float* x, std::int64_t batch, float* y) const;
+
+  /// Effective float weights reconstructed from the (faulted) level indices
+  /// through the same readout equation as CrossbarEngine::read_back.
+  [[nodiscard]] Tensor read_back() const;
+
+ private:
+  struct Tile {
+    std::vector<std::uint8_t> level;   ///< programmed level index per cell [rows * cols]
+    std::vector<std::uint8_t> fault;   ///< FaultType per cell (0 = healthy)
+    std::vector<std::uint8_t> packed;  ///< k-pair panels of the EFFECTIVE levels
+    std::vector<std::int32_t> delta;   ///< per-bitline ADC step (bits > 0 only)
+  };
+
+  [[nodiscard]] std::uint8_t effective_level(const Tile& t, std::size_t cell) const noexcept;
+  /// Rebuilds the packed panels and ADC deltas after any level/fault change.
+  void repack_tile(Tile& t, std::int64_t valid_rows);
+  [[nodiscard]] const Tile& tile(std::int64_t rt, std::int64_t ct) const {
+    return tiles_[static_cast<std::size_t>(rt * col_tiles_ + ct)];
+  }
+  [[nodiscard]] Tile& tile(std::int64_t rt, std::int64_t ct) {
+    return tiles_[static_cast<std::size_t>(rt * col_tiles_ + ct)];
+  }
+  [[nodiscard]] std::int64_t valid_rows_of(std::int64_t rt) const noexcept;
+
+  std::int64_t out_ = 0, in_ = 0;
+  QuantizedEngineConfig config_;
+  float w_max_ = 1.0f;
+  std::int64_t row_tiles_ = 0, col_tiles_ = 0;
+  std::int64_t outs_per_tile_ = 0;
+  std::vector<Tile> tiles_;  ///< row-major [row_tile][col_tile]
+};
+
+}  // namespace ftpim::qinfer

@@ -13,6 +13,9 @@ ReplicaPool::ReplicaPool(const Module& source, const ReplicaPoolConfig& config)
   FTPIM_CHECK(config.sa0_fraction >= 0.0 && config.sa0_fraction <= 1.0,
               "ReplicaPool: sa0_fraction outside [0,1]");
   config.injector.range.validate();
+  FTPIM_CHECK(!(config.engine == ReplicaEngine::kQuantized && config.use_redundancy),
+              "ReplicaPool: redundancy is not modeled for quantized deployments");
+  if (config.engine == ReplicaEngine::kQuantized) config.quantized.validate();
 
   source_ = source.clone();
   replicas_.resize(static_cast<std::size_t>(config.num_replicas));
@@ -30,10 +33,48 @@ std::uint64_t ReplicaPool::seed_for(int index, int generation) const {
   return derive_seed(base, static_cast<std::uint64_t>(generation));
 }
 
+namespace {
+
+/// Stats of a level-domain map application. Unlike the float injector this
+/// counts weights with at least one stuck cell (the float path counts
+/// weights whose VALUE changed, which excludes benign hits like stuck-off
+/// on an already-level-0 cell).
+InjectionStats quantized_map_stats(const DefectMap& map) {
+  InjectionStats stats;
+  stats.cells = map.cell_count();
+  stats.faulted_cells = map.fault_count();
+  std::int64_t prev_weight = -1;
+  for (const CellFault& f : map.faults()) {
+    const std::int64_t w = f.cell_index / 2;
+    if (w != prev_weight) {
+      ++stats.affected_weights;
+      prev_weight = w;
+    }
+  }
+  return stats;
+}
+
+}  // namespace
+
 void ReplicaPool::install(Replica& rep, int index) {
+  // Tear down any previous deployment BEFORE replacing the model it hooks.
+  rep.deployment.reset();
   rep.model = source_->clone();
   rep.stats = InjectionStats{};
   rep.aged_intervals = 0;
+  if (config_.engine == ReplicaEngine::kQuantized) {
+    rep.deployment = qinfer::deploy_quantized(*rep.model, config_.quantized);
+    rep.map = DefectMap::empty(rep.deployment->cell_count());
+    rep.stats.cells = rep.deployment->cell_count();
+    if (config_.p_sa > 0.0) {
+      const StuckAtFaultModel fault_model(config_.p_sa, config_.sa0_fraction);
+      Rng rng(seed_for(index, rep.generation));
+      rep.map = DefectMap::sample(rep.deployment->cell_count(), fault_model, rng);
+      rep.deployment->apply_defect_map(rep.map);
+      rep.stats = quantized_map_stats(rep.map);
+    }
+    return;
+  }
   if (config_.use_redundancy) {
     rep.map = DefectMap();
     if (config_.p_sa > 0.0) {
@@ -109,12 +150,25 @@ std::int64_t ReplicaPool::advance_aging(int index, const AgingModel& aging,
       aging.evolve(rep.map, seed_for(index, rep.generation), rep.aged_intervals, target_intervals);
   rep.aged_intervals = target_intervals;
   if (added > 0) {
-    // Stuck-cell readback is lossy, so the grown map cannot be layered onto
-    // the already-faulted weights: re-deploy from the pristine source.
-    rep.model = source_->clone();
-    rep.stats = apply_defect_map_to_model(*rep.model, rep.map, config_.injector);
+    if (config_.engine == ReplicaEngine::kQuantized) {
+      // Level-domain fault application is NON-destructive: the engines keep
+      // clean programmed levels separately from faults, so the grown map
+      // layers straight on — no pristine re-clone, no re-programming.
+      rep.deployment->apply_defect_map(rep.map);
+      rep.stats = quantized_map_stats(rep.map);
+    } else {
+      // Stuck-cell readback is lossy, so the grown map cannot be layered
+      // onto the already-faulted weights: re-deploy from the pristine
+      // source.
+      rep.model = source_->clone();
+      rep.stats = apply_defect_map_to_model(*rep.model, rep.map, config_.injector);
+    }
   }
   return added;
+}
+
+const qinfer::QuantizedDeployment* ReplicaPool::deployment(int index) const {
+  return at(index, "deployment").deployment.get();
 }
 
 }  // namespace ftpim::serve

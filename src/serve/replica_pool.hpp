@@ -41,9 +41,16 @@
 #include "src/reram/defect_map.hpp"
 #include "src/reram/fault_injector.hpp"
 #include "src/reram/fault_model.hpp"
+#include "src/reram/qinfer/deploy.hpp"
 #include "src/reram/redundancy.hpp"
 
 namespace ftpim::serve {
+
+/// Which datapath a replica's device runs.
+enum class ReplicaEngine {
+  kFloat,      ///< faults folded into float weights (fault_injector)
+  kQuantized,  ///< int8 conductance-domain engines behind MvmHooks
+};
 
 struct ReplicaPoolConfig {
   int num_replicas = 1;
@@ -53,6 +60,12 @@ struct ReplicaPoolConfig {
   std::uint64_t seed = 99;  ///< master seed; replica r uses derive_seed(seed, r)
   bool use_redundancy = false;  ///< deploy via median-of-R instead of a defect map
   RedundancyConfig redundancy{};
+  /// kQuantized deploys every replica through QuantizedDeployment: weights
+  /// stay clean in the model, faults live in the engines' level domain, and
+  /// the SAME per-replica defect map stream is drawn as on the float path
+  /// (seed_for is engine-independent). Incompatible with use_redundancy.
+  ReplicaEngine engine = ReplicaEngine::kFloat;
+  qinfer::QuantizedEngineConfig quantized{};  ///< engine == kQuantized only
 };
 
 class ReplicaPool {
@@ -105,11 +118,18 @@ class ReplicaPool {
   /// Intervals replica `index` has been aged through so far.
   [[nodiscard]] std::int64_t aged_intervals(int index) const;
 
+  /// The replica's quantized deployment (nullptr on the float path).
+  [[nodiscard]] const qinfer::QuantizedDeployment* deployment(int index) const;
+
   [[nodiscard]] const ReplicaPoolConfig& config() const noexcept { return config_; }
 
  private:
   struct Replica {
     std::unique_ptr<Module> model;
+    /// Declared after model: destroyed first, so hook uninstall still sees a
+    /// live model. Engines hold clean levels + faults separately, which is
+    /// why aging below never needs a model re-clone on the quantized path.
+    std::unique_ptr<qinfer::QuantizedDeployment> deployment;
     InjectionStats stats;
     DefectMap map;
     int generation = 0;

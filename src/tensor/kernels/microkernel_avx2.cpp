@@ -1,7 +1,7 @@
-// The ONLY translation unit in the tree allowed to use raw SIMD intrinsics
-// (enforced by the simd-intrinsics lint rule); built with -mavx2 -mfma on
-// x86 (see src/CMakeLists.txt). Everything else reaches vector code through
-// the dispatch in dispatch.hpp.
+// With qgemm_avx2.cpp, one of the two translation units in the tree allowed
+// to use raw SIMD intrinsics (enforced by the simd-intrinsics lint rule);
+// built with -mavx2 -mfma on x86 (see src/CMakeLists.txt). Everything else
+// reaches vector code through the dispatch in dispatch.hpp.
 #include "src/tensor/kernels/microkernel.hpp"
 
 #include "src/common/annotations.hpp"

@@ -15,4 +15,22 @@ FTPIM_HOT float* PackArena::scratch_buffer(int slot, std::size_t n) {
   return grow(scratch_[slot], n);
 }
 
+FTPIM_HOT std::uint8_t* PackArena::byte_buffer(int slot, std::size_t n) {
+  FTPIM_DCHECK_GE(slot, 0);
+  FTPIM_DCHECK_LT(slot, kIntSlots);
+  return grow_int(bytes_[slot], n);
+}
+
+FTPIM_HOT std::int32_t* PackArena::i32_buffer(int slot, std::size_t n) {
+  FTPIM_DCHECK_GE(slot, 0);
+  FTPIM_DCHECK_LT(slot, kIntSlots);
+  return grow_int(i32_[slot], n);
+}
+
+FTPIM_HOT std::int64_t* PackArena::i64_buffer(int slot, std::size_t n) {
+  FTPIM_DCHECK_GE(slot, 0);
+  FTPIM_DCHECK_LT(slot, kIntSlots);
+  return grow_int(i64_[slot], n);
+}
+
 }  // namespace ftpim::kernels

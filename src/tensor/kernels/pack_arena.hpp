@@ -11,9 +11,16 @@
 //                         crossbar input slices / column currents). Distinct
 //                         slots never alias; gemm_packed only touches a/b,
 //                         so scratch contents survive a nested gemm call.
+//   byte/i32/i64_buffer   integer staging for the quantized crossbar path
+//                         (int8 activation codes, per-tile i32 column
+//                         accumulators, i64 differential totals). Typed slots
+//                         are independent of the float slots and of each
+//                         other, so the quantized MVM can nest inside a
+//                         Conv2d hook that holds float scratch.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "src/common/annotations.hpp"
@@ -23,6 +30,7 @@ namespace ftpim::kernels {
 class PackArena {
  public:
   static constexpr int kScratchSlots = 4;
+  static constexpr int kIntSlots = 2;
 
   /// The calling thread's arena (thread_local singleton).
   FTPIM_HOT [[nodiscard]] static PackArena& local();
@@ -30,6 +38,9 @@ class PackArena {
   FTPIM_HOT [[nodiscard]] float* a_buffer(std::size_t n) { return grow(a_, n); }
   FTPIM_HOT [[nodiscard]] float* b_buffer(std::size_t n) { return grow(b_, n); }
   FTPIM_HOT [[nodiscard]] float* scratch_buffer(int slot, std::size_t n);
+  FTPIM_HOT [[nodiscard]] std::uint8_t* byte_buffer(int slot, std::size_t n);
+  FTPIM_HOT [[nodiscard]] std::int32_t* i32_buffer(int slot, std::size_t n);
+  FTPIM_HOT [[nodiscard]] std::int64_t* i64_buffer(int slot, std::size_t n);
 
  private:
   /// Monotonic growth is the acknowledged slow path: it only runs the first
@@ -38,10 +49,18 @@ class PackArena {
     if (buf.size() < n) buf.resize(n);
     return buf.data();
   }
+  template <typename T>
+  FTPIM_COLD static T* grow_int(std::vector<T>& buf, std::size_t n) {
+    if (buf.size() < n) buf.resize(n);
+    return buf.data();
+  }
 
   std::vector<float> a_;
   std::vector<float> b_;
   std::vector<float> scratch_[kScratchSlots];
+  std::vector<std::uint8_t> bytes_[kIntSlots];
+  std::vector<std::int32_t> i32_[kIntSlots];
+  std::vector<std::int64_t> i64_[kIntSlots];
 };
 
 }  // namespace ftpim::kernels

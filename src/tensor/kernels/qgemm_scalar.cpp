@@ -1,0 +1,61 @@
+#include "src/tensor/kernels/qgemm.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/annotations.hpp"
+
+namespace ftpim::kernels {
+
+void pack_levels(const std::uint8_t* levels, std::int64_t k, std::int64_t n, std::int64_t ldb,
+                 std::uint8_t* dst) {
+  const std::int64_t pairs = ceil_div(k, 2);
+  const std::int64_t panels = ceil_div(n, kQNR);
+  std::memset(dst, 0, packed_levels_bytes(k, n));
+  for (std::int64_t jp = 0; jp < panels; ++jp) {
+    std::uint8_t* panel = dst + jp * pairs * 2 * kQNR;
+    const std::int64_t j0 = jp * kQNR;
+    const std::int64_t jn = std::min(kQNR, n - j0);
+    for (std::int64_t p = 0; p < pairs; ++p) {
+      std::uint8_t* row = panel + p * 2 * kQNR;
+      const std::uint8_t* b0 = levels + (2 * p) * ldb + j0;
+      for (std::int64_t j = 0; j < jn; ++j) row[2 * j] = b0[j];
+      if (2 * p + 1 < k) {
+        const std::uint8_t* b1 = b0 + ldb;
+        for (std::int64_t j = 0; j < jn; ++j) row[2 * j + 1] = b1[j];
+      }
+    }
+  }
+}
+
+FTPIM_HOT void qmvm_scalar(std::int64_t m, std::int64_t n, std::int64_t k, const std::int8_t* a,
+                           std::int64_t lda, const std::uint8_t* packed_b, std::int32_t* c,
+                           std::int64_t ldc) {
+  const std::int64_t pairs = ceil_div(k, 2);
+  const std::int64_t panels = ceil_div(n, kQNR);
+  for (std::int64_t i = 0; i < m; ++i) {
+    const std::int8_t* arow = a + i * lda;
+    std::int32_t* crow = c + i * ldc;
+    for (std::int64_t jp = 0; jp < panels; ++jp) {
+      const std::uint8_t* panel = packed_b + jp * pairs * 2 * kQNR;
+      const std::int64_t j0 = jp * kQNR;
+      const std::int64_t jn = std::min(kQNR, n - j0);
+      std::int32_t acc[kQNR] = {};
+      for (std::int64_t p = 0; p < pairs; ++p) {
+        const std::int32_t a0 = arow[2 * p];
+        const std::int32_t a1 = arow[2 * p + 1];
+        const std::uint8_t* row = panel + p * 2 * kQNR;
+        for (std::int64_t j = 0; j < kQNR; ++j) {
+          acc[j] += a0 * row[2 * j] + a1 * row[2 * j + 1];
+        }
+      }
+      for (std::int64_t j = 0; j < jn; ++j) crow[j0 + j] = acc[j];
+    }
+  }
+}
+
+QmvmKernel select_qmvm_kernel(KernelLevel level) noexcept {
+  return level == KernelLevel::kAvx2 ? qmvm_avx2 : qmvm_scalar;
+}
+
+}  // namespace ftpim::kernels
