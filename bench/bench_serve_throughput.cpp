@@ -35,7 +35,7 @@ struct SweepPoint {
 
 SweepPoint run_point(const Module& model, const Dataset& data, std::int64_t max_batch,
                      int replicas, int clients, int total_requests,
-                     ReplicaEngine engine = ReplicaEngine::kFloat) {
+                     ReplicaEngine engine = ReplicaEngine::kFloat, bool abft = false) {
   ServerConfig cfg;
   cfg.queue_capacity = 1024;
   cfg.batching.max_batch_size = max_batch;
@@ -44,6 +44,7 @@ SweepPoint run_point(const Module& model, const Dataset& data, std::int64_t max_
   cfg.pool.p_sa = 0.01;
   cfg.pool.seed = 7;
   cfg.pool.engine = engine;
+  cfg.pool.quantized.abft.enabled = abft;
   InferenceServer server(model, cfg);
   server.start();
 
@@ -149,6 +150,25 @@ int main() {
         .num("batch", static_cast<double>(p.batch))
         .num("replicas", p.replicas)
         .str("engine", "quantized")
+        .num("reqs_per_sec", p.reqs_per_sec)
+        .num("batch_fill", p.fill)
+        .num("p50_ms", p.p50_ms)
+        .num("p95_ms", p.p95_ms)
+        .num("p99_ms", p.p99_ms);
+  }
+
+  // Same quantized fleet with ABFT checksum verification armed: the delta
+  // against the point above is the serving-layer cost of online detection.
+  {
+    const SweepPoint p = run_point(*model, *data, /*max_batch=*/16, /*replicas=*/2, clients,
+                                   total_requests, ReplicaEngine::kQuantized, /*abft=*/true);
+    std::printf("%6lld %9d %10.0f %6.2f %9.3f %9.3f %9.3f  (quantized+abft)\n",
+                static_cast<long long>(p.batch), p.replicas, p.reqs_per_sec, p.fill, p.p50_ms,
+                p.p95_ms, p.p99_ms);
+    json.point()
+        .num("batch", static_cast<double>(p.batch))
+        .num("replicas", p.replicas)
+        .str("engine", "quantized_abft")
         .num("reqs_per_sec", p.reqs_per_sec)
         .num("batch_fill", p.fill)
         .num("p50_ms", p.p50_ms)

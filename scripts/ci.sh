@@ -39,7 +39,7 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 # automatically. The quantized suites also run under the `scalar` leg
 # (FTPIM_KERNEL=scalar, full suite), which keeps the portable int8 kernel
 # exercised on AVX2 hosts.
-THREAD_SUBSET='Parallel|Clone|Defect|Session|Eval|Check|Logging|Serve|Aging|Kernel|Gemm|Quant|Qinfer'
+THREAD_SUBSET='Parallel|Clone|Defect|Session|Eval|Check|Logging|Serve|Aging|Kernel|Gemm|Quant|Qinfer|Abft|Scrub'
 
 # Crash-safety subset: the container/CRC primitives, the seeded corruption
 # sweep (CheckpointCrashInjection: truncation at every framing boundary plus

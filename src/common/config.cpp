@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "src/common/annotations.hpp"
+#include "src/common/check.hpp"
 
 namespace ftpim {
 
@@ -23,6 +24,20 @@ FTPIM_COLD double env_double(const char* name, double fallback) {
   char* end = nullptr;
   const double value = std::strtod(env, &end);
   if (end == env) return fallback;
+  return value;
+}
+
+FTPIM_COLD double env_double_in(const char* name, double fallback, double lo_exclusive,
+                                double hi_inclusive) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(env, &end);
+  // Full-parse: trailing junk ("0.5x") is a typo, not a smaller number.
+  FTPIM_CHECK(end != env && *end == '\0', "%s: '%s' is not a number", name, env);
+  // NaN fails both comparisons, so it is rejected here too.
+  FTPIM_CHECK(value > lo_exclusive && value <= hi_inclusive, "%s: %g outside (%g, %g]", name,
+              value, lo_exclusive, hi_inclusive);
   return value;
 }
 

@@ -38,6 +38,13 @@ struct RunScale {
 /// Reads a float env var, returning fallback when unset/unparsable.
 [[nodiscard]] double env_double(const char* name, double fallback);
 
+/// Strict variant for knobs where a typo must not silently fall back: the
+/// value must parse IN FULL as a finite number inside (lo, hi] or the call
+/// throws ContractViolation naming the env var and the offending text.
+/// Unset/empty still returns fallback (the knob is optional, not mistyped).
+[[nodiscard]] double env_double_in(const char* name, double fallback, double lo_exclusive,
+                                   double hi_inclusive);
+
 /// Reads a string env var, returning fallback when unset.
 [[nodiscard]] std::string env_string(const char* name, const std::string& fallback);
 

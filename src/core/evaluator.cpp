@@ -38,12 +38,18 @@ DefectEvalResult evaluate_under_defects(const Module& model, const Dataset& data
               "evaluate_under_defects: sa0_fraction outside [0,1]");
   FTPIM_CHECK_GT(config.batch_size, std::int64_t{0}, "evaluate_under_defects: batch_size");
   config.injector.range.validate();
+  FTPIM_CHECK(!config.abft_detection || config.engine == EvalEngine::kQuantized,
+              "evaluate_under_defects: abft_detection requires the quantized engine");
   DefectEvalResult result;
   if (config.num_runs <= 0) return result;
   const StuckAtFaultModel fault_model(p_sa, config.sa0_fraction);
   const std::size_t runs = static_cast<std::size_t>(config.num_runs);
   result.run_accs.assign(runs, 0.0);
   std::vector<double> run_rates(runs, 0.0);
+  std::vector<std::uint8_t> run_detected(runs, 0);
+  std::vector<std::int64_t> run_flagged(runs, 0);
+  qinfer::QuantizedEngineConfig engine_config = config.quantized;
+  if (config.abft_detection) engine_config.abft.enabled = true;
 
   // Fan the Monte-Carlo device runs out over workers. Each worker gets a
   // private deep clone — faulted weights, BN buffers, and forward caches are
@@ -61,13 +67,25 @@ DefectEvalResult evaluate_under_defects(const Module& model, const Dataset& data
       [&](std::size_t lo, std::size_t hi) {
         const std::unique_ptr<Module> local = model.clone();
         if (config.engine == EvalEngine::kQuantized) {
-          const auto deployment = qinfer::deploy_quantized(*local, config.quantized);
+          const auto deployment = qinfer::deploy_quantized(*local, engine_config);
           for (std::size_t run = lo; run < hi; ++run) {
             Rng rng(derive_seed(config.seed, static_cast<std::uint64_t>(run)));
             const DefectMap map = DefectMap::sample(deployment->cell_count(), fault_model, rng);
             deployment->apply_defect_map(map);
             result.run_accs[run] = evaluate_accuracy(*local, data, config.batch_size);
             run_rates[run] = map.observed_rate();
+            if (config.abft_detection) {
+              // Checksums were programmed against CLEAN levels at deploy (no
+              // rebaseline between runs), so this drains exactly what run
+              // `run`'s injected map tripped during the accuracy pass.
+              std::int64_t mismatches = 0, flagged = 0;
+              for (const abft::TileFaultReport& r : deployment->take_abft_reports()) {
+                mismatches += r.mismatches;
+                flagged += r.flagged_tiles();
+              }
+              run_detected[run] = mismatches > 0 ? 1 : 0;
+              run_flagged[run] = flagged;
+            }
             deployment->clear_defects();
           }
           return;
@@ -98,6 +116,15 @@ DefectEvalResult evaluate_under_defects(const Module& model, const Dataset& data
   result.mean_acc = sum / n;
   result.std_acc = std::sqrt(std::max(0.0, sq / n - result.mean_acc * result.mean_acc));
   result.mean_cell_fault_rate = rate_sum / n;
+  if (config.abft_detection) {
+    std::int64_t detected = 0, flagged = 0;
+    for (std::size_t run = 0; run < runs; ++run) {
+      detected += run_detected[run];
+      flagged += run_flagged[run];
+    }
+    result.detection_rate = static_cast<double>(detected) / n;
+    result.mean_flagged_tiles = static_cast<double>(flagged) / n;
+  }
   return result;
 }
 

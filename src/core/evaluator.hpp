@@ -43,6 +43,12 @@ struct DefectEvalConfig {
   /// Engine geometry/levels/ADC when engine == kQuantized; `injector` is
   /// ignored on that path (the level domain needs no float read-back).
   qinfer::QuantizedEngineConfig quantized{};
+  /// Detection-aware mode (engine == kQuantized only): force ABFT checksum
+  /// columns on and, per device run, record whether the injected faults were
+  /// flagged by the MVM checksums — detection_rate / mean_flagged_tiles in
+  /// the result. Accuracy numbers are unchanged (checksum columns never
+  /// alter data outputs).
+  bool abft_detection = false;
 };
 
 struct DefectEvalResult {
@@ -52,6 +58,11 @@ struct DefectEvalResult {
   double max_acc = 0.0;
   double mean_cell_fault_rate = 0.0;
   std::vector<double> run_accs;
+  /// Filled only with config.abft_detection: fraction of device runs whose
+  /// faults tripped at least one checksum, and the mean number of distinct
+  /// (layer, tile) pairs flagged per run.
+  double detection_rate = 0.0;
+  double mean_flagged_tiles = 0.0;
 };
 
 /// Mean accuracy over `config.num_runs` simulated defective devices at

@@ -39,6 +39,7 @@ QuantizedDeployment::QuantizedDeployment(Module& model, const QuantizedEngineCon
   }
   FTPIM_CHECK_EQ(cell_count_, crossbar_cell_count(model),
                  "QuantizedDeployment: layer walk disagrees with the parameter walk");
+  abft_enabled_ = config.abft.enabled;
 }
 
 QuantizedDeployment::~QuantizedDeployment() {
@@ -95,6 +96,36 @@ void QuantizedDeployment::apply_device_defects(const StuckAtFaultModel& model,
 
 void QuantizedDeployment::clear_defects() {
   for (LayerSlot& slot : layers_) slot.hook->engine().clear_defects();
+}
+
+std::vector<abft::TileFaultReport> QuantizedDeployment::take_abft_reports() {
+  FTPIM_CHECK(abft_enabled_, "QuantizedDeployment::take_abft_reports: ABFT is disabled");
+  std::vector<abft::TileFaultReport> reports;
+  reports.reserve(layers_.size());
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    abft::TileFaultReport r = layers_[i].hook->engine().take_abft_report();
+    r.layer = static_cast<std::int64_t>(i);
+    reports.push_back(std::move(r));
+  }
+  return reports;
+}
+
+void QuantizedDeployment::abft_rebaseline() {
+  FTPIM_CHECK(abft_enabled_, "QuantizedDeployment::abft_rebaseline: ABFT is disabled");
+  for (LayerSlot& slot : layers_) slot.hook->engine().abft_rebaseline();
+}
+
+std::int64_t QuantizedDeployment::scrub(const std::vector<abft::TileFaultReport>& reports) {
+  FTPIM_CHECK(abft_enabled_, "QuantizedDeployment::scrub: ABFT is disabled");
+  std::int64_t scrubbed = 0;
+  for (const abft::TileFaultReport& r : reports) {
+    if (r.tiles.empty()) continue;
+    FTPIM_CHECK(r.layer >= 0 && r.layer < static_cast<std::int64_t>(layers_.size()),
+                "QuantizedDeployment::scrub: report names layer %lld of %lld",
+                static_cast<long long>(r.layer), static_cast<long long>(layers_.size()));
+    scrubbed += layers_[static_cast<std::size_t>(r.layer)].hook->engine().scrub(r);
+  }
+  return scrubbed;
 }
 
 std::unique_ptr<QuantizedDeployment> deploy_quantized(Module& model,

@@ -91,6 +91,24 @@ class QuantizedDeployment {
 
   void clear_defects();
 
+  // --- ABFT fan-out (config.abft.enabled only; see src/reram/abft.hpp) ---
+
+  [[nodiscard]] bool abft_enabled() const noexcept { return abft_enabled_; }
+
+  /// Drains every engine's detection tally; reports carry their layer index.
+  /// Layers with no checks since the last drain still yield a (clean) entry,
+  /// so the vector is always layer_count() long.
+  [[nodiscard]] std::vector<abft::TileFaultReport> take_abft_reports();
+
+  /// Re-encodes every engine's checksum baseline from the current effective
+  /// levels (accepts the faults present now as reference state).
+  void abft_rebaseline();
+
+  /// Scrubs every tile flagged in `reports` (reports index layers via
+  /// TileFaultReport::layer). Returns the number of tiles scrubbed. The
+  /// caller re-applies its persistent DefectMap afterwards.
+  std::int64_t scrub(const std::vector<abft::TileFaultReport>& reports);
+
  private:
   struct LayerSlot {
     Linear* linear = nullptr;  ///< exactly one of linear/conv is set
@@ -103,6 +121,7 @@ class QuantizedDeployment {
   Module* model_;
   std::vector<LayerSlot> layers_;
   std::int64_t cell_count_ = 0;
+  bool abft_enabled_ = false;
 };
 
 /// Convenience: heap-allocate a deployment (replica slots store these next

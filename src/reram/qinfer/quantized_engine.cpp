@@ -26,6 +26,17 @@ void QuantizedEngineConfig::validate() const {
               "QuantizedEngineConfig: levels must be in [2, 256] (uint8 level storage)");
   range.validate();
   adc.validate();
+  abft.validate();
+  if (abft.enabled) {
+    // The checksum readout sum_k L^k * A*_k must stay inside int64: the
+    // largest digit-column accumulator is 127 * 255 * tile_rows and the digit
+    // weights sum to less than L^(digits+1) / (L - 1) <= 2 * L * (L-1) * tile_cols.
+    const double weight_sum =
+        2.0 * levels * (levels - 1) * static_cast<double>(tile_cols);
+    const double worst = weight_sum * 127.0 * 255.0 * static_cast<double>(tile_rows);
+    FTPIM_CHECK(worst < 4.0e18,
+                "QuantizedEngineConfig: tile too large for an int64-exact ABFT checksum");
+  }
 }
 
 QuantizedCrossbarEngine::QuantizedCrossbarEngine(const Tensor& weights,
@@ -39,15 +50,30 @@ QuantizedCrossbarEngine::QuantizedCrossbarEngine(const Tensor& weights,
   outs_per_tile_ = config_.tile_cols / 2;
   row_tiles_ = (in_ + config_.tile_rows - 1) / config_.tile_rows;
   col_tiles_ = (out_ + outs_per_tile_ - 1) / outs_per_tile_;
+  check_cols_ =
+      config_.abft.enabled ? abft::checksum_digit_columns(config_.levels, config_.tile_cols) : 0;
+  // With ABFT on the packed width is rounded up to a multiple of 16: the
+  // qgemm kernels run aligned widths measurably faster than the odd width
+  // tile_cols + check_cols_ lands on (e.g. 128 + 3). The pad columns are
+  // DEAD ZERO cells — padding with extra digit columns instead would add an
+  // L^k * delta term per column to the ADC tolerance and destroy detection
+  // sensitivity. Verification never reads past tile_cols + check_cols_.
+  packed_cols_ = config_.tile_cols + check_cols_;
+  if (check_cols_ > 0) packed_cols_ = (packed_cols_ + 15) & ~std::int64_t{15};
 
   const auto cells = static_cast<std::size_t>(config_.tile_rows * config_.tile_cols);
   tiles_.resize(static_cast<std::size_t>(row_tiles_ * col_tiles_));
   for (Tile& t : tiles_) {
     t.level.assign(cells, 0);  // unprogrammed cells rest at level 0 (g_min)
     t.fault.assign(cells, 0);
-    t.packed.resize(kernels::packed_levels_bytes(config_.tile_rows, config_.tile_cols));
-    if (!config_.adc.ideal()) t.delta.assign(static_cast<std::size_t>(config_.tile_cols), 1);
+    t.packed.resize(kernels::packed_levels_bytes(config_.tile_rows, packed_cols_));
+    if (!config_.adc.ideal()) t.delta.assign(static_cast<std::size_t>(packed_cols_), 1);
+    if (check_cols_ > 0) {
+      t.check_level.assign(static_cast<std::size_t>(config_.tile_rows * check_cols_), 0);
+      t.check_fault.assign(static_cast<std::size_t>(config_.tile_rows * check_cols_), 0);
+    }
   }
+  if (check_cols_ > 0) abft_.reset(row_tiles_, col_tiles_);
 
   // Program: weight -> differential conductance pair -> nearest level index.
   // level_index(to_cells(w)) is exactly the value CrossbarArray::program
@@ -69,7 +95,15 @@ QuantizedCrossbarEngine::QuantizedCrossbarEngine(const Tensor& weights,
     }
   }
   for (std::int64_t rt = 0; rt < row_tiles_; ++rt) {
-    for (std::int64_t ct = 0; ct < col_tiles_; ++ct) repack_tile(tile(rt, ct), valid_rows_of(rt));
+    for (std::int64_t ct = 0; ct < col_tiles_; ++ct) {
+      // With ABFT the initial baseline is the clean programming (no faults
+      // yet, so rebaseline == encode the programmed levels).
+      if (check_cols_ > 0) {
+        rebaseline_tile(tile(rt, ct), valid_rows_of(rt));
+      } else {
+        repack_tile(tile(rt, ct), valid_rows_of(rt));
+      }
+    }
   }
 }
 
@@ -86,27 +120,166 @@ std::uint8_t QuantizedCrossbarEngine::effective_level(const Tile& t,
              : static_cast<std::uint8_t>(config_.levels - 1);
 }
 
+std::uint8_t QuantizedCrossbarEngine::effective_check_level(const Tile& t, std::int64_t r,
+                                                            std::int64_t k) const noexcept {
+  const auto cell = static_cast<std::size_t>(r * check_cols_ + k);
+  const std::uint8_t f = t.check_fault[cell];
+  if (f == 0) return t.check_level[cell];
+  return f == static_cast<std::uint8_t>(FaultType::kStuckOff)
+             ? std::uint8_t{0}
+             : static_cast<std::uint8_t>(config_.levels - 1);
+}
+
 FTPIM_COLD void QuantizedCrossbarEngine::repack_tile(Tile& t, std::int64_t valid_rows) {
   const std::int64_t rows = config_.tile_rows;
   const std::int64_t cols = config_.tile_cols;
-  std::vector<std::uint8_t> eff(static_cast<std::size_t>(rows * cols));
-  for (std::size_t c = 0; c < eff.size(); ++c) eff[c] = effective_level(t, c);
+  const std::int64_t pc = packed_cols_;
+  // Checksum digit columns ride in the same packed buffer as the data
+  // columns (columns cols .. cols + check_cols_ - 1) and go through the same
+  // kernel call, so they see the identical accumulation path; any columns
+  // past that are dead zero padding for kernel width alignment. pc == cols
+  // when ABFT is off and this packs byte-for-byte what it always did.
+  std::vector<std::uint8_t> eff(static_cast<std::size_t>(rows * pc));
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t c = 0; c < cols; ++c) {
+      eff[static_cast<std::size_t>(r * pc + c)] =
+          effective_level(t, static_cast<std::size_t>(r * cols + c));
+    }
+    for (std::int64_t k = 0; k < check_cols_; ++k) {
+      eff[static_cast<std::size_t>(r * pc + cols + k)] = effective_check_level(t, r, k);
+    }
+  }
   // Pack with k == valid_rows, not tile_rows: the packed panel stride is a
   // function of k (ceil(k/2) pairs per panel), and the MVM drives the kernel
   // with k == valid_rows. Packing the full tile would shift every column
   // panel after the first whenever the tile is partially filled.
-  kernels::pack_levels(eff.data(), valid_rows, cols, cols, t.packed.data());
-  if (config_.adc.ideal()) return;
+  kernels::pack_levels(eff.data(), valid_rows, pc, pc, t.packed.data());
+  if (check_cols_ > 0) {
+    // Verification bound: data columns at or past nz_cols hold level 0 in
+    // every driven row, so their kernel output is identically zero and the
+    // readout can skip them without changing dsum or the clip veto. Edge
+    // tiles whose outputs map only a few columns verify in O(used), not
+    // O(tile_cols). Recomputed on every repack, so late faults that raise a
+    // dead column are re-covered.
+    std::int64_t nz = 0;
+    for (std::int64_t r = 0; r < valid_rows; ++r) {
+      for (std::int64_t c = cols - 1; c >= nz; --c) {
+        if (eff[static_cast<std::size_t>(r * pc + c)] != 0) {
+          nz = c + 1;
+          break;
+        }
+      }
+    }
+    t.nz_cols = nz;
+  }
+  if (config_.adc.ideal()) {
+    t.tol2 = 0;  // digitization is exact, so the checksum identity is too
+    return;
+  }
   // Worst-case column sum over the DRIVEN rows only — rows past valid_rows
   // carry zero wordline drive (k = valid in the MVM), so they contribute
   // neither signal nor full-scale.
-  for (std::int64_t c = 0; c < cols; ++c) {
+  for (std::int64_t c = 0; c < pc; ++c) {
     std::int64_t bound = 0;
     for (std::int64_t r = 0; r < valid_rows; ++r) {
-      bound += eff[static_cast<std::size_t>(r * cols + c)];
+      bound += eff[static_cast<std::size_t>(r * pc + c)];
     }
     t.delta[static_cast<std::size_t>(c)] = adc_column_delta(config_.adc, 127 * bound);
   }
+  // 2x tolerance of the digitized checksum comparison: round-half-away error
+  // is at most delta/2 per column, so 2 * |sum_c A~_c - sum_k L^k A~*_k| <=
+  // sum_c delta_c + sum_k L^k delta*_k for a fault-free tile (clipping
+  // excluded — see DESIGN.md section 14).
+  std::int64_t tol2 = 0;
+  for (std::int64_t c = 0; c < cols; ++c) tol2 += t.delta[static_cast<std::size_t>(c)];
+  std::int64_t chk_tol = 0;
+  for (std::int64_t k = check_cols_ - 1; k >= 0; --k) {
+    chk_tol = chk_tol * config_.levels + t.delta[static_cast<std::size_t>(cols + k)];
+  }
+  t.tol2 = tol2 + chk_tol;
+  if (check_cols_ > 0) {
+    // Saturation thresholds for the verification veto: |reconstructed| ==
+    // qmax * delta means the column clipped, and the bound above no longer
+    // holds for that sample.
+    const std::int64_t qmax = config_.adc.qmax();
+    t.sat.resize(static_cast<std::size_t>(pc));
+    for (std::int64_t c = 0; c < pc; ++c) {
+      t.sat[static_cast<std::size_t>(c)] = qmax * t.delta[static_cast<std::size_t>(c)];
+    }
+  }
+}
+
+FTPIM_COLD void QuantizedCrossbarEngine::rebaseline_tile(Tile& t, std::int64_t valid_rows) {
+  const std::int64_t rows = config_.tile_rows;
+  const std::int64_t cols = config_.tile_cols;
+  for (std::int64_t r = 0; r < rows; ++r) {
+    std::int64_t s = 0;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      s += effective_level(t, static_cast<std::size_t>(r * cols + c));
+    }
+    for (std::int64_t k = 0; k < check_cols_; ++k) {
+      t.check_level[static_cast<std::size_t>(r * check_cols_ + k)] =
+          static_cast<std::uint8_t>(s % config_.levels);
+      s /= config_.levels;
+    }
+    // check_cols_ was sized for the maximal row sum, so the digits always fit.
+    FTPIM_DCHECK_EQ(s, 0);
+  }
+  // A stuck checksum cell makes the check column itself unreliable: silence
+  // verification for this tile (canaries still cover it) rather than alarm
+  // forever on a fault no scrub can reach. Only driven rows matter.
+  t.check_ok = 1;
+  for (std::int64_t r = 0; r < valid_rows && t.check_ok != 0; ++r) {
+    for (std::int64_t k = 0; k < check_cols_; ++k) {
+      if (t.check_fault[static_cast<std::size_t>(r * check_cols_ + k)] != 0) {
+        t.check_ok = 0;
+        break;
+      }
+    }
+  }
+  repack_tile(t, valid_rows);
+}
+
+bool QuantizedCrossbarEngine::abft_tile_active(std::int64_t rt, std::int64_t ct) const {
+  FTPIM_CHECK(rt >= 0 && rt < row_tiles_ && ct >= 0 && ct < col_tiles_,
+              "QuantizedCrossbarEngine::abft_tile_active: tile index out of range");
+  return check_cols_ > 0 && tile(rt, ct).check_ok != 0;
+}
+
+void QuantizedCrossbarEngine::abft_rebaseline() {
+  FTPIM_CHECK(check_cols_ > 0, "QuantizedCrossbarEngine::abft_rebaseline: ABFT is disabled");
+  for (std::int64_t rt = 0; rt < row_tiles_; ++rt) {
+    for (std::int64_t ct = 0; ct < col_tiles_; ++ct) {
+      rebaseline_tile(tile(rt, ct), valid_rows_of(rt));
+    }
+  }
+}
+
+void QuantizedCrossbarEngine::scrub_tile(std::int64_t rt, std::int64_t ct) {
+  FTPIM_CHECK(rt >= 0 && rt < row_tiles_ && ct >= 0 && ct < col_tiles_,
+              "QuantizedCrossbarEngine::scrub_tile: tile index out of range");
+  Tile& t = tile(rt, ct);
+  // The programmed levels (and the checksum digits of the last baseline) are
+  // retained state, so "re-program from source" is exactly a tile-local
+  // fault clear + repack. The caller re-applies its persistent DefectMap so
+  // aging-grown faults resurface and keep the detection alive.
+  std::fill(t.fault.begin(), t.fault.end(), std::uint8_t{0});
+  std::fill(t.check_fault.begin(), t.check_fault.end(), std::uint8_t{0});
+  repack_tile(t, valid_rows_of(rt));
+}
+
+std::int64_t QuantizedCrossbarEngine::scrub(const abft::TileFaultReport& report) {
+  std::int64_t scrubbed = 0;
+  for (const abft::TileFaultCount& f : report.tiles) {
+    scrub_tile(f.row_tile, f.col_tile);
+    ++scrubbed;
+  }
+  return scrubbed;
+}
+
+abft::TileFaultReport QuantizedCrossbarEngine::take_abft_report() {
+  FTPIM_CHECK(check_cols_ > 0, "QuantizedCrossbarEngine::take_abft_report: ABFT is disabled");
+  return abft_.take();
 }
 
 std::int64_t QuantizedCrossbarEngine::total_cells() const noexcept {
@@ -125,8 +298,11 @@ void QuantizedCrossbarEngine::apply_device_defects(const StuckAtFaultModel& mode
                                                    std::uint64_t master_seed,
                                                    std::uint64_t device_index) {
   // Identical stream to CrossbarEngine::apply_device_defects: one sample per
-  // tile in row-major tile order from the derived device seed.
+  // tile in row-major tile order from the derived device seed. Checksum
+  // cells draw from a SEPARATE derived stream (distinct salt) so enabling
+  // ABFT leaves the data-cell fault pattern of a given die byte-identical.
   Rng rng(derive_seed(master_seed, device_index + 0xcba));
+  Rng rng_chk(derive_seed(master_seed, device_index + 0xabf7));
   for (std::int64_t rt = 0; rt < row_tiles_; ++rt) {
     for (std::int64_t ct = 0; ct < col_tiles_; ++ct) {
       Tile& t = tile(rt, ct);
@@ -134,6 +310,14 @@ void QuantizedCrossbarEngine::apply_device_defects(const StuckAtFaultModel& mode
           DefectMap::sample(config_.tile_rows * config_.tile_cols, model, rng);
       for (const CellFault& f : map.faults()) {
         t.fault[static_cast<std::size_t>(f.cell_index)] = static_cast<std::uint8_t>(f.type);
+      }
+      if (check_cols_ > 0) {
+        const DefectMap chk_map =
+            DefectMap::sample(config_.tile_rows * check_cols_, model, rng_chk);
+        for (const CellFault& f : chk_map.faults()) {
+          t.check_fault[static_cast<std::size_t>(f.cell_index)] =
+              static_cast<std::uint8_t>(f.type);
+        }
       }
       repack_tile(t, valid_rows_of(rt));
     }
@@ -172,10 +356,31 @@ void QuantizedCrossbarEngine::clear_defects() {
     for (std::int64_t ct = 0; ct < col_tiles_; ++ct) {
       Tile& t = tile(rt, ct);
       std::fill(t.fault.begin(), t.fault.end(), std::uint8_t{0});
+      std::fill(t.check_fault.begin(), t.check_fault.end(), std::uint8_t{0});
       repack_tile(t, valid_rows_of(rt));
     }
   }
 }
+
+namespace {
+
+/// Rare-path clip scan for the ABFT veto: recomputes the digitized value of
+/// every verified column of one (sample, tile) readout and reports whether
+/// any reached the converter rails. Runs only when a residual is already out
+/// of tolerance, so the clean readout pays nothing for clip detection.
+FTPIM_COLD bool any_column_clipped(const std::int32_t* crow, const std::int32_t* delta,
+                                   const std::int64_t* sat, std::int64_t ncols,
+                                   std::int32_t qmax) {
+  for (std::int64_t c = 0; c < ncols; ++c) {
+    const std::int32_t d = adc_digitize(crow[c], delta[static_cast<std::size_t>(c)], qmax);
+    if (static_cast<std::int64_t>(d < 0 ? -d : d) >= sat[static_cast<std::size_t>(c)]) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
 
 FTPIM_HOT void QuantizedCrossbarEngine::mvm(const float* x, float* y) const {
   mvm_batch(x, 1, y);
@@ -202,6 +407,9 @@ FTPIM_HOT void QuantizedCrossbarEngine::mvm_batch(const float* x, std::int64_t b
   const float dequant = (absmax / 127.0f) * (w_max_ / static_cast<float>(config_.levels - 1));
 
   const std::int64_t tc = config_.tile_cols;
+  const std::int64_t pc = packed_cols_;  // tc + checksum digit columns
+  const bool do_abft = check_cols_ > 0;
+  const std::int64_t levels = config_.levels;
   // Odd in_ needs one zero pad byte per row: the kernels consume K in pairs
   // (qgemm.hpp's lda >= k + (k & 1) contract). tile_rows is even, so only
   // the LAST row tile can see an odd k, and its pad lands at column in_.
@@ -234,36 +442,103 @@ FTPIM_HOT void QuantizedCrossbarEngine::mvm_batch(const float* x, std::int64_t b
         }
 
         kernels::PackArena& arena = kernels::PackArena::local();
-        std::int32_t* cur = arena.i32_buffer(0, static_cast<std::size_t>(mb * tc));
+        std::int32_t* cur = arena.i32_buffer(0, static_cast<std::size_t>(mb * pc));
         std::int64_t* acc = arena.i64_buffer(0, static_cast<std::size_t>(mb * out_));
         std::fill(acc, acc + mb * out_, std::int64_t{0});
+        std::int64_t* mm = nullptr;  // per-worker per-tile mismatch counts
+        std::int64_t chunk_checks = 0;
+        if (do_abft) {
+          mm = arena.i64_buffer(1, tiles_.size());
+          std::fill(mm, mm + tiles_.size(), std::int64_t{0});
+        }
 
         for (std::int64_t rt = 0; rt < row_tiles_; ++rt) {
           const std::int64_t base = rt * config_.tile_rows;
           const std::int64_t valid = std::min(config_.tile_rows, in_ - base);
           for (std::int64_t ct = 0; ct < col_tiles_; ++ct) {
             const Tile& t = tile(rt, ct);
-            kern(mb, tc, valid, xq + lo * stride + base, stride, t.packed.data(), cur, tc);
+            kern(mb, pc, valid, xq + lo * stride + base, stride, t.packed.data(), cur, pc);
             const std::int64_t out_base = ct * outs_per_tile_;
             const std::int64_t out_count = std::min(outs_per_tile_, out_ - out_base);
+            // A verified tile folds the checksum comparison into the readout
+            // loop: the per-output accumulation below is kept expression-for-
+            // expression identical to the unverified branch, so enabling ABFT
+            // never changes a bit of y.
+            const bool check_tile = do_abft && t.check_ok != 0;
             for (std::int64_t bi = 0; bi < mb; ++bi) {
-              const std::int32_t* crow = cur + bi * tc;
+              const std::int32_t* crow = cur + bi * pc;
               std::int64_t* arow = acc + bi * out_ + out_base;
+              std::int64_t dsum = 0;  // sum of digitized data columns
               if (ideal_adc) {
-                for (std::int64_t o = 0; o < out_count; ++o) {
-                  arow[o] += crow[2 * o] - crow[2 * o + 1];
+                if (check_tile) {
+                  for (std::int64_t o = 0; o < out_count; ++o) {
+                    arow[o] += crow[2 * o] - crow[2 * o + 1];
+                    dsum += static_cast<std::int64_t>(crow[2 * o]) + crow[2 * o + 1];
+                  }
+                } else {
+                  for (std::int64_t o = 0; o < out_count; ++o) {
+                    arow[o] += crow[2 * o] - crow[2 * o + 1];
+                  }
                 }
               } else {
-                for (std::int64_t o = 0; o < out_count; ++o) {
-                  arow[o] += adc_digitize(crow[2 * o], t.delta[static_cast<std::size_t>(2 * o)],
-                                          qmax) -
-                             adc_digitize(crow[2 * o + 1],
-                                          t.delta[static_cast<std::size_t>(2 * o + 1)], qmax);
+                if (check_tile) {
+                  for (std::int64_t o = 0; o < out_count; ++o) {
+                    const std::int32_t dp = adc_digitize(
+                        crow[2 * o], t.delta[static_cast<std::size_t>(2 * o)], qmax);
+                    const std::int32_t dn = adc_digitize(
+                        crow[2 * o + 1], t.delta[static_cast<std::size_t>(2 * o + 1)], qmax);
+                    arow[o] += dp - dn;
+                    dsum += static_cast<std::int64_t>(dp) + dn;
+                  }
+                } else {
+                  for (std::int64_t o = 0; o < out_count; ++o) {
+                    arow[o] += adc_digitize(crow[2 * o], t.delta[static_cast<std::size_t>(2 * o)],
+                                            qmax) -
+                               adc_digitize(crow[2 * o + 1],
+                                            t.delta[static_cast<std::size_t>(2 * o + 1)], qmax);
+                  }
+                }
+              }
+              if (check_tile) {
+                // Data columns past the mapped outputs (edge col tiles only)
+                // still count toward the checksum identity — but only up to
+                // the tile's last nonzero column; the rest read exactly zero.
+                const std::int64_t ctop = t.nz_cols;
+                for (std::int64_t c = 2 * out_count; c < ctop; ++c) {
+                  dsum += ideal_adc
+                              ? crow[c]
+                              : adc_digitize(crow[c], t.delta[static_cast<std::size_t>(c)], qmax);
+                }
+                std::int64_t chk = 0;  // sum_k L^k * digit column k, via Horner
+                for (std::int64_t k = check_cols_ - 1; k >= 0; --k) {
+                  std::int32_t a = crow[tc + k];
+                  if (!ideal_adc) {
+                    a = adc_digitize(a, t.delta[static_cast<std::size_t>(tc + k)], qmax);
+                  }
+                  chk = chk * levels + a;
+                }
+                ++chunk_checks;
+                const std::int64_t res = dsum - chk;
+                if ((res < 0 ? -2 * res : 2 * res) > t.tol2) {
+                  // Out-of-tolerance residual. On the ADC path a saturated
+                  // column breaks the linearity the identity needs, so the
+                  // clip veto is decided HERE, on the rare mismatch path,
+                  // instead of per column in the clean readout above. A
+                  // clipped sample whose distorted residual still lands
+                  // inside tolerance counts as a check but cannot alarm.
+                  if (ideal_adc ||
+                      !any_column_clipped(crow, t.delta.data(), t.sat.data(),
+                                          tc + check_cols_, qmax)) {
+                    ++mm[static_cast<std::size_t>(rt * col_tiles_ + ct)];
+                  } else {
+                    --chunk_checks;  // vetoed, not verified
+                  }
                 }
               }
             }
           }
         }
+        if (do_abft) abft_.merge(mm, chunk_checks);
 
         for (std::int64_t bi = 0; bi < mb; ++bi) {
           float* yrow = y + (lo + bi) * out_;

@@ -44,6 +44,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/reram/abft.hpp"
 #include "src/reram/conductance.hpp"
 #include "src/reram/defect_map.hpp"
 #include "src/reram/qinfer/adc.hpp"
@@ -61,6 +62,8 @@ struct QuantizedEngineConfig {
   /// Conductance levels per cell, in [2, 256] (uint8 level storage).
   int levels = 16;
   AdcConfig adc{};
+  /// ABFT checksum columns + per-MVM verification (DESIGN.md section 14).
+  abft::AbftConfig abft{};
 
   void validate() const;
 };
@@ -112,17 +115,67 @@ class QuantizedCrossbarEngine {
   /// through the same readout equation as CrossbarEngine::read_back.
   [[nodiscard]] Tensor read_back() const;
 
+  // --- ABFT (config().abft.enabled only; see src/reram/abft.hpp) ---
+
+  [[nodiscard]] bool abft_enabled() const noexcept { return check_cols_ > 0; }
+  /// Base-L digit columns appended per tile (0 when ABFT is off).
+  [[nodiscard]] std::int64_t checksum_columns() const noexcept { return check_cols_; }
+  [[nodiscard]] std::int64_t row_tile_count() const noexcept { return row_tiles_; }
+  [[nodiscard]] std::int64_t col_tile_count() const noexcept { return col_tiles_; }
+  /// False when the tile's verification was silenced at the last rebaseline
+  /// because a checksum cell itself is stuck (the check column cannot be
+  /// trusted; the canary path still covers the tile).
+  [[nodiscard]] bool abft_tile_active(std::int64_t rt, std::int64_t ct) const;
+
+  /// Recomputes every tile's checksum digits from the current EFFECTIVE
+  /// levels: faults present now are accepted as the reference state (no
+  /// further detections), faults that appear later are detected. Called once
+  /// at install so a fault-tolerated die does not trigger repair thrash.
+  void abft_rebaseline();
+
+  /// Re-programs one tile from retained source levels: clears the tile's
+  /// data- and checksum-cell faults and repacks. Unlike clear_defects this is
+  /// tile-local; the caller re-applies its persistent DefectMap afterwards so
+  /// aging-grown faults stay visible while transient faults heal.
+  void scrub_tile(std::int64_t rt, std::int64_t ct);
+
+  /// Scrubs every tile flagged in the report; returns the number scrubbed.
+  std::int64_t scrub(const abft::TileFaultReport& report);
+
+  /// Drains mismatch tallies accumulated by mvm / mvm_batch since the last
+  /// drain (report.layer is left at -1; the deployment fills it in).
+  [[nodiscard]] abft::TileFaultReport take_abft_report();
+
  private:
   struct Tile {
     std::vector<std::uint8_t> level;   ///< programmed level index per cell [rows * cols]
     std::vector<std::uint8_t> fault;   ///< FaultType per cell (0 = healthy)
     std::vector<std::uint8_t> packed;  ///< k-pair panels of the EFFECTIVE levels
     std::vector<std::int32_t> delta;   ///< per-bitline ADC step (bits > 0 only)
+    // ABFT state (sized only when enabled):
+    std::vector<std::uint8_t> check_level;  ///< baseline digits [rows * check_cols]
+    std::vector<std::uint8_t> check_fault;  ///< FaultType per checksum cell
+    std::uint8_t check_ok = 1;              ///< verification trusted for this tile
+    std::int64_t tol2 = 0;  ///< 2x residual tolerance (0 on the ideal-ADC path)
+    /// Per-column clip magnitude qmax * delta (ADC path only): a sample whose
+    /// readout saturated any column of this tile is vetoed, not verified —
+    /// clipping destroys the linearity the checksum identity needs.
+    std::vector<std::int64_t> sat;
+    /// 1 + highest data column with any nonzero effective level over the
+    /// driven rows (ABFT only). Columns at or past this bound read exactly
+    /// zero from the kernel, so verification skips them bit-identically —
+    /// on tiles whose outputs cover few columns this is most of the tile.
+    std::int64_t nz_cols = 0;
   };
 
   [[nodiscard]] std::uint8_t effective_level(const Tile& t, std::size_t cell) const noexcept;
+  [[nodiscard]] std::uint8_t effective_check_level(const Tile& t, std::int64_t r,
+                                                   std::int64_t k) const noexcept;
   /// Rebuilds the packed panels and ADC deltas after any level/fault change.
   void repack_tile(Tile& t, std::int64_t valid_rows);
+  /// Re-encodes the checksum digits from current effective levels, refreshes
+  /// check_ok, and repacks (ABFT only).
+  void rebaseline_tile(Tile& t, std::int64_t valid_rows);
   [[nodiscard]] const Tile& tile(std::int64_t rt, std::int64_t ct) const {
     return tiles_[static_cast<std::size_t>(rt * col_tiles_ + ct)];
   }
@@ -136,7 +189,11 @@ class QuantizedCrossbarEngine {
   float w_max_ = 1.0f;
   std::int64_t row_tiles_ = 0, col_tiles_ = 0;
   std::int64_t outs_per_tile_ = 0;
-  std::vector<Tile> tiles_;  ///< row-major [row_tile][col_tile]
+  std::int64_t check_cols_ = 0;   ///< checksum digit columns (0 = ABFT off)
+  std::int64_t packed_cols_ = 0;  ///< tile_cols + check_cols_, padded up to 16n when ABFT is on
+  std::vector<Tile> tiles_;       ///< row-major [row_tile][col_tile]
+  /// MVM workers merge mismatch counts here (cold, once per chunk).
+  mutable abft::AbftAccumulator abft_;
 };
 
 }  // namespace ftpim::qinfer

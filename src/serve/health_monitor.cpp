@@ -27,6 +27,7 @@ void HealthConfig::validate() const {
               quarantine_below, suspect_below);
   FTPIM_CHECK_GE(canary_every_batches, std::int64_t{0}, "HealthConfig: canary_every_batches");
   FTPIM_CHECK_GT(canary_samples, 0, "HealthConfig: canary_samples");
+  FTPIM_CHECK_GE(max_scrub_retries, 0, "HealthConfig: max_scrub_retries");
 }
 
 HealthMonitor::HealthMonitor(int num_replicas, const HealthConfig& config) : config_(config) {
@@ -59,6 +60,9 @@ double HealthMonitor::score(int replica_id) const {
 }
 
 ReplicaHealth HealthMonitor::state_locked(const ReplicaRecord& r) const {
+  // A forced quarantine (exhausted scrub retries) overrides the score: the
+  // detection signal is exact, so it needs no min_samples evidence gate.
+  if (r.forced_quarantine) return ReplicaHealth::kQuarantined;
   if (r.window.size() < config_.min_samples) return ReplicaHealth::kHealthy;
   const double s = r.window.success_rate();
   if (s < config_.quarantine_below) return ReplicaHealth::kQuarantined;
@@ -75,7 +79,22 @@ void HealthMonitor::mark_repaired(int replica_id) {
   MutexLock lock(mu_);
   ReplicaRecord& r = at(replica_id);
   r.window.reset();
+  r.forced_quarantine = false;
   ++r.repairs;
+}
+
+void HealthMonitor::record_detection(int replica_id, std::int64_t flagged_tiles) {
+  FTPIM_CHECK_GE(flagged_tiles, std::int64_t{0}, "HealthMonitor::record_detection");
+  MutexLock lock(mu_);
+  ReplicaRecord& r = at(replica_id);
+  ++r.detections;
+  r.flagged_tiles += flagged_tiles;
+  if (config_.detection_fails_window) r.window.record(false);
+}
+
+void HealthMonitor::force_quarantine(int replica_id) {
+  MutexLock lock(mu_);
+  at(replica_id).forced_quarantine = true;
 }
 
 std::vector<HealthMonitor::Snapshot> HealthMonitor::snapshot() const {
@@ -87,6 +106,11 @@ std::vector<HealthMonitor::Snapshot> HealthMonitor::snapshot() const {
     s.score = r.window.success_rate();
     s.state = state_locked(r);
     s.repairs = r.repairs;
+    s.window_size = r.window.size();
+    s.window_capacity = config_.window;
+    s.detections = r.detections;
+    s.flagged_tiles = r.flagged_tiles;
+    s.forced = r.forced_quarantine;
     out.push_back(s);
   }
   return out;

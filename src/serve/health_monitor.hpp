@@ -53,6 +53,18 @@ struct HealthConfig {
   /// Quarantined replicas are repaired in place (re-cloned from the pristine
   /// source with a fresh defect map) by their worker.
   bool repair_on_quarantine = true;
+  /// ABFT detection handling (quantized deployments with abft.enabled only):
+  /// scrub the flagged tiles in place before escalating to quarantine.
+  bool scrub_on_detection = true;
+  /// Consecutive detected batches tolerated (each answered with a scrub when
+  /// scrub_on_detection) before the replica is force-quarantined. A
+  /// transient fault heals on the first scrub; a persistent one survives
+  /// every retry and escalates to the full repair path.
+  int max_scrub_retries = 3;
+  /// Each ABFT-detected batch also records one failure outcome into the
+  /// replica's window, so detections depress the health score like any other
+  /// failure signal.
+  bool detection_fails_window = true;
 
   void validate() const;
 };
@@ -75,13 +87,28 @@ class HealthMonitor {
   [[nodiscard]] ReplicaHealth state(int replica_id) const;
 
   /// Clears the replica's window after a repair — the new device starts with
-  /// a clean record — and bumps its repair count.
+  /// a clean record — and bumps its repair count (also lifts a forced
+  /// quarantine).
   void mark_repaired(int replica_id);
+
+  /// Records one ABFT-detected batch: bumps the replica's detection counters
+  /// and (when config.detection_fails_window) records one failure outcome.
+  void record_detection(int replica_id, std::int64_t flagged_tiles);
+
+  /// Pins the replica to kQuarantined regardless of its window score — the
+  /// escalation path when scrub retries are exhausted. Sticky until
+  /// mark_repaired.
+  void force_quarantine(int replica_id);
 
   struct Snapshot {
     double score = 1.0;
     ReplicaHealth state = ReplicaHealth::kHealthy;
     int repairs = 0;
+    int window_size = 0;      ///< outcomes currently in the window
+    int window_capacity = 0;  ///< the window's configured capacity
+    std::int64_t detections = 0;     ///< ABFT-detected batches
+    std::int64_t flagged_tiles = 0;  ///< tiles named across those detections
+    bool forced = false;             ///< quarantine pinned by force_quarantine
   };
   /// Consistent point-in-time view of every replica (one lock acquisition).
   [[nodiscard]] std::vector<Snapshot> snapshot() const;
@@ -95,6 +122,9 @@ class HealthMonitor {
   struct ReplicaRecord {
     OutcomeWindow window;
     int repairs = 0;
+    std::int64_t detections = 0;
+    std::int64_t flagged_tiles = 0;
+    bool forced_quarantine = false;
     explicit ReplicaRecord(int capacity) : window(capacity) {}
   };
 

@@ -42,6 +42,7 @@ InferenceServer::InferenceServer(const Module& model, const ServerConfig& config
               "ServerConfig: in-service aging is not modeled for redundant deployments");
   MutexLock lock(mu_);
   per_replica_served_.assign(static_cast<std::size_t>(pool_.size()), 0);
+  per_replica_canary_progress_.assign(static_cast<std::size_t>(pool_.size()), 0);
   per_worker_latency_.assign(static_cast<std::size_t>(pool_.size()), LatencyHistogram{});
 }
 
@@ -205,11 +206,15 @@ ServerStats InferenceServer::stats() const {
   out.per_replica_health.reserve(health.size());
   out.per_replica_state.reserve(health.size());
   out.per_replica_repairs.reserve(health.size());
+  out.per_replica_window_size.reserve(health.size());
   for (const HealthMonitor::Snapshot& s : health) {
     out.per_replica_health.push_back(s.score);
     out.per_replica_state.push_back(s.state);
     out.per_replica_repairs.push_back(s.repairs);
+    out.per_replica_window_size.push_back(s.window_size);
+    out.health_window_capacity = s.window_capacity;
   }
+  out.canary_every_batches = config_.health.canary_every_batches;
   MutexLock lock(mu_);
   out.submitted = submitted_;
   out.rejected_queue_full = rejected_queue_full_;
@@ -226,9 +231,15 @@ ServerStats InferenceServer::stats() const {
   out.quarantines = quarantines_;
   out.repairs = repairs_;
   out.aged_cells = aged_cells_;
+  out.abft_detections = abft_detections_;
+  out.abft_flagged_tiles = abft_flagged_tiles_;
+  out.abft_scrubs = abft_scrubs_;
+  out.abft_scrubbed_tiles = abft_scrubbed_tiles_;
+  out.abft_escalations = abft_escalations_;
   out.worker_exceptions = worker_exceptions_;
   out.in_flight = in_flight_;
   out.per_replica_served = per_replica_served_;
+  out.per_replica_canary_progress = per_replica_canary_progress_;
   for (const LatencyHistogram& h : per_worker_latency_) out.latency.merge(h);
   return out;
 }
@@ -423,6 +434,44 @@ FTPIM_COLD void InferenceServer::ensure_canary() {
 }
 
 FTPIM_COLD void InferenceServer::maintain(int replica_id, WorkerTick& tick) {
+  // 0. ABFT: drain the checksum-detection reports the batch just accumulated.
+  // A flagged batch depresses the health score (record_detection) and is
+  // answered with an in-place scrub of the named tiles; once
+  // max_scrub_retries consecutive batches stay flagged the fault is
+  // persistent — scrubbing cannot help — and the replica is force-
+  // quarantined so step 3 runs the full repair path.
+  if (pool_.abft_armed()) {
+    const std::vector<abft::TileFaultReport> reports = pool_.take_abft_reports(replica_id);
+    std::int64_t mismatches = 0;
+    std::int64_t flagged = 0;
+    for (const abft::TileFaultReport& r : reports) {
+      mismatches += r.mismatches;
+      flagged += r.flagged_tiles();
+    }
+    if (mismatches > 0) {
+      health_.record_detection(replica_id, flagged);
+      ++tick.consecutive_detections;
+      {
+        MutexLock lock(mu_);
+        ++abft_detections_;
+        abft_flagged_tiles_ += flagged;
+      }
+      if (config_.health.scrub_on_detection &&
+          tick.consecutive_detections <= config_.health.max_scrub_retries) {
+        const std::int64_t scrubbed = pool_.scrub(replica_id, reports);
+        MutexLock lock(mu_);
+        ++abft_scrubs_;
+        abft_scrubbed_tiles_ += scrubbed;
+      } else {
+        health_.force_quarantine(replica_id);
+        MutexLock lock(mu_);
+        ++abft_escalations_;
+      }
+    } else {
+      tick.consecutive_detections = 0;
+    }
+  }
+
   // 1. Aging: the replica's defect map grows with its served-batch count.
   if (config_.aging.enabled()) {
     const std::int64_t added = pool_.advance_aging(
@@ -454,6 +503,13 @@ FTPIM_COLD void InferenceServer::maintain(int replica_id, WorkerTick& tick) {
     ++canary_batches_;
     canary_failures_ += missed;
   }
+  {
+    // Publish the canary countdown so health_line() can show a "probe is
+    // coming" gauge next to each replica's window fill.
+    MutexLock lock(mu_);
+    per_replica_canary_progress_[static_cast<std::size_t>(replica_id)] =
+        tick.batches_since_canary;
+  }
 
   // 3. Quarantine detection and (optional) in-place repair.
   const ReplicaHealth state = health_.state(replica_id);
@@ -468,6 +524,7 @@ FTPIM_COLD void InferenceServer::maintain(int replica_id, WorkerTick& tick) {
       tick = WorkerTick{};
       MutexLock lock(mu_);
       ++repairs_;
+      per_replica_canary_progress_[static_cast<std::size_t>(replica_id)] = 0;
       return;
     }
   }

@@ -157,6 +157,9 @@ class InferenceServer {
   struct WorkerTick {
     std::int64_t batches_since_repair = 0;
     std::int64_t batches_since_canary = 0;
+    /// ABFT-flagged batches in a row; a clean batch resets it, exceeding
+    /// health.max_scrub_retries escalates to a forced quarantine.
+    std::int64_t consecutive_detections = 0;
     ReplicaHealth last_state = ReplicaHealth::kHealthy;
   };
 
@@ -236,9 +239,15 @@ class InferenceServer {
   std::int64_t quarantines_ FTPIM_GUARDED_BY(mu_) = 0;
   std::int64_t repairs_ FTPIM_GUARDED_BY(mu_) = 0;
   std::int64_t aged_cells_ FTPIM_GUARDED_BY(mu_) = 0;
+  std::int64_t abft_detections_ FTPIM_GUARDED_BY(mu_) = 0;
+  std::int64_t abft_flagged_tiles_ FTPIM_GUARDED_BY(mu_) = 0;
+  std::int64_t abft_scrubs_ FTPIM_GUARDED_BY(mu_) = 0;
+  std::int64_t abft_scrubbed_tiles_ FTPIM_GUARDED_BY(mu_) = 0;
+  std::int64_t abft_escalations_ FTPIM_GUARDED_BY(mu_) = 0;
   std::int64_t worker_exceptions_ FTPIM_GUARDED_BY(mu_) = 0;
   Shape input_shape_ FTPIM_GUARDED_BY(mu_);  ///< pinned by the first submit()
   std::vector<std::int64_t> per_replica_served_ FTPIM_GUARDED_BY(mu_);
+  std::vector<std::int64_t> per_replica_canary_progress_ FTPIM_GUARDED_BY(mu_);
   std::vector<LatencyHistogram> per_worker_latency_ FTPIM_GUARDED_BY(mu_);
 
   std::vector<std::thread> workers_;  ///< touched only by start()/stop()

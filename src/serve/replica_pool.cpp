@@ -73,6 +73,11 @@ void ReplicaPool::install(Replica& rep, int index) {
       rep.deployment->apply_defect_map(rep.map);
       rep.stats = quantized_map_stats(rep.map);
     }
+    // Accept the manufacturing defects of this die as the ABFT reference
+    // state: an FT-trained network tolerates them, so they must not ring the
+    // detector forever (and trigger repair thrash). Aging faults land AFTER
+    // this baseline and are detected within one batch.
+    if (rep.deployment->abft_enabled()) rep.deployment->abft_rebaseline();
     return;
   }
   if (config_.use_redundancy) {
@@ -169,6 +174,30 @@ std::int64_t ReplicaPool::advance_aging(int index, const AgingModel& aging,
 
 const qinfer::QuantizedDeployment* ReplicaPool::deployment(int index) const {
   return at(index, "deployment").deployment.get();
+}
+
+qinfer::QuantizedDeployment* ReplicaPool::deployment(int index) {
+  return at(index, "deployment").deployment.get();
+}
+
+std::vector<abft::TileFaultReport> ReplicaPool::take_abft_reports(int index) {
+  Replica& rep = at(index, "take_abft_reports");
+  FTPIM_CHECK(abft_armed() && rep.deployment != nullptr,
+              "ReplicaPool::take_abft_reports: ABFT requires a quantized deployment");
+  return rep.deployment->take_abft_reports();
+}
+
+std::int64_t ReplicaPool::scrub(int index, const std::vector<abft::TileFaultReport>& reports) {
+  Replica& rep = at(index, "scrub");
+  FTPIM_CHECK(abft_armed() && rep.deployment != nullptr,
+              "ReplicaPool::scrub: ABFT requires a quantized deployment");
+  const std::int64_t scrubbed = rep.deployment->scrub(reports);
+  // Re-apply the persistent map: a scrub is "re-program the tile", not
+  // "pretend the die never aged". Faults recorded in the map come back and,
+  // if they keep tripping the checksum, escalate through the health monitor
+  // to a real repair.
+  if (scrubbed > 0) rep.deployment->apply_defect_map(rep.map);
+  return scrubbed;
 }
 
 }  // namespace ftpim::serve

@@ -118,10 +118,32 @@ class ReplicaPool {
   /// Intervals replica `index` has been aged through so far.
   [[nodiscard]] std::int64_t aged_intervals(int index) const;
 
-  /// The replica's quantized deployment (nullptr on the float path).
+  /// The replica's quantized deployment (nullptr on the float path). The
+  /// mutable overload is single-owner like repair() — chaos/test harnesses
+  /// use it to land transient upsets directly in an engine's level domain.
   [[nodiscard]] const qinfer::QuantizedDeployment* deployment(int index) const;
+  [[nodiscard]] qinfer::QuantizedDeployment* deployment(int index);
 
   [[nodiscard]] const ReplicaPoolConfig& config() const noexcept { return config_; }
+
+  // --- ABFT (engine == kQuantized with quantized.abft.enabled only) ---
+
+  /// True when replicas verify every MVM through ABFT checksum columns.
+  [[nodiscard]] bool abft_armed() const noexcept {
+    return config_.engine == ReplicaEngine::kQuantized && config_.quantized.abft.enabled;
+  }
+
+  /// Drains replica `index`'s per-layer detection reports accumulated since
+  /// the last drain. Single-owner, like repair().
+  [[nodiscard]] std::vector<abft::TileFaultReport> take_abft_reports(int index);
+
+  /// Detection-triggered scrub: re-programs every tile flagged in `reports`
+  /// from the engines' retained levels, then re-applies the replica's
+  /// persistent defect map — transient faults heal, manufacturing and
+  /// aging-grown faults resurface (and keep detections alive, which is what
+  /// escalates persistent damage to a full repair). Returns tiles scrubbed.
+  /// Single-owner mutator; no re-clone, no generation change.
+  std::int64_t scrub(int index, const std::vector<abft::TileFaultReport>& reports);
 
  private:
   struct Replica {

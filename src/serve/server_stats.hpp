@@ -37,13 +37,24 @@ struct ServerStats {
   std::int64_t quarantines = 0;      ///< healthy/suspect -> quarantined transitions
   std::int64_t repairs = 0;          ///< replicas re-cloned + re-injected
   std::int64_t aged_cells = 0;       ///< cell faults grown in service (all replicas)
+  std::int64_t abft_detections = 0;     ///< batches flagged by ABFT checksums
+  std::int64_t abft_flagged_tiles = 0;  ///< (layer, tile) pairs named by those batches
+  std::int64_t abft_scrubs = 0;         ///< detection-triggered scrub passes
+  std::int64_t abft_scrubbed_tiles = 0; ///< tiles re-programmed by scrubs
+  std::int64_t abft_escalations = 0;    ///< scrub retries exhausted -> forced quarantine
   std::int64_t worker_exceptions = 0;  ///< forward passes (batch or canary) that threw
   std::size_t queue_depth = 0; ///< requests waiting at snapshot time
   std::int64_t in_flight = 0;  ///< accepted but not yet answered
+  std::int64_t canary_every_batches = 0;  ///< configured canary cadence (0 = off)
   std::vector<std::int64_t> per_replica_served;   ///< indexed by replica id
   std::vector<double> per_replica_health;         ///< health score in [0,1]
   std::vector<ReplicaHealth> per_replica_state;   ///< health state machine
   std::vector<int> per_replica_repairs;           ///< repairs per replica
+  std::vector<int> per_replica_window_size;       ///< outcomes in each health window
+  int health_window_capacity = 0;                 ///< configured window capacity
+  /// Batches served since each replica's last canary probe (worker-published
+  /// every batch; 0 when canaries are off or the replica has not served yet).
+  std::vector<std::int64_t> per_replica_canary_progress;
   LatencyHistogram latency;    ///< submit -> answer, per the server clock
 
   /// Total rejections across all reasons.
@@ -73,20 +84,36 @@ struct ServerStats {
         static_cast<double>(latency.p99_ns()) * 1e-6);
   }
 
-  /// One-line fleet-health summary: canary outcomes, lifecycle counters, and
-  /// each replica's "state:score" gauge.
+  /// One-line fleet-health summary: canary outcomes, ABFT detection/scrub
+  /// counters, lifecycle counters, and each replica's
+  /// "state:score win=fill/capacity can=progress/cadence" gauge. The window
+  /// fill and canary progress distinguish a stuck monitor (nothing ever
+  /// recorded, no canary due) from a healthy idle one.
   [[nodiscard]] std::string health_line() const {
     std::string per;
     for (std::size_t r = 0; r < per_replica_state.size(); ++r) {
       per += detail::format_msg("%s[%zu]=%s:%.2f", r == 0 ? "" : " ", r,
                                 to_string(per_replica_state[r]), per_replica_health[r]);
+      if (r < per_replica_window_size.size()) {
+        per += detail::format_msg(" win=%d/%d", per_replica_window_size[r],
+                                  health_window_capacity);
+      }
+      if (canary_every_batches > 0 && r < per_replica_canary_progress.size()) {
+        per += detail::format_msg(" can=%lld/%lld",
+                                  static_cast<long long>(per_replica_canary_progress[r]),
+                                  static_cast<long long>(canary_every_batches));
+      }
     }
     return detail::format_msg(
-        "canary %lld batches (%lld misses) | quarantines %lld repairs %lld | "
+        "canary %lld batches (%lld misses) | abft %lld hits (%lld tiles) "
+        "scrubs %lld (%lld tiles) esc %lld | quarantines %lld repairs %lld | "
         "aged_cells %lld | %s",
         static_cast<long long>(canary_batches), static_cast<long long>(canary_failures),
-        static_cast<long long>(quarantines), static_cast<long long>(repairs),
-        static_cast<long long>(aged_cells), per.empty() ? "no replicas" : per.c_str());
+        static_cast<long long>(abft_detections), static_cast<long long>(abft_flagged_tiles),
+        static_cast<long long>(abft_scrubs), static_cast<long long>(abft_scrubbed_tiles),
+        static_cast<long long>(abft_escalations), static_cast<long long>(quarantines),
+        static_cast<long long>(repairs), static_cast<long long>(aged_cells),
+        per.empty() ? "no replicas" : per.c_str());
   }
 };
 

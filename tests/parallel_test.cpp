@@ -4,6 +4,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/check.hpp"
 #include "src/common/config.hpp"
 #include "src/common/parallel.hpp"
 
@@ -103,6 +104,27 @@ TEST(EnvHelpers, ParseAndFallback) {
   setenv("FTPIM_TEST_ENV_INT", "garbage", 1);
   EXPECT_EQ(env_int("FTPIM_TEST_ENV_INT", 9), 9);
   unsetenv("FTPIM_TEST_ENV_INT");
+}
+
+TEST(EnvHelpers, StrictDoubleRejectsJunkAndOutOfRange) {
+  // env_double_in is the hardened variant: a typo'd knob (FTPIM_ADC_RANGE
+  // and friends) must fail loudly instead of silently running the fallback.
+  unsetenv("FTPIM_TEST_ENV_RANGE");
+  EXPECT_DOUBLE_EQ(env_double_in("FTPIM_TEST_ENV_RANGE", 0.25, 0.0, 1.0), 0.25);
+  setenv("FTPIM_TEST_ENV_RANGE", "", 1);
+  EXPECT_DOUBLE_EQ(env_double_in("FTPIM_TEST_ENV_RANGE", 0.25, 0.0, 1.0), 0.25);
+  setenv("FTPIM_TEST_ENV_RANGE", "0.5", 1);
+  EXPECT_DOUBLE_EQ(env_double_in("FTPIM_TEST_ENV_RANGE", 0.25, 0.0, 1.0), 0.5);
+  setenv("FTPIM_TEST_ENV_RANGE", "1.0", 1);  // hi bound is inclusive
+  EXPECT_DOUBLE_EQ(env_double_in("FTPIM_TEST_ENV_RANGE", 0.25, 0.0, 1.0), 1.0);
+  // Trailing junk, non-numbers, NaN, and out-of-range values all throw a
+  // ContractViolation naming the variable.
+  for (const char* bad : {"0.5x", "garbage", "nan", "0", "-0.25", "1.5"}) {
+    setenv("FTPIM_TEST_ENV_RANGE", bad, 1);
+    EXPECT_THROW((void)env_double_in("FTPIM_TEST_ENV_RANGE", 0.25, 0.0, 1.0), ContractViolation)
+        << bad;
+  }
+  unsetenv("FTPIM_TEST_ENV_RANGE");
 }
 
 TEST(RunScale, QuickDefaultsAndOverrides) {

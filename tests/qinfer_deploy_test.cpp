@@ -365,6 +365,41 @@ TEST(QuantServe, AgingLayersOntoEnginesWithoutReclone) {
   EXPECT_EQ(pool.aged_intervals(0), 0);
 }
 
+TEST(QuantServe, RepairGenerationsWalkTheDerivedSeedChain) {
+  // Repeated repairs on the quantized path must follow the documented seed
+  // schedule: generation 0 keeps the historical derive_seed(seed, r) stream,
+  // generation g > 0 draws from derive_seed(derive_seed(seed, r), g) — so a
+  // re-run of the fleet replays the exact same sequence of dies.
+  auto net = make_mlp({8, 6, 4}, 27);
+  const std::uint64_t base = 21;
+  serve::ReplicaPool pool(*net, pool_config(/*replicas=*/2, /*p_sa=*/0.1));
+  EXPECT_EQ(pool.replica_seed(1), derive_seed(base, 1));
+
+  std::vector<std::int64_t> fault_history;
+  for (int gen = 1; gen <= 3; ++gen) {
+    pool.repair(1);
+    EXPECT_EQ(pool.generation(1), gen);
+    EXPECT_EQ(pool.replica_seed(1), derive_seed(derive_seed(base, 1), gen));
+    fault_history.push_back(pool.defect_map(1).fault_count());
+  }
+  // Replica 0 never repaired: untouched generation and stream.
+  EXPECT_EQ(pool.generation(0), 0);
+  EXPECT_EQ(pool.replica_seed(0), derive_seed(base, 0));
+
+  // A twin pool repaired the same number of times lands on the same die:
+  // identical maps and bit-identical eval outputs at every generation.
+  serve::ReplicaPool twin(*net, pool_config(2, 0.1));
+  const Tensor x = random_tensor(Shape{3, 8}, 41);
+  for (int gen = 1; gen <= 3; ++gen) {
+    twin.repair(1);
+    EXPECT_EQ(twin.defect_map(1).fault_count(), fault_history[static_cast<std::size_t>(gen - 1)]);
+  }
+  const Tensor a = pool.replica(1).forward(x, /*training=*/false);
+  const Tensor b = twin.replica(1).forward(x, /*training=*/false);
+  EXPECT_EQ(
+      std::memcmp(a.data(), b.data(), static_cast<std::size_t>(a.numel()) * sizeof(float)), 0);
+}
+
 TEST(QuantServe, RedundancyIsIncompatibleWithQuantizedEngines) {
   auto net = make_mlp({8, 4}, 1);
   serve::ReplicaPoolConfig config = pool_config(1, 0.05);

@@ -438,6 +438,15 @@ TEST(ServeHealthServer, DeterministicDegradationQuarantineRepairLoop) {
   EXPECT_GE(a.stats.repairs, 1);
   ASSERT_EQ(a.stats.per_replica_repairs.size(), std::size_t{1});
   EXPECT_EQ(static_cast<std::int64_t>(a.stats.per_replica_repairs[0]), a.stats.repairs);
+  // The observability gauges reflect the config: window capacity, per-replica
+  // window fill, and the canary cadence all surface in the snapshot.
+  EXPECT_EQ(a.stats.health_window_capacity, 8);
+  ASSERT_EQ(a.stats.per_replica_window_size.size(), std::size_t{1});
+  // A repair on the final batch legitimately resets the window to empty, so
+  // only the capacity bound is invariant here.
+  EXPECT_LE(a.stats.per_replica_window_size[0], 8);
+  EXPECT_EQ(a.stats.canary_every_batches, 1);
+  ASSERT_EQ(a.stats.per_replica_canary_progress.size(), std::size_t{1});
 
   // Bit-identical across runs: predictions, every counter, the latency
   // histogram, and the rendered summary/health lines.
@@ -486,6 +495,34 @@ TEST(ServeHealthStats, SummaryAndHealthLinesRenderBreakdown) {
   const std::string health = s.health_line();
   EXPECT_NE(health.find("suspect:0.50"), std::string::npos) << health;
   EXPECT_NE(health.find("quarantines 1 repairs 2"), std::string::npos) << health;
+}
+
+TEST(ServeHealthStats, HealthLineShowsAbftWindowAndCanaryGauges) {
+  ServerStats s;
+  s.per_replica_health = {0.88};
+  s.per_replica_state = {ReplicaHealth::kHealthy};
+  s.per_replica_window_size = {5};
+  s.health_window_capacity = 8;
+  s.per_replica_canary_progress = {3};
+  s.canary_every_batches = 4;
+  s.abft_detections = 2;
+  s.abft_flagged_tiles = 7;
+  s.abft_scrubs = 2;
+  s.abft_scrubbed_tiles = 7;
+  s.abft_escalations = 1;
+  const std::string line = s.health_line();
+  // Window fill and canary countdown distinguish a stuck monitor from a
+  // healthy idle one; the abft segment carries the detection/scrub story.
+  EXPECT_NE(line.find("win=5/8"), std::string::npos) << line;
+  EXPECT_NE(line.find("can=3/4"), std::string::npos) << line;
+  EXPECT_NE(line.find("abft 2 hits (7 tiles) scrubs 2 (7 tiles) esc 1"), std::string::npos)
+      << line;
+
+  // With canaries off the countdown gauge disappears but the window stays.
+  s.canary_every_batches = 0;
+  const std::string quiet = s.health_line();
+  EXPECT_EQ(quiet.find("can="), std::string::npos) << quiet;
+  EXPECT_NE(quiet.find("win=5/8"), std::string::npos) << quiet;
 }
 
 }  // namespace

@@ -1,0 +1,12 @@
+#pragma once
+
+// Layering fixture: an ABFT detector living in reram (rank 3) must not
+// reach up into serve (rank 6) to report — reports flow upward by being
+// DRAINED from the engines, never pushed. This include is a back-edge.
+#include "src/serve/api.hpp"
+
+namespace fx {
+
+inline int abft_reports_into_serve() { return serve_api_version(); }
+
+}  // namespace fx

@@ -1040,6 +1040,7 @@ def self_test():
         "src/common/cycle_a.hpp": {"include-cycle"},
         "src/common/cycle_b.hpp": {"include-cycle"},
         "src/tensor/back_edge.hpp": {"layer-back-edge"},
+        "src/reram/abft_backedge.hpp": {"layer-back-edge"},
         "src/nn/unused_include.cpp": {"unused-include"},
         "src/tensor/hot_alloc.cpp": {"hot-alloc", "hot-growth", "hot-string",
                                      "hot-mutex", "hot-clock"},
