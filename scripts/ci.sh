@@ -34,18 +34,21 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 # cloning, Monte-Carlo defect evaluation, fault-injection sessions, the
 # serving layer's queue and worker threads, the quantized crossbar datapath
 # (internally parallel mvm_batch + hooked eval forwards inside Monte-Carlo
-# workers; Quant*/Qinfer* suites), and the contract layer they all guard.
+# workers; Quant*/Qinfer* suites), the fleet simulator's parallel device
+# fan-out (Fleet* suites, incl. thread-count-invariance checks), and the
+# contract layer they all guard.
 # Kept as a regex so newly added tests matching these names are picked up
 # automatically. The quantized suites also run under the `scalar` leg
 # (FTPIM_KERNEL=scalar, full suite), which keeps the portable int8 kernel
 # exercised on AVX2 hosts.
-THREAD_SUBSET='Parallel|Clone|Defect|Session|Eval|Check|Logging|Serve|Aging|Kernel|Gemm|Quant|Qinfer|Abft|Scrub'
+THREAD_SUBSET='Parallel|Clone|Defect|Session|Eval|Check|Logging|Serve|Aging|Kernel|Gemm|Quant|Qinfer|Abft|Scrub|Fleet'
 
 # Crash-safety subset: the container/CRC primitives, the seeded corruption
 # sweep (CheckpointCrashInjection: truncation at every framing boundary plus
 # deterministic bit flips, all of which must surface as typed CheckpointError),
-# the Python inspector agreement tests, and kill/resume equivalence.
-CRASH_SUBSET='Crc32c|AtomicFile|Checkpoint|ByteCodec|ReramCodec|CkptTool|FtResume|Serialize'
+# the Python inspector agreement tests, and kill/resume equivalence (training
+# checkpoints via FtResume, fleet sweeps via FleetResume).
+CRASH_SUBSET='Crc32c|AtomicFile|Checkpoint|ByteCodec|ReramCodec|CkptTool|FtResume|FleetResume|Serialize'
 
 run_config() {
   # Optional 4th arg reuses another config's build tree (the scalar leg only

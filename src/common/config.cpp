@@ -41,6 +41,18 @@ FTPIM_COLD double env_double_in(const char* name, double fallback, double lo_exc
   return value;
 }
 
+FTPIM_COLD int env_int_in(const char* name, int fallback, int lo_inclusive, int hi_inclusive) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const long value = std::strtol(env, &end, 10);
+  // Full-parse: trailing junk ("8x", "4.5") is a typo, not a smaller number.
+  FTPIM_CHECK(end != env && *end == '\0', "%s: '%s' is not an integer", name, env);
+  FTPIM_CHECK(value >= lo_inclusive && value <= hi_inclusive, "%s: %ld outside [%d, %d]", name,
+              value, lo_inclusive, hi_inclusive);
+  return static_cast<int>(value);
+}
+
 FTPIM_COLD std::string env_string(const char* name, const std::string& fallback) {
   const char* env = std::getenv(name);
   if (env == nullptr || *env == '\0') return fallback;

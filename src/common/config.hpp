@@ -45,6 +45,12 @@ struct RunScale {
 [[nodiscard]] double env_double_in(const char* name, double fallback, double lo_exclusive,
                                    double hi_inclusive);
 
+/// Integer sibling of env_double_in: the value must parse IN FULL as a
+/// decimal integer inside [lo, hi] or the call throws ContractViolation.
+/// Unset/empty returns fallback. FTPIM_THREADS goes through this — a
+/// mistyped worker count must fail loudly, not silently serialize the run.
+[[nodiscard]] int env_int_in(const char* name, int fallback, int lo_inclusive, int hi_inclusive);
+
 /// Reads a string env var, returning fallback when unset.
 [[nodiscard]] std::string env_string(const char* name, const std::string& fallback);
 

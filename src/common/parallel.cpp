@@ -20,21 +20,27 @@ namespace {
 // 0 means "no override" — fall back to FTPIM_THREADS / hardware_concurrency.
 std::atomic<int> g_thread_override{0};
 
+// Upper bound accepted from FTPIM_THREADS. Far above any host this runs on;
+// it exists so "FTPIM_THREADS=80000" (a pasted PID, say) is rejected as the
+// typo it is rather than spawning a machine-killing thread storm.
+constexpr int kMaxThreads = 4096;
+
 // Set inside worker threads so nested parallel loops run serial instead of
 // spawning threads on top of threads.
 thread_local bool t_in_worker = false;
 
 }  // namespace
 
-int num_threads() noexcept {
+int num_threads() {
   const int override_n = g_thread_override.load(std::memory_order_acquire);
   if (override_n > 0) return override_n;
   // Magic-static init is itself thread-safe; the env is read exactly once.
+  // Strict parse: garbage like "8x" throws (tests/parallel_test.cpp covers
+  // the helper directly since this static caches the first resolution).
   static const int cached = [] {
     const int hw = static_cast<int>(std::thread::hardware_concurrency());
     const int fallback = hw > 0 ? hw : 2;
-    const int requested = env_int("FTPIM_THREADS", fallback);
-    return std::max(1, requested);
+    return env_int_in("FTPIM_THREADS", fallback, 1, kMaxThreads);
   }();
   return cached;
 }

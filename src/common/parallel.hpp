@@ -14,8 +14,11 @@
 namespace ftpim {
 
 /// Number of worker threads parallel_for will use: set_num_threads() override
-/// if active, else env FTPIM_THREADS, else hardware_concurrency.
-[[nodiscard]] int num_threads() noexcept;
+/// if active, else env FTPIM_THREADS, else hardware_concurrency. FTPIM_THREADS
+/// is parsed strictly (env_int_in): a malformed or out-of-range value throws
+/// ContractViolation on the first call instead of silently falling back —
+/// the worker count decides wall-clock AND chunking, so a typo must be loud.
+[[nodiscard]] int num_threads();
 
 /// Overrides the worker count at runtime (n >= 1); n <= 0 clears the
 /// override, falling back to FTPIM_THREADS / hardware_concurrency. Intended

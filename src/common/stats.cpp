@@ -2,6 +2,7 @@
 
 #include "src/common/annotations.hpp"
 #include "src/common/check.hpp"
+#include "src/common/checkpoint.hpp"
 
 #include <algorithm>
 #include <cmath>
@@ -135,6 +136,46 @@ void OutcomeWindow::reset() noexcept {
   head_ = 0;
   size_ = 0;
   successes_ = 0;
+}
+
+void OutcomeWindow::encode(ByteWriter& out) const {
+  out.i64(capacity());
+  out.i64(head_);
+  out.i64(size_);
+  out.raw(ring_.data(), ring_.size());
+}
+
+OutcomeWindow OutcomeWindow::decode(ByteReader& in) {
+  const std::int64_t capacity = in.i64();
+  const std::int64_t head = in.i64();
+  const std::int64_t size = in.i64();
+  if (capacity <= 0 || head < 0 || head >= capacity || size < 0 || size > capacity) {
+    throw CheckpointError(CheckpointErrorKind::kFormat, "",
+                          "outcome window: cursor/size outside the ring");
+  }
+  OutcomeWindow w(static_cast<int>(capacity));
+  const std::uint8_t* ring = in.take_bytes(static_cast<std::size_t>(capacity));
+  int successes = 0;
+  for (std::int64_t i = 0; i < capacity; ++i) {
+    if (ring[i] > 1) {
+      throw CheckpointError(CheckpointErrorKind::kFormat, "",
+                            "outcome window: ring byte is not 0/1");
+    }
+    w.ring_[static_cast<std::size_t>(i)] = ring[i];
+    successes += ring[i];
+  }
+  // Slots outside the live region are zero by construction of record(), so
+  // summing the whole ring IS the success count; a nonzero stale slot would
+  // desynchronize rate math and is rejected above by the 0/1 screen plus
+  // this recount (successes_ is derived, never trusted from the file).
+  w.head_ = static_cast<int>(head);
+  w.size_ = static_cast<int>(size);
+  w.successes_ = successes;
+  if (w.successes_ > w.size_) {
+    throw CheckpointError(CheckpointErrorKind::kFormat, "",
+                          "outcome window: more successes than recorded outcomes");
+  }
+  return w;
 }
 
 }  // namespace ftpim

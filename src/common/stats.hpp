@@ -9,6 +9,9 @@
 
 namespace ftpim {
 
+class ByteWriter;
+class ByteReader;
+
 struct Summary {
   double mean = 0.0;
   double stddev = 0.0;
@@ -81,6 +84,14 @@ class OutcomeWindow {
   [[nodiscard]] double success_rate() const noexcept {
     return size_ == 0 ? 1.0 : static_cast<double>(successes_) / static_cast<double>(size_);
   }
+
+  /// Checkpoint encoding (capacity, cursor, and the ring bytes). Round-trips
+  /// exactly through decode(), including the eviction cursor, so a resumed
+  /// fleet device keeps forgetting outcomes in the same order it would have.
+  void encode(ByteWriter& out) const;
+  /// Parses an encode()d window; throws CheckpointError(kFormat) on
+  /// inconsistent framing (cursor/size outside the ring, success mismatch).
+  [[nodiscard]] static OutcomeWindow decode(ByteReader& in);
 
  private:
   std::vector<std::uint8_t> ring_;

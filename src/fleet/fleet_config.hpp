@@ -1,0 +1,132 @@
+// Fleet sweep configuration + deterministic heterogeneous device profiles.
+//
+// A fleet run simulates num_devices virtual edge devices for `ticks` steps of
+// a shared virtual clock. Devices are NOT identical: each one draws a
+// DeviceProfile — manufacturing defect rate, aging speed, traffic intensity,
+// and datapath (float vs quantized) — from the FleetConfig's
+// ProfileDistribution. The draw is a pure function of (seed, device index)
+// via draw_profile(), so device d has the same profile at any thread count,
+// after any checkpoint resume, and across processes; nothing about a profile
+// is stored in checkpoints because the config reproduces it.
+//
+// Rates (defect and aging probabilities) are drawn LOG-uniform: a fleet
+// spanning p_sa in [0.002, 0.02] should have as many devices per decade near
+// the benign end as near the hostile end, which a linear draw would not give.
+// Traffic (batches per tick) is a plain uniform integer draw.
+//
+// FleetConfig::encode() is the canonical byte encoding used as the FLCF
+// checkpoint chunk: resume() byte-compares it against the live config and
+// refuses to resume a sweep under different parameters (CheckpointError
+// kStateMismatch), because profiles, fault streams, and policy behavior are
+// all functions of the config.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/fleet/repair_policy.hpp"
+#include "src/reram/fault_injector.hpp"
+#include "src/reram/fault_model.hpp"
+#include "src/reram/qinfer/quantized_engine.hpp"
+#include "src/tensor/tensor.hpp"
+
+namespace ftpim {
+class ByteWriter;
+class ByteReader;
+}  // namespace ftpim
+
+namespace ftpim::fleet {
+
+/// Which compute engine a device's ReplicaPool deploys through.
+enum class Datapath : std::uint8_t {
+  kFloat = 0,      ///< faults folded into float weights
+  kQuantized = 1,  ///< int8 conductance-domain engines (+ ABFT detection)
+};
+
+[[nodiscard]] const char* to_string(Datapath datapath) noexcept;
+
+/// One device's fixed-at-birth characteristics (the draw of draw_profile).
+struct DeviceProfile {
+  double p_sa = 0.01;               ///< manufacturing per-cell stuck-at rate
+  double aging_per_interval = 0.0;  ///< per-cell failure rate per aging interval
+  std::int64_t batches_per_tick = 16;  ///< traffic slice served each tick
+  Datapath datapath = Datapath::kQuantized;
+};
+
+/// Ranges the per-device draws come from. min == max pins a knob fleet-wide.
+struct ProfileDistribution {
+  double p_sa_min = 0.002;  ///< log-uniform manufacturing defect rate
+  double p_sa_max = 0.02;
+  double aging_min = 1e-5;  ///< log-uniform per-interval aging rate
+  double aging_max = 4e-4;
+  std::int64_t traffic_min = 8;  ///< uniform integer batches/tick
+  std::int64_t traffic_max = 64;
+  /// Fraction of devices on the quantized datapath (the rest run float).
+  /// Quantized devices carry ABFT checksums and can take transient upsets;
+  /// float devices are blind to both (no checksum hardware to model).
+  double quantized_fraction = 1.0;
+
+  void validate() const;
+};
+
+struct FleetConfig {
+  int num_devices = 100;
+  std::int64_t ticks = 64;  ///< virtual-clock horizon of run()
+
+  /// Probe-set geometry: every device is scored each tick on the same
+  /// known-answer canary set (make_canary_set) built from the clean model.
+  Shape sample_shape{16};
+  int probe_samples = 32;
+
+  /// A device DIES (permanently, Kaplan-Meier event) the first tick its
+  /// probe accuracy drops below this floor.
+  double accuracy_floor = 0.5;
+
+  std::int64_t interval_batches = 64;  ///< served batches per aging interval
+  double sa0_fraction = kPaperSa0Fraction;
+
+  /// Per-cell probability of a transient upset per tick (quantized devices
+  /// only — float datapaths fold faults into weights, which is not
+  /// replay-safe for run-time upsets). 0 disables transients.
+  double p_transient_per_tick = 0.0;
+
+  std::uint64_t seed = 99;  ///< master seed; every stream derives from it
+
+  ProfileDistribution profile{};
+
+  RepairPolicyKind policy = RepairPolicyKind::kNeverRepair;
+  RepairPolicyConfig policy_config{};
+
+  /// Engine geometry for quantized devices. ABFT is forced ON for them (the
+  /// detection-driven policy and DeviceStatus::abft_flagged need it).
+  qinfer::QuantizedEngineConfig quantized{};
+  /// Float-device conductance mapping.
+  InjectorConfig injector{};
+
+  /// Crash-safe sweep state: when non-empty, the simulator writes an FTCK
+  /// checkpoint here every checkpoint_every_ticks ticks (and at the end of
+  /// run()). FleetSimulator::resume() picks the sweep back up bit-exactly.
+  std::string checkpoint_path;
+  std::int64_t checkpoint_every_ticks = 16;
+
+  void validate() const;
+
+  /// Canonical config echo for the FLCF chunk; two configs produce the same
+  /// bytes iff every simulation-relevant field matches.
+  void encode(ByteWriter& out) const;
+};
+
+/// Device `device`'s profile: pure function of (config.seed, device), drawn
+/// from its own derived stream in a fixed order. See file comment.
+[[nodiscard]] DeviceProfile draw_profile(const FleetConfig& config, int device);
+
+// Stream ids hung off FleetConfig::seed via derive_seed(seed, stream). Fixed
+// constants: checkpoint resume replays these streams, so renumbering them is
+// a checkpoint format change.
+inline constexpr std::uint64_t kProfileStream = 11;    ///< draw_profile
+inline constexpr std::uint64_t kPoolStream = 12;       ///< per-device ReplicaPool seeds
+inline constexpr std::uint64_t kAgingStream = 13;      ///< shared AgingModel seed
+inline constexpr std::uint64_t kTransientStream = 14;  ///< per-(device, tick) upsets
+inline constexpr std::uint64_t kProbeStream = 15;      ///< canary probe set
+
+}  // namespace ftpim::fleet

@@ -1,0 +1,131 @@
+#include "src/fleet/repair_policy.hpp"
+
+#include "src/common/check.hpp"
+
+namespace ftpim::fleet {
+namespace {
+
+class NeverRepairPolicy final : public RepairPolicy {
+ public:
+  explicit NeverRepairPolicy(const RepairPolicyConfig&) {}
+  [[nodiscard]] RepairPolicyKind kind() const noexcept override {
+    return RepairPolicyKind::kNeverRepair;
+  }
+  [[nodiscard]] RepairActionKind decide(const DeviceStatus&) const override {
+    return RepairActionKind::kNone;
+  }
+};
+
+class CanaryGatedPolicy final : public RepairPolicy {
+ public:
+  explicit CanaryGatedPolicy(const RepairPolicyConfig& config) : config_(config) {}
+  [[nodiscard]] RepairPolicyKind kind() const noexcept override {
+    return RepairPolicyKind::kCanaryGated;
+  }
+  [[nodiscard]] RepairActionKind decide(const DeviceStatus& status) const override {
+    // Evidence gate first: an empty or barely-filled window scores 1.0-ish
+    // on tiny sample counts, so no verdict until min_samples outcomes exist.
+    if (status.window_size < config_.min_samples) return RepairActionKind::kNone;
+    if (status.window_score < config_.repair_below) return RepairActionKind::kRepair;
+    return RepairActionKind::kNone;
+  }
+
+ private:
+  RepairPolicyConfig config_;
+};
+
+class ScheduledRefreshPolicy final : public RepairPolicy {
+ public:
+  explicit ScheduledRefreshPolicy(const RepairPolicyConfig& config) : config_(config) {}
+  [[nodiscard]] RepairPolicyKind kind() const noexcept override {
+    return RepairPolicyKind::kScheduledRefresh;
+  }
+  [[nodiscard]] RepairActionKind decide(const DeviceStatus& status) const override {
+    // Blind cadence: re-program the die on schedule regardless of health.
+    // Heals transients; persistent (manufacturing + aging) faults come back.
+    if (status.ticks_since_heal >= config_.refresh_every_ticks) return RepairActionKind::kScrub;
+    return RepairActionKind::kNone;
+  }
+
+ private:
+  RepairPolicyConfig config_;
+};
+
+class DetectionDrivenScrubPolicy final : public RepairPolicy {
+ public:
+  explicit DetectionDrivenScrubPolicy(const RepairPolicyConfig& config) : config_(config) {}
+  [[nodiscard]] RepairPolicyKind kind() const noexcept override {
+    return RepairPolicyKind::kDetectionDrivenScrub;
+  }
+  [[nodiscard]] RepairActionKind decide(const DeviceStatus& status) const override {
+    // A detection streak that survives the scrub budget means scrubbing is
+    // not fixing the cause (persistent faults resurface with the map), so
+    // escalate to a swap — the same ladder maintain() walks in src/serve.
+    if (status.consecutive_detections > config_.max_scrub_retries) return RepairActionKind::kRepair;
+    if (status.abft_flagged) return RepairActionKind::kScrub;
+    return RepairActionKind::kNone;
+  }
+
+ private:
+  RepairPolicyConfig config_;
+};
+
+}  // namespace
+
+const char* to_string(RepairActionKind action) noexcept {
+  switch (action) {
+    case RepairActionKind::kNone: return "none";
+    case RepairActionKind::kScrub: return "scrub";
+    case RepairActionKind::kRepair: return "repair";
+  }
+  return "unknown";
+}
+
+const char* to_string(RepairPolicyKind kind) noexcept {
+  switch (kind) {
+    case RepairPolicyKind::kNeverRepair: return "never_repair";
+    case RepairPolicyKind::kCanaryGated: return "canary_gated";
+    case RepairPolicyKind::kScheduledRefresh: return "scheduled_refresh";
+    case RepairPolicyKind::kDetectionDrivenScrub: return "detection_driven_scrub";
+  }
+  return "unknown";
+}
+
+RepairPolicyKind parse_repair_policy(const std::string& name) {
+  for (RepairPolicyKind kind : kAllRepairPolicies) {
+    if (name == to_string(kind)) return kind;
+  }
+  FTPIM_CHECK(false,
+              "unknown repair policy '%s' (want never_repair|canary_gated|"
+              "scheduled_refresh|detection_driven_scrub)",
+              name.c_str());
+}
+
+void RepairPolicyConfig::validate() const {
+  FTPIM_CHECK(window >= 1, "repair policy: window %d must be >= 1", window);
+  FTPIM_CHECK(min_samples >= 1, "repair policy: min_samples %d must be >= 1", min_samples);
+  FTPIM_CHECK(repair_below >= 0.0 && repair_below <= 1.0,
+              "repair policy: repair_below %.3f outside [0, 1]", repair_below);
+  FTPIM_CHECK(refresh_every_ticks >= 1, "repair policy: refresh_every_ticks %lld must be >= 1",
+              static_cast<long long>(refresh_every_ticks));
+  FTPIM_CHECK(max_scrub_retries >= 0, "repair policy: max_scrub_retries %d must be >= 0",
+              max_scrub_retries);
+  FTPIM_CHECK(repair_cost >= 0.0 && scrub_cost >= 0.0,
+              "repair policy: costs (%.2f, %.2f) must be non-negative", repair_cost, scrub_cost);
+}
+
+std::unique_ptr<RepairPolicy> make_repair_policy(RepairPolicyKind kind,
+                                                 const RepairPolicyConfig& config) {
+  config.validate();
+  switch (kind) {
+    case RepairPolicyKind::kNeverRepair: return std::make_unique<NeverRepairPolicy>(config);
+    case RepairPolicyKind::kCanaryGated: return std::make_unique<CanaryGatedPolicy>(config);
+    case RepairPolicyKind::kScheduledRefresh:
+      return std::make_unique<ScheduledRefreshPolicy>(config);
+    case RepairPolicyKind::kDetectionDrivenScrub:
+      return std::make_unique<DetectionDrivenScrubPolicy>(config);
+  }
+  FTPIM_CHECK(false, "unknown repair policy kind %d", static_cast<int>(kind));
+}
+
+}  // namespace ftpim::fleet

@@ -13,6 +13,14 @@ const char* to_string(ReplicaHealth state) noexcept {
   return "unknown";
 }
 
+const char* to_string(ScrubPolicy policy) noexcept {
+  switch (policy) {
+    case ScrubPolicy::kDetectionDriven: return "detection-driven";
+    case ScrubPolicy::kPeriodic: return "periodic";
+  }
+  return "unknown";
+}
+
 void HealthConfig::validate() const {
   FTPIM_CHECK_GT(window, 0, "HealthConfig: window");
   FTPIM_CHECK_GT(min_samples, 0, "HealthConfig: min_samples");
@@ -28,6 +36,9 @@ void HealthConfig::validate() const {
   FTPIM_CHECK_GE(canary_every_batches, std::int64_t{0}, "HealthConfig: canary_every_batches");
   FTPIM_CHECK_GT(canary_samples, 0, "HealthConfig: canary_samples");
   FTPIM_CHECK_GE(max_scrub_retries, 0, "HealthConfig: max_scrub_retries");
+  FTPIM_CHECK_GE(scrub_every_batches, std::int64_t{0}, "HealthConfig: scrub_every_batches");
+  FTPIM_CHECK(scrub_policy != ScrubPolicy::kPeriodic || scrub_every_batches > 0,
+              "HealthConfig: ScrubPolicy::kPeriodic requires scrub_every_batches > 0");
 }
 
 HealthMonitor::HealthMonitor(int num_replicas, const HealthConfig& config) : config_(config) {

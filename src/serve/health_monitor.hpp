@@ -37,6 +37,21 @@ enum class ReplicaHealth : std::uint8_t {
 
 [[nodiscard]] const char* to_string(ReplicaHealth state) noexcept;
 
+/// When replicas get re-programmed in service.
+enum class ScrubPolicy : std::uint8_t {
+  /// Scrub only the tiles ABFT flags, when it flags them (the PR 9 path;
+  /// requires a quantized deployment with abft.enabled to do anything).
+  kDetectionDriven = 0,
+  /// Additionally refresh the whole replica every scrub_every_batches served
+  /// batches (ReplicaPool::refresh): re-program from retained state and
+  /// re-apply the persistent map, healing transient damage on a schedule —
+  /// before, or without, any detector ringing. Works on both datapaths; the
+  /// detection-driven tile scrubs stay active alongside it.
+  kPeriodic = 1,
+};
+
+[[nodiscard]] const char* to_string(ScrubPolicy policy) noexcept;
+
 struct HealthConfig {
   int window = 64;                 ///< outcomes remembered per replica
   int min_samples = 8;             ///< evidence gate: healthy until this many outcomes
@@ -65,6 +80,10 @@ struct HealthConfig {
   /// replica's window, so detections depress the health score like any other
   /// failure signal.
   bool detection_fails_window = true;
+  /// Scrub scheduling (see ScrubPolicy). kPeriodic requires a cadence.
+  ScrubPolicy scrub_policy = ScrubPolicy::kDetectionDriven;
+  /// kPeriodic only: served batches between whole-replica refreshes (> 0).
+  std::int64_t scrub_every_batches = 0;
 
   void validate() const;
 };

@@ -236,6 +236,7 @@ ServerStats InferenceServer::stats() const {
   out.abft_scrubs = abft_scrubs_;
   out.abft_scrubbed_tiles = abft_scrubbed_tiles_;
   out.abft_escalations = abft_escalations_;
+  out.periodic_refreshes = periodic_refreshes_;
   out.worker_exceptions = worker_exceptions_;
   out.in_flight = in_flight_;
   out.per_replica_served = per_replica_served_;
@@ -480,6 +481,19 @@ FTPIM_COLD void InferenceServer::maintain(int replica_id, WorkerTick& tick) {
       MutexLock lock(mu_);
       aged_cells_ += added;
     }
+  }
+
+  // 1.5 Periodic background refresh (ScrubPolicy::kPeriodic): every
+  // scrub_every_batches served batches, re-program the whole replica from
+  // retained state and re-apply its persistent map — transient damage heals
+  // on a schedule instead of waiting for a detector or a canary miss. Runs
+  // after aging so the tick ends on a freshly programmed die.
+  if (config_.health.scrub_policy == ScrubPolicy::kPeriodic &&
+      ++tick.batches_since_scrub >= config_.health.scrub_every_batches) {
+    tick.batches_since_scrub = 0;
+    pool_.refresh(replica_id);
+    MutexLock lock(mu_);
+    ++periodic_refreshes_;
   }
 
   // 2. Canary: every canary_every_batches served batches, run the known-

@@ -157,6 +157,8 @@ class InferenceServer {
   struct WorkerTick {
     std::int64_t batches_since_repair = 0;
     std::int64_t batches_since_canary = 0;
+    /// Served batches since the last ScrubPolicy::kPeriodic refresh.
+    std::int64_t batches_since_scrub = 0;
     /// ABFT-flagged batches in a row; a clean batch resets it, exceeding
     /// health.max_scrub_retries escalates to a forced quarantine.
     std::int64_t consecutive_detections = 0;
@@ -244,6 +246,7 @@ class InferenceServer {
   std::int64_t abft_scrubs_ FTPIM_GUARDED_BY(mu_) = 0;
   std::int64_t abft_scrubbed_tiles_ FTPIM_GUARDED_BY(mu_) = 0;
   std::int64_t abft_escalations_ FTPIM_GUARDED_BY(mu_) = 0;
+  std::int64_t periodic_refreshes_ FTPIM_GUARDED_BY(mu_) = 0;
   std::int64_t worker_exceptions_ FTPIM_GUARDED_BY(mu_) = 0;
   Shape input_shape_ FTPIM_GUARDED_BY(mu_);  ///< pinned by the first submit()
   std::vector<std::int64_t> per_replica_served_ FTPIM_GUARDED_BY(mu_);

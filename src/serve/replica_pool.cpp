@@ -145,6 +145,30 @@ void ReplicaPool::repair(int index) {
   install(rep, index);
 }
 
+std::int64_t ReplicaPool::refresh(int index) {
+  FTPIM_CHECK(!config_.use_redundancy,
+              "ReplicaPool::refresh: refresh is not modeled for redundant deployments");
+  Replica& rep = at(index, "refresh");
+  if (config_.engine == ReplicaEngine::kQuantized) {
+    rep.deployment->clear_defects();
+    if (rep.map.fault_count() > 0) rep.deployment->apply_defect_map(rep.map);
+    rep.stats = quantized_map_stats(rep.map);
+    std::int64_t tiles = 0;
+    for (std::size_t i = 0; i < rep.deployment->layer_count(); ++i) {
+      tiles += rep.deployment->engine(i).tile_count();
+    }
+    return tiles;
+  }
+  rep.model = source_->clone();
+  if (rep.map.fault_count() > 0) {
+    rep.stats = apply_defect_map_to_model(*rep.model, rep.map, config_.injector);
+  } else {
+    rep.stats = InjectionStats{};
+    rep.stats.cells = rep.map.cell_count();
+  }
+  return 0;
+}
+
 std::int64_t ReplicaPool::advance_aging(int index, const AgingModel& aging,
                                         std::int64_t target_intervals) {
   FTPIM_CHECK(!config_.use_redundancy,

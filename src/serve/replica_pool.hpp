@@ -109,6 +109,19 @@ class ReplicaPool {
   /// mutator — only the replica's worker may call this.
   void repair(int index);
 
+  /// Whole-replica background refresh ("re-program the die"): re-deploys
+  /// replica `index` from retained clean state and re-applies its persistent
+  /// defect map. Transient damage (upsets landed directly in an engine's
+  /// level domain, or injected into float weights) heals; manufacturing and
+  /// aging faults — everything recorded in the map — come straight back. On
+  /// the quantized path this is clear_defects + map re-apply over engines
+  /// that retain their programmed levels, and the ABFT baseline is left
+  /// untouched so post-baseline faults keep detecting; on the float path it
+  /// is a pristine re-clone + map re-apply. No generation bump, no map
+  /// change, no window reset. Returns the engine tiles re-programmed (0 on
+  /// the float path). Single-owner mutator. Requires !use_redundancy.
+  std::int64_t refresh(int index);
+
   /// Ages replica `index` to `target_intervals` (monotone; no-op when already
   /// there): grows its map via `aging` and, if anything changed, re-deploys
   /// from the pristine source with the accumulated map. Returns the number of

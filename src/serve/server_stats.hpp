@@ -42,6 +42,7 @@ struct ServerStats {
   std::int64_t abft_scrubs = 0;         ///< detection-triggered scrub passes
   std::int64_t abft_scrubbed_tiles = 0; ///< tiles re-programmed by scrubs
   std::int64_t abft_escalations = 0;    ///< scrub retries exhausted -> forced quarantine
+  std::int64_t periodic_refreshes = 0;  ///< ScrubPolicy::kPeriodic whole-replica refreshes
   std::int64_t worker_exceptions = 0;  ///< forward passes (batch or canary) that threw
   std::size_t queue_depth = 0; ///< requests waiting at snapshot time
   std::int64_t in_flight = 0;  ///< accepted but not yet answered
@@ -106,14 +107,14 @@ struct ServerStats {
     }
     return detail::format_msg(
         "canary %lld batches (%lld misses) | abft %lld hits (%lld tiles) "
-        "scrubs %lld (%lld tiles) esc %lld | quarantines %lld repairs %lld | "
+        "scrubs %lld (%lld tiles) refresh %lld esc %lld | quarantines %lld repairs %lld | "
         "aged_cells %lld | %s",
         static_cast<long long>(canary_batches), static_cast<long long>(canary_failures),
         static_cast<long long>(abft_detections), static_cast<long long>(abft_flagged_tiles),
         static_cast<long long>(abft_scrubs), static_cast<long long>(abft_scrubbed_tiles),
-        static_cast<long long>(abft_escalations), static_cast<long long>(quarantines),
-        static_cast<long long>(repairs), static_cast<long long>(aged_cells),
-        per.empty() ? "no replicas" : per.c_str());
+        static_cast<long long>(periodic_refreshes), static_cast<long long>(abft_escalations),
+        static_cast<long long>(quarantines), static_cast<long long>(repairs),
+        static_cast<long long>(aged_cells), per.empty() ? "no replicas" : per.c_str());
   }
 };
 

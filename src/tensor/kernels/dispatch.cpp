@@ -5,6 +5,7 @@
 #include <string>
 
 #include "src/common/annotations.hpp"
+#include "src/common/check.hpp"
 #include "src/common/config.hpp"
 #include "src/tensor/kernels/microkernel.hpp"
 
@@ -27,10 +28,11 @@ bool cpu_has_avx2_fma() noexcept {
 
 /// One-time FTPIM_KERNEL env resolution behind active_kernel_level()'s magic
 /// static — the std::string allocation happens exactly once per process.
-FTPIM_COLD KernelLevel resolve_default_kernel_level() noexcept {
+/// Strict: an unknown level name throws instead of silently picking `best`.
+FTPIM_COLD KernelLevel resolve_default_kernel_level() {
   const KernelLevel best = avx2_available() ? KernelLevel::kAvx2 : KernelLevel::kScalar;
   const std::string env = env_string("FTPIM_KERNEL", "");
-  return env.empty() ? best : parse_kernel_env(env.c_str(), best);
+  return parse_kernel_env_strict(env.empty() ? nullptr : env.c_str(), best);
 }
 
 }  // namespace
@@ -49,7 +51,14 @@ KernelLevel parse_kernel_env(const char* value, KernelLevel fallback) noexcept {
   return fallback;
 }
 
-FTPIM_HOT KernelLevel active_kernel_level() noexcept {
+KernelLevel parse_kernel_env_strict(const char* value, KernelLevel fallback) {
+  if (value == nullptr || *value == '\0') return fallback;
+  FTPIM_CHECK(std::strcmp(value, "scalar") == 0 || std::strcmp(value, "avx2") == 0,
+              "FTPIM_KERNEL: '%s' is not a kernel level (scalar|avx2)", value);
+  return parse_kernel_env(value, fallback);
+}
+
+FTPIM_HOT KernelLevel active_kernel_level() {
   const int override_level = g_level_override.load(std::memory_order_acquire);
   if (override_level >= 0) return static_cast<KernelLevel>(override_level);
   // Magic-static init is thread-safe; FTPIM_KERNEL is read exactly once.

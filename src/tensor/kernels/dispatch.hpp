@@ -25,8 +25,11 @@ enum class KernelLevel : int {
 };
 
 /// The level every gemm/conv entry point will use right now: the test
-/// override if set, else the cached FTPIM_KERNEL/CPUID resolution.
-[[nodiscard]] KernelLevel active_kernel_level() noexcept;
+/// override if set, else the cached FTPIM_KERNEL/CPUID resolution. The first
+/// call resolves FTPIM_KERNEL strictly — an unknown value throws
+/// ContractViolation (see parse_kernel_env_strict) instead of silently
+/// running the best level under a name the user never asked for.
+[[nodiscard]] KernelLevel active_kernel_level();
 
 /// Overrides the dispatch level at runtime (for tests comparing levels and
 /// benches recording both). Requesting kAvx2 on a host without AVX2/FMA
@@ -47,5 +50,14 @@ void clear_kernel_level_override() noexcept;
 /// Parses an FTPIM_KERNEL-style string ("scalar" | "avx2"); unknown values
 /// return `fallback`. Exposed for unit tests of the env contract.
 [[nodiscard]] KernelLevel parse_kernel_env(const char* value, KernelLevel fallback) noexcept;
+
+/// Strict variant used for the actual FTPIM_KERNEL resolution: nullptr/empty
+/// returns `fallback` (the knob is optional), "scalar"/"avx2" resolve like
+/// parse_kernel_env ("avx2" still clamps to scalar on hosts without support
+/// — a capability limit, not a typo), and anything else throws
+/// ContractViolation naming the offending text. Exposed for unit tests; the
+/// cached resolution behind active_kernel_level() makes the env read itself
+/// hard to exercise twice in one process.
+[[nodiscard]] KernelLevel parse_kernel_env_strict(const char* value, KernelLevel fallback);
 
 }  // namespace ftpim::kernels

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/check.hpp"
 #include "src/models/small_cnn.hpp"
 #include "src/nn/module.hpp"
 #include "src/reram/defect_map.hpp"
@@ -266,6 +267,81 @@ TEST(ScrubServe, EscalationLifecycleIsBitReproducible) {
   EXPECT_EQ(a.repairs, b.repairs);
   EXPECT_EQ(a.summary_line(), b.summary_line());
   EXPECT_EQ(a.health_line(), b.health_line());
+}
+
+// --- ScrubPolicy::kPeriodic: scheduled whole-replica refresh -----------------
+
+TEST(ScrubServe, PeriodicRefreshHealsASilentUpsetWithoutAnyDetector) {
+  const auto model = make_model();
+  ManualServeClock clock(1'000'000);
+  ServerConfig cfg = abft_server_config(clock);
+  // Detector and canaries OFF: the upset below is completely silent. Only
+  // the blind cadence — a whole-replica refresh every 2 served batches —
+  // stands between the fault and the remaining traffic.
+  cfg.pool.quantized.abft.enabled = false;
+  cfg.health.canary_every_batches = 0;
+  cfg.health.scrub_policy = ScrubPolicy::kPeriodic;
+  cfg.health.scrub_every_batches = 2;
+
+  InferenceServer* srv = nullptr;
+  int batch_no = 0;
+  cfg.batch_hook = [&srv, &batch_no](int replica_id, std::vector<Request>&) {
+    if (++batch_no == 3) {
+      qinfer::QuantizedDeployment* dep = srv->pool().deployment(replica_id);
+      ASSERT_NE(dep, nullptr);
+      qinfer::QuantizedCrossbarEngine& eng = dep->engine(0);
+      eng.apply_defect_map(DefectMap::from_faults(
+          2 * eng.out_features() * eng.in_features(), {{0, FaultType::kStuckOn}}));
+    }
+  };
+  InferenceServer server(*model, cfg);
+  srv = &server;
+
+  // Request 1 is answered pristine; request 6 carries the SAME input and is
+  // answered after the scheduled refresh (end of batch 4) re-programmed the
+  // die — the silent upset must be gone, bit-exactly.
+  std::vector<std::future<InferenceResult>> futures;
+  for (int i = 0; i < 8; ++i) {
+    const std::uint64_t seed = (i == 6) ? 501 : 500 + static_cast<std::uint64_t>(i);
+    futures.push_back(server.submit(make_input(seed)));
+  }
+  server.start();
+  server.drain();
+  server.stop();
+
+  std::vector<float> logits_before;
+  std::vector<float> logits_after;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    InferenceResult res = futures[i].get();
+    if (i == 1) logits_before = res.logits.vec();
+    if (i == 6) logits_after = res.logits.vec();
+  }
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.served, 8);
+  EXPECT_EQ(stats.periodic_refreshes, 4) << "cadence 2 over 8 single-request batches";
+  // Nothing detected, nothing escalated, nothing swapped: the heal came from
+  // the schedule alone, without consuming a device generation.
+  EXPECT_EQ(stats.abft_detections, 0);
+  EXPECT_EQ(stats.abft_scrubs, 0);
+  EXPECT_EQ(stats.quarantines, 0);
+  EXPECT_EQ(stats.repairs, 0);
+  EXPECT_EQ(server.pool().generation(0), 0);
+  ASSERT_EQ(logits_before.size(), logits_after.size());
+  EXPECT_EQ(std::memcmp(logits_before.data(), logits_after.data(),
+                        logits_before.size() * sizeof(float)),
+            0);
+}
+
+TEST(ScrubServe, PeriodicPolicyRequiresACadence) {
+  HealthConfig h;
+  h.scrub_policy = ScrubPolicy::kPeriodic;
+  h.scrub_every_batches = 0;
+  EXPECT_THROW(h.validate(), ContractViolation);
+  h.scrub_every_batches = 4;
+  EXPECT_NO_THROW(h.validate());
+  EXPECT_STREQ(to_string(ScrubPolicy::kPeriodic), "periodic");
+  EXPECT_STREQ(to_string(ScrubPolicy::kDetectionDriven), "detection-driven");
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 #include <cstring>
 #include <vector>
 
+#include "src/common/check.hpp"
 #include "src/common/parallel.hpp"
 #include "src/common/rng.hpp"
 #include "src/nn/conv2d.hpp"
@@ -193,6 +194,26 @@ TEST(KernelDispatch, ParseKernelEnvContract) {
   const KernelLevel want =
       kernels::avx2_available() ? KernelLevel::kAvx2 : KernelLevel::kScalar;
   EXPECT_EQ(kernels::parse_kernel_env("avx2", KernelLevel::kScalar), want);
+}
+
+TEST(KernelDispatch, StrictEnvParseThrowsOnUnknownLevel) {
+  // parse_kernel_env_strict is what the cached FTPIM_KERNEL resolution uses:
+  // unset/empty keeps the fallback, known names resolve (with the same
+  // capability clamp as the lenient parser), anything else is a typo and
+  // must throw instead of silently running the host's best kernel.
+  EXPECT_EQ(kernels::parse_kernel_env_strict(nullptr, KernelLevel::kScalar),
+            KernelLevel::kScalar);
+  EXPECT_EQ(kernels::parse_kernel_env_strict("", KernelLevel::kScalar), KernelLevel::kScalar);
+  EXPECT_EQ(kernels::parse_kernel_env_strict("scalar", KernelLevel::kAvx2),
+            KernelLevel::kScalar);
+  const KernelLevel want =
+      kernels::avx2_available() ? KernelLevel::kAvx2 : KernelLevel::kScalar;
+  EXPECT_EQ(kernels::parse_kernel_env_strict("avx2", KernelLevel::kScalar), want);
+  for (const char* bad : {"bogus", "AVX2", "scalar ", "sse", "avx512"}) {
+    EXPECT_THROW((void)kernels::parse_kernel_env_strict(bad, KernelLevel::kScalar),
+                 ContractViolation)
+        << bad;
+  }
 }
 
 TEST(KernelDispatch, OverrideNeverSelectsUnrunnableLevel) {

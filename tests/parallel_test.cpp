@@ -127,6 +127,29 @@ TEST(EnvHelpers, StrictDoubleRejectsJunkAndOutOfRange) {
   unsetenv("FTPIM_TEST_ENV_RANGE");
 }
 
+TEST(EnvHelpers, StrictIntRejectsJunkAndOutOfRange) {
+  // env_int_in backs FTPIM_THREADS (src/common/parallel.cpp): a mistyped
+  // worker count must throw, not silently pick hardware_concurrency. The
+  // helper is exercised directly because num_threads() caches its first
+  // resolution behind a magic static.
+  unsetenv("FTPIM_TEST_ENV_THREADS");
+  EXPECT_EQ(env_int_in("FTPIM_TEST_ENV_THREADS", 4, 1, 4096), 4);
+  setenv("FTPIM_TEST_ENV_THREADS", "", 1);
+  EXPECT_EQ(env_int_in("FTPIM_TEST_ENV_THREADS", 4, 1, 4096), 4);
+  setenv("FTPIM_TEST_ENV_THREADS", "8", 1);
+  EXPECT_EQ(env_int_in("FTPIM_TEST_ENV_THREADS", 4, 1, 4096), 8);
+  setenv("FTPIM_TEST_ENV_THREADS", "1", 1);  // both bounds inclusive
+  EXPECT_EQ(env_int_in("FTPIM_TEST_ENV_THREADS", 4, 1, 4096), 1);
+  setenv("FTPIM_TEST_ENV_THREADS", "4096", 1);
+  EXPECT_EQ(env_int_in("FTPIM_TEST_ENV_THREADS", 4, 1, 4096), 4096);
+  for (const char* bad : {"8x", "4.5", "garbage", "0", "-2", "4097", "80000"}) {
+    setenv("FTPIM_TEST_ENV_THREADS", bad, 1);
+    EXPECT_THROW((void)env_int_in("FTPIM_TEST_ENV_THREADS", 4, 1, 4096), ContractViolation)
+        << bad;
+  }
+  unsetenv("FTPIM_TEST_ENV_THREADS");
+}
+
 TEST(RunScale, QuickDefaultsAndOverrides) {
   unsetenv("FTPIM_SCALE");
   unsetenv("FTPIM_EPOCHS");

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/common/check.hpp"
+#include "src/common/checkpoint.hpp"
 #include "src/core/evaluator.hpp"
 #include "src/models/small_cnn.hpp"
 #include "src/nn/module.hpp"
@@ -81,6 +82,77 @@ TEST(ServeHealthWindow, ResetForgetsEverything) {
   EXPECT_EQ(w.size(), 0);
   EXPECT_EQ(w.successes(), 0);
   EXPECT_DOUBLE_EQ(w.success_rate(), 1.0);
+}
+
+TEST(ServeHealthWindow, CodecRoundTripsEmptyAndWrappedWindows) {
+  // The fleet checkpoint (FLDV chunk) persists per-device windows; empty,
+  // exactly-full, and wrapped-past-capacity windows must all restore to a
+  // state that keeps recording/evicting identically to the original.
+  const auto round_trip = [](const OutcomeWindow& w) {
+    ByteWriter out;
+    w.encode(out);
+    ByteReader in(out.bytes(), "window");
+    OutcomeWindow back = OutcomeWindow::decode(in);
+    in.expect_done();
+    return back;
+  };
+
+  OutcomeWindow empty_back = round_trip(OutcomeWindow(4));
+  EXPECT_EQ(empty_back.capacity(), 4);
+  EXPECT_EQ(empty_back.size(), 0);
+  EXPECT_DOUBLE_EQ(empty_back.success_rate(), 1.0);
+
+  OutcomeWindow exactly_full(3);
+  for (int i = 0; i < 3; ++i) exactly_full.record(i != 1);
+  OutcomeWindow full_back = round_trip(exactly_full);
+  EXPECT_EQ(full_back.size(), 3);
+  EXPECT_EQ(full_back.successes(), 2);
+
+  OutcomeWindow wrapped(3);
+  for (int i = 0; i < 5; ++i) wrapped.record(i >= 3);  // eviction cursor mid-ring
+  OutcomeWindow wrapped_back = round_trip(wrapped);
+  EXPECT_EQ(wrapped_back.size(), 3);
+  EXPECT_EQ(wrapped_back.successes(), wrapped.successes());
+  // The cursor survives the round trip: the same future outcomes must evict
+  // the same past outcomes from both windows, keeping the rates locked.
+  for (bool outcome : {false, true, false, false}) {
+    wrapped.record(outcome);
+    wrapped_back.record(outcome);
+    EXPECT_EQ(wrapped_back.successes(), wrapped.successes());
+    EXPECT_DOUBLE_EQ(wrapped_back.success_rate(), wrapped.success_rate());
+  }
+}
+
+TEST(ServeHealthWindow, CodecAfterResetMatchesAFreshWindow) {
+  // A post-repair reset() must leave no trace of history in the encoding —
+  // a resumed device starts its window exactly like a never-used one.
+  OutcomeWindow used(4);
+  for (int i = 0; i < 6; ++i) used.record(true);
+  used.reset();
+  ByteWriter reset_bytes;
+  used.encode(reset_bytes);
+  ByteWriter fresh_bytes;
+  OutcomeWindow(4).encode(fresh_bytes);
+  EXPECT_EQ(reset_bytes.bytes(), fresh_bytes.bytes());
+}
+
+TEST(ServeHealthWindow, CodecRejectsInconsistentFraming) {
+  const auto expect_bad = [](std::int64_t capacity, std::int64_t head, std::int64_t size,
+                             std::vector<std::uint8_t> ring) {
+    ByteWriter out;
+    out.i64(capacity);
+    out.i64(head);
+    out.i64(size);
+    out.raw(ring.data(), ring.size());
+    ByteReader in(out.bytes(), "window");
+    EXPECT_THROW((void)OutcomeWindow::decode(in), CheckpointError)
+        << "capacity=" << capacity << " head=" << head << " size=" << size;
+  };
+  expect_bad(0, 0, 0, {});                 // empty ring
+  expect_bad(3, 3, 2, {1, 0, 1});          // cursor past the ring
+  expect_bad(3, 0, 4, {1, 0, 1});          // more outcomes than slots
+  expect_bad(3, 0, 3, {1, 2, 0});          // ring byte not 0/1
+  expect_bad(3, 0, 1, {1, 1, 0});          // stale slots claim successes > size
 }
 
 // --- HealthMonitor -----------------------------------------------------------
@@ -515,7 +587,8 @@ TEST(ServeHealthStats, HealthLineShowsAbftWindowAndCanaryGauges) {
   // healthy idle one; the abft segment carries the detection/scrub story.
   EXPECT_NE(line.find("win=5/8"), std::string::npos) << line;
   EXPECT_NE(line.find("can=3/4"), std::string::npos) << line;
-  EXPECT_NE(line.find("abft 2 hits (7 tiles) scrubs 2 (7 tiles) esc 1"), std::string::npos)
+  EXPECT_NE(line.find("abft 2 hits (7 tiles) scrubs 2 (7 tiles) refresh 0 esc 1"),
+            std::string::npos)
       << line;
 
   // With canaries off the countdown gauge disappears but the window stays.
@@ -523,6 +596,35 @@ TEST(ServeHealthStats, HealthLineShowsAbftWindowAndCanaryGauges) {
   const std::string quiet = s.health_line();
   EXPECT_EQ(quiet.find("can="), std::string::npos) << quiet;
   EXPECT_NE(quiet.find("win=5/8"), std::string::npos) << quiet;
+}
+
+TEST(ServeHealthStats, HealthLineExactFormatIsPinned) {
+  // Operators grep these lines out of logs; the layout is load-bearing.
+  // All-zero stats render every segment, in order, with "no replicas".
+  ServerStats zero;
+  EXPECT_EQ(zero.health_line(),
+            "canary 0 batches (0 misses) | abft 0 hits (0 tiles) scrubs 0 (0 tiles) "
+            "refresh 0 esc 0 | quarantines 0 repairs 0 | aged_cells 0 | no replicas");
+
+  ServerStats s;
+  s.canary_batches = 3;
+  s.canary_failures = 1;
+  s.abft_detections = 4;
+  s.abft_flagged_tiles = 9;
+  s.abft_scrubs = 2;
+  s.abft_scrubbed_tiles = 5;
+  s.periodic_refreshes = 12;  // the kPeriodic scrub-policy counter
+  s.abft_escalations = 1;
+  s.quarantines = 6;
+  s.repairs = 7;
+  s.aged_cells = 42;
+  s.per_replica_state = {ReplicaHealth::kHealthy, ReplicaHealth::kQuarantined};
+  s.per_replica_health = {1.0, 0.25};
+  const std::string line = s.health_line();
+  EXPECT_EQ(line,
+            "canary 3 batches (1 misses) | abft 4 hits (9 tiles) scrubs 2 (5 tiles) "
+            "refresh 12 esc 1 | quarantines 6 repairs 7 | aged_cells 42 | "
+            "[0]=healthy:1.00 [1]=quarantined:0.25");
 }
 
 }  // namespace

@@ -1,0 +1,11 @@
+#pragma once
+
+// Known-good fleet-layer provider (rank 7, the top of the DAG). The serve
+// back-edge fixture includes this from below (illegal); good_simulator.hpp
+// includes serve from here (legal downward edge).
+
+namespace fx {
+
+inline int fleet_api_version() { return 1; }
+
+}  // namespace fx

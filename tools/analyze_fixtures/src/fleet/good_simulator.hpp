@@ -1,0 +1,12 @@
+#pragma once
+
+// Known-good: fleet (rank 7) sits ABOVE serve (rank 6) — the simulator
+// drives serve-layer replica pools, so this downward include is the normal
+// direction and must not fire layer-back-edge.
+#include "src/serve/api.hpp"
+
+namespace fx {
+
+inline int fleet_drives_serve() { return serve_api_version(); }
+
+}  // namespace fx

@@ -1,0 +1,12 @@
+#pragma once
+
+// Layering fixture: the serving layer (rank 6) must not reach up into the
+// fleet simulator (rank 7) — a server cannot depend on the harness that
+// sweeps it. This include is a back-edge.
+#include "src/fleet/api.hpp"
+
+namespace fx {
+
+inline int serve_reaches_into_fleet() { return fleet_api_version(); }
+
+}  // namespace fx
